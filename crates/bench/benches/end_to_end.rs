@@ -1,0 +1,59 @@
+//! End-to-end simulation throughput per system design.
+//!
+//! Measures host wall-time per full (shrunken) workload simulation — the
+//! cost of regenerating one data point of the paper's figures. The
+//! simulated-cycle results themselves come from
+//! `cargo run -p experiments --bin all-figures`.
+
+use carve_system::{run, workloads, Design, ScaledConfig, SimConfig};
+use carve_trace::WorkloadSpec;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tiny(name: &str) -> WorkloadSpec {
+    let mut spec = workloads::by_name(name).expect("known workload");
+    spec.shape.kernels = 2;
+    spec.shape.ctas = 16;
+    spec.shape.instrs_per_warp = 40;
+    spec
+}
+
+fn tiny_sim(design: Design) -> SimConfig {
+    let mut cfg = ScaledConfig::default();
+    cfg.sms_per_gpu = 2;
+    cfg.warps_per_sm = 8;
+    SimConfig::with_cfg(design, cfg)
+}
+
+fn bench_designs(c: &mut Criterion) {
+    let spec = tiny("Lulesh");
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for design in [
+        Design::SingleGpu,
+        Design::NumaGpu,
+        Design::NumaGpuRepl,
+        Design::Ideal,
+        Design::CarveHwc,
+    ] {
+        g.bench_function(design.label(), |b| {
+            let sim = tiny_sim(design);
+            b.iter(|| black_box(run(&spec, &sim)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    use carve_system::profile_workload;
+    let spec = tiny("Lulesh");
+    let cfg = ScaledConfig::default();
+    let mut g = c.benchmark_group("profiling");
+    g.sample_size(10);
+    g.bench_function("profile_workload", |b| {
+        b.iter(|| black_box(profile_workload(&spec, &cfg, 4)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs, bench_profiling);
+criterion_main!(benches);

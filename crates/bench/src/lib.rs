@@ -1,0 +1,10 @@
+//! Criterion benchmark harness for the `carve-mgpu` simulator.
+//!
+//! Wall-clock microbenchmarks of the core structures (`structures`,
+//! `dram_noc`, `tracegen`) and end-to-end simulation throughput per system
+//! design (`end_to_end`). The *simulated-cycle* experiments that regenerate
+//! the paper's tables and figures live in the `experiments` crate instead
+//! (`cargo run -p experiments --bin all-figures`), because criterion
+//! measures host time, not simulated time.
+
+#![warn(missing_docs)]

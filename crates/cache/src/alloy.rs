@@ -1,0 +1,394 @@
+//! Alloy-style direct-mapped tags-with-data DRAM cache array.
+//!
+//! CARVE architects its Remote Data Cache (RDC) as an Alloy Cache
+//! (Qureshi & Loh, MICRO'12): direct-mapped, one 128 B line per set, tag
+//! stored *with* the data in the spare ECC bits of HBM so a single DRAM
+//! access returns both (no separate tag array, no tag-serialization
+//! latency). This module models that array plus the paper's two metadata
+//! tricks:
+//!
+//! * [`EccLayout`] verifies the Section IV-A bit budget: HBM provides 16 B
+//!   of ECC per 128 B line; SECDED at 16 B granularity uses 72 bits, leaving
+//!   56 spare bits for tag + epoch + state.
+//! * Epoch-counter invalidation (Figure 10): each line stores the 20-bit
+//!   epoch (EPCTR) it was installed in; a probe only hits when tag *and*
+//!   epoch match, so bumping the epoch register invalidates the entire RDC
+//!   in zero time. On EPCTR rollover the array is physically reset.
+
+/// Result of probing the Alloy array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlloyProbe {
+    /// Tag and epoch matched; data is served from local memory.
+    Hit,
+    /// Set empty or held a different tag: a true miss.
+    Miss,
+    /// Tag matched but the line's epoch is stale (installed before the
+    /// last kernel-boundary invalidation). Counts as a miss; the line is
+    /// logically invalid.
+    StaleEpoch,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AlloyLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    epoch: u32,
+}
+
+/// Width of the per-kernel epoch counter (paper: 20 bits).
+pub const EPOCH_BITS: u32 = 20;
+/// Maximum epoch value before rollover.
+pub const EPOCH_MAX: u32 = (1 << EPOCH_BITS) - 1;
+
+/// Direct-mapped tags-with-data DRAM cache array.
+///
+/// # Example
+///
+/// ```
+/// use carve_cache::alloy::{AlloyCache, AlloyProbe};
+///
+/// let mut rdc = AlloyCache::new(64 * 1024, 128);
+/// assert_eq!(rdc.probe(0x4000, 0), AlloyProbe::Miss);
+/// rdc.insert(0x4000, 0);
+/// assert_eq!(rdc.probe(0x4000, 0), AlloyProbe::Hit);
+/// // Epoch bump = instant whole-cache invalidation:
+/// assert_eq!(rdc.probe(0x4000, 1), AlloyProbe::StaleEpoch);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlloyCache {
+    line_size: u64,
+    sets: u64,
+    lines: Vec<AlloyLine>,
+    hits: u64,
+    misses: u64,
+    stale_misses: u64,
+    conflict_evictions: u64,
+}
+
+impl AlloyCache {
+    /// Creates an array of `capacity_bytes / line_size` direct-mapped sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are zero or capacity yields no sets.
+    pub fn new(capacity_bytes: u64, line_size: u64) -> AlloyCache {
+        assert!(capacity_bytes > 0 && line_size > 0);
+        let sets = capacity_bytes / line_size;
+        assert!(sets > 0, "capacity must hold at least one line");
+        AlloyCache {
+            line_size,
+            sets,
+            lines: vec![AlloyLine::default(); sets as usize],
+            hits: 0,
+            misses: 0,
+            stale_misses: 0,
+            conflict_evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.line_size;
+        ((line_addr % self.sets) as usize, line_addr / self.sets)
+    }
+
+    /// Probes for `addr` under the current `epoch` (one simulated DRAM
+    /// access retrieves tag + data together).
+    pub fn probe(&mut self, addr: u64, epoch: u32) -> AlloyProbe {
+        let (set, tag) = self.set_and_tag(addr);
+        let line = &self.lines[set];
+        if line.valid && line.tag == tag {
+            if line.epoch == epoch {
+                self.hits += 1;
+                AlloyProbe::Hit
+            } else {
+                self.stale_misses += 1;
+                AlloyProbe::StaleEpoch
+            }
+        } else {
+            self.misses += 1;
+            AlloyProbe::Miss
+        }
+    }
+
+    /// Probes without updating statistics (used by invalidation snoops).
+    pub fn contains(&self, addr: u64, epoch: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let line = &self.lines[set];
+        line.valid && line.tag == tag && line.epoch == epoch
+    }
+
+    /// Installs `addr` under `epoch`, displacing whatever occupied the set.
+    /// Returns the address of a *dirty* victim needing write-back (only
+    /// possible for the write-back RDC variant), else `None`.
+    pub fn insert(&mut self, addr: u64, epoch: u32) -> Option<u64> {
+        let (set, tag) = self.set_and_tag(addr);
+        let line = &mut self.lines[set];
+        let victim = if line.valid && (line.tag != tag || line.epoch != epoch) {
+            self.conflict_evictions += 1;
+            if line.dirty && line.epoch == epoch {
+                Some((line.tag * self.sets + set as u64) * self.line_size)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        *line = AlloyLine {
+            valid: true,
+            dirty: false,
+            tag,
+            epoch,
+        };
+        victim
+    }
+
+    /// Marks `addr`'s line dirty if resident under `epoch` (write-back
+    /// variant only). Returns whether the line was present.
+    pub fn mark_dirty(&mut self, addr: u64, epoch: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let line = &mut self.lines[set];
+        if line.valid && line.tag == tag && line.epoch == epoch {
+            line.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates `addr`'s line if resident (hardware-coherence
+    /// write-invalidate). Returns whether a line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let line = &mut self.lines[set];
+        if line.valid && line.tag == tag {
+            line.valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Physically resets every line (EPCTR rollover). O(sets).
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            *line = AlloyLine::default();
+        }
+    }
+
+    /// Collects the addresses of all dirty lines in `epoch` and cleans
+    /// them (dirty-map flush for the write-back variant).
+    pub fn drain_dirty(&mut self, epoch: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (set, line) in self.lines.iter_mut().enumerate() {
+            if line.valid && line.dirty && line.epoch == epoch {
+                out.push((line.tag * self.sets + set as u64) * self.line_size);
+                line.dirty = false;
+            }
+        }
+        out
+    }
+
+    /// Number of sets (== lines) in the array.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Probe hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// True misses (tag mismatch / empty set).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Misses caused by stale epochs (software-coherence invalidations).
+    pub fn stale_misses(&self) -> u64 {
+        self.stale_misses
+    }
+
+    /// Lines displaced by conflicting inserts.
+    pub fn conflict_evictions(&self) -> u64 {
+        self.conflict_evictions
+    }
+
+    /// Hit rate over all probes.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The spare-ECC-bit budget for RDC metadata (paper Section IV-A, fn. 3).
+///
+/// HBM provides 16 bytes of ECC per 128-byte line. SECDED protecting each
+/// 16-byte transfer needs 9 bits, so 8 × 9 = 72 bits are spent on ECC,
+/// leaving 56 spare bits to hold the RDC tag, the 20-bit epoch, and
+/// valid/dirty/sharing metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccLayout {
+    /// Data protected per line, in bytes (128).
+    pub data_bytes: u64,
+    /// ECC bits available per line (16 B = 128 bits).
+    pub ecc_bits: u32,
+    /// Bits consumed by SECDED protection (72).
+    pub secded_bits: u32,
+}
+
+impl Default for EccLayout {
+    fn default() -> EccLayout {
+        EccLayout {
+            data_bytes: 128,
+            ecc_bits: 128,
+            secded_bits: 72,
+        }
+    }
+}
+
+impl EccLayout {
+    /// Spare bits left for metadata after SECDED.
+    pub fn spare_bits(&self) -> u32 {
+        self.ecc_bits - self.secded_bits
+    }
+
+    /// Tag bits required for an RDC of `rdc_bytes` caching a remote
+    /// physical space of `remote_bytes`, with `line_size`-byte lines.
+    pub fn required_tag_bits(&self, remote_bytes: u64, rdc_bytes: u64, line_size: u64) -> u32 {
+        let sets = (rdc_bytes / line_size).max(1);
+        let remote_lines = (remote_bytes / line_size).max(1);
+        let tags = remote_lines.div_ceil(sets).max(1);
+        64 - tags.saturating_sub(1).leading_zeros().min(63)
+    }
+
+    /// Whether tag + epoch + valid + dirty + 2-bit sharing state fit in
+    /// the spare ECC bits.
+    pub fn metadata_fits(&self, remote_bytes: u64, rdc_bytes: u64, line_size: u64) -> bool {
+        let tag = self.required_tag_bits(remote_bytes, rdc_bytes, line_size);
+        tag + EPOCH_BITS + 1 + 1 + 2 <= self.spare_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_insert_hit_roundtrip() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        assert_eq!(a.probe(0x100, 0), AlloyProbe::Miss);
+        a.insert(0x100, 0);
+        assert_eq!(a.probe(0x100, 0), AlloyProbe::Hit);
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.misses(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_displaces() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        let stride = 16 * 128u64; // same set
+        a.insert(0, 0);
+        a.insert(stride, 0);
+        assert_eq!(a.probe(0, 0), AlloyProbe::Miss);
+        assert_eq!(a.probe(stride, 0), AlloyProbe::Hit);
+        assert_eq!(a.conflict_evictions(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_instantly() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        a.insert(0x200, 5);
+        assert_eq!(a.probe(0x200, 5), AlloyProbe::Hit);
+        assert_eq!(a.probe(0x200, 6), AlloyProbe::StaleEpoch);
+        assert_eq!(a.stale_misses(), 1);
+        // Re-insert under the new epoch revives the line.
+        a.insert(0x200, 6);
+        assert_eq!(a.probe(0x200, 6), AlloyProbe::Hit);
+    }
+
+    #[test]
+    fn invalidate_drops_line() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        a.insert(0x80, 0);
+        assert!(a.invalidate(0x80));
+        assert!(!a.invalidate(0x80));
+        assert_eq!(a.probe(0x80, 0), AlloyProbe::Miss);
+    }
+
+    #[test]
+    fn dirty_victim_reported_for_writeback_variant() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        let stride = 16 * 128u64;
+        a.insert(0, 0);
+        assert!(a.mark_dirty(0, 0));
+        let victim = a.insert(stride, 0);
+        assert_eq!(victim, Some(0));
+    }
+
+    #[test]
+    fn clean_or_stale_victims_not_written_back() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        let stride = 16 * 128u64;
+        a.insert(0, 0);
+        assert_eq!(a.insert(stride, 0), None); // clean victim
+        a.insert(0, 1);
+        a.mark_dirty(0, 1);
+        // Stale-epoch dirty data is dead after an SWC flush: no write-back.
+        assert_eq!(a.insert(stride, 2), None);
+    }
+
+    #[test]
+    fn drain_dirty_returns_and_cleans() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        a.insert(0x80, 3);
+        a.insert(0x900, 3);
+        a.mark_dirty(0x80, 3);
+        a.mark_dirty(0x900, 3);
+        let mut d = a.drain_dirty(3);
+        d.sort_unstable();
+        assert_eq!(d, vec![0x80, 0x900]);
+        assert!(a.drain_dirty(3).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        a.insert(0x80, 0);
+        a.reset();
+        assert_eq!(a.probe(0x80, 0), AlloyProbe::Miss);
+    }
+
+    #[test]
+    fn ecc_budget_matches_paper() {
+        let ecc = EccLayout::default();
+        assert_eq!(ecc.spare_bits(), 56);
+        // Paper: 3 remote GPUs x 32GB cached by a 2GB RDC needs ~6 tag bits.
+        let gib = 1u64 << 30;
+        let tag = ecc.required_tag_bits(3 * 32 * gib, 2 * gib, 128);
+        assert_eq!(tag, 6);
+        assert!(ecc.metadata_fits(3 * 32 * gib, 2 * gib, 128));
+    }
+
+    #[test]
+    fn tiny_rdc_needs_more_tag_bits() {
+        let ecc = EccLayout::default();
+        let gib = 1u64 << 30;
+        let small = ecc.required_tag_bits(3 * 32 * gib, gib / 2, 128);
+        assert!(small > 6);
+    }
+
+    #[test]
+    fn hit_rate_counts_stale_as_miss() {
+        let mut a = AlloyCache::new(16 * 128, 128);
+        a.insert(0x80, 0);
+        a.probe(0x80, 0); // hit
+        a.probe(0x80, 1); // stale
+        assert!((a.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cache structures for the `carve-mgpu` simulator.
+//!
+//! Three building blocks live here:
+//!
+//! * [`sram`] — a set-associative, LRU SRAM cache model used for the per-SM
+//!   L1s and the per-GPU memory-side L2 (LLC). Lines carry a `remote` flag so
+//!   the software-coherence flush at kernel boundaries can invalidate exactly
+//!   the remotely-homed lines, as NUMA-GPU does.
+//! * [`mshr`] — miss status holding registers that merge secondary misses to
+//!   an in-flight line and bound the number of outstanding fills.
+//! * [`alloy`] — the direct-mapped, tags-with-data DRAM-cache array of
+//!   Qureshi & Loh's Alloy Cache, which CARVE uses for the Remote Data Cache
+//!   (RDC), including the spare-ECC-bit tag/epoch layout check from the
+//!   paper's Section IV-A and the epoch-counter instant-invalidation scheme
+//!   of Figure 10.
+//!
+//! # Example
+//!
+//! ```
+//! use carve_cache::sram::{SetAssocCache, AccessKind};
+//!
+//! let mut l1 = SetAssocCache::new(16 * 1024, 4, 128);
+//! let addr = 0x1000;
+//! assert!(!l1.probe(addr, AccessKind::Read)); // cold miss
+//! l1.fill(addr, false);
+//! assert!(l1.probe(addr, AccessKind::Read)); // now a hit
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloy;
+pub mod mshr;
+pub mod sram;
+
+pub use alloy::{AlloyCache, AlloyProbe, EccLayout};
+pub use mshr::MshrFile;
+pub use sram::{AccessKind, Eviction, SetAssocCache};

@@ -1,0 +1,161 @@
+//! Miss Status Holding Registers.
+//!
+//! An [`MshrFile`] bounds the number of distinct outstanding line fills and
+//! merges *secondary* misses (another access to a line already being
+//! fetched) into the existing entry, so one memory response wakes every
+//! waiter. Generic over the waiter token `W` (the GPU model uses warp ids;
+//! tests use plain integers).
+
+use std::collections::HashMap;
+
+/// Outcome of [`MshrFile::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocate {
+    /// First miss to this line: the caller must issue the fill downstream.
+    Primary,
+    /// Fill already in flight: the waiter was merged; do not issue.
+    Secondary,
+    /// No free entry (structural stall): retry next cycle.
+    Full,
+}
+
+/// A file of miss status holding registers keyed by line address.
+///
+/// # Example
+///
+/// ```
+/// use carve_cache::mshr::{MshrFile, MshrAllocate};
+///
+/// let mut m: MshrFile<u32> = MshrFile::new(4, 8);
+/// assert_eq!(m.allocate(0x100, 1), MshrAllocate::Primary);
+/// assert_eq!(m.allocate(0x100, 2), MshrAllocate::Secondary);
+/// assert_eq!(m.complete(0x100), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    entries: HashMap<u64, Vec<W>>,
+    capacity: usize,
+    max_waiters: usize,
+    merged: u64,
+    stalls: u64,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` entries, each holding at most
+    /// `max_waiters` merged waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_waiters` is zero.
+    pub fn new(capacity: usize, max_waiters: usize) -> MshrFile<W> {
+        assert!(capacity > 0 && max_waiters > 0);
+        MshrFile {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            max_waiters,
+            merged: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Registers a miss on `line_addr` for `waiter`.
+    pub fn allocate(&mut self, line_addr: u64, waiter: W) -> MshrAllocate {
+        if let Some(waiters) = self.entries.get_mut(&line_addr) {
+            if waiters.len() >= self.max_waiters {
+                self.stalls += 1;
+                return MshrAllocate::Full;
+            }
+            waiters.push(waiter);
+            self.merged += 1;
+            return MshrAllocate::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrAllocate::Full;
+        }
+        self.entries.insert(line_addr, vec![waiter]);
+        MshrAllocate::Primary
+    }
+
+    /// Completes the fill for `line_addr`, returning every merged waiter
+    /// (empty if the line had no entry).
+    pub fn complete(&mut self, line_addr: u64) -> Vec<W> {
+        self.entries.remove(&line_addr).unwrap_or_default()
+    }
+
+    /// Whether a fill for `line_addr` is outstanding.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fills are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of merged secondary misses.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Count of structural stalls (allocations rejected for capacity).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_then_complete() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 4);
+        assert_eq!(m.allocate(0x80, 1), MshrAllocate::Primary);
+        assert_eq!(m.allocate(0x80, 2), MshrAllocate::Secondary);
+        assert!(m.contains(0x80));
+        assert_eq!(m.complete(0x80), vec![1, 2]);
+        assert!(!m.contains(0x80));
+        assert_eq!(m.merged(), 1);
+    }
+
+    #[test]
+    fn capacity_limit_stalls_new_lines() {
+        let mut m: MshrFile<u8> = MshrFile::new(1, 4);
+        assert_eq!(m.allocate(0x80, 1), MshrAllocate::Primary);
+        assert_eq!(m.allocate(0x100, 2), MshrAllocate::Full);
+        assert_eq!(m.stalls(), 1);
+        // Secondary to the existing line still merges.
+        assert_eq!(m.allocate(0x80, 3), MshrAllocate::Secondary);
+    }
+
+    #[test]
+    fn waiter_limit_stalls_merges() {
+        let mut m: MshrFile<u8> = MshrFile::new(4, 2);
+        m.allocate(0x80, 1);
+        m.allocate(0x80, 2);
+        assert_eq!(m.allocate(0x80, 3), MshrAllocate::Full);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u8> = MshrFile::new(4, 2);
+        assert!(m.complete(0xdead).is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_entries() {
+        let mut m: MshrFile<u8> = MshrFile::new(4, 2);
+        m.allocate(0x0, 0);
+        m.allocate(0x80, 1);
+        assert_eq!(m.len(), 2);
+        m.complete(0x0);
+        assert_eq!(m.len(), 1);
+    }
+}

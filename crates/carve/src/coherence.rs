@@ -1,0 +1,226 @@
+//! The three RDC coherence designs of Figure 11, bundled per system.
+
+use crate::directory::Directory;
+use crate::imst::{Imst, ImstDecision};
+use crate::rdc::{Rdc, RdcConfig};
+
+/// How RDC coherence is maintained across GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherencePolicy {
+    /// Zero-overhead coherence: the upper bound (CARVE-No-Coherence).
+    /// RDC contents survive kernel boundaries and writes never invalidate.
+    NoCoherence,
+    /// Software coherence (CARVE-SWC): the RDC epoch is bumped at every
+    /// kernel boundary, instantly invalidating all remote data.
+    Software,
+    /// Hardware coherence (CARVE-HWC): directory-less GPU-VI write
+    /// invalidation, filtered by the per-home-node IMST. RDC contents
+    /// survive kernel boundaries.
+    Hardware,
+}
+
+/// All CARVE state for one multi-GPU system: one RDC per GPU plus one IMST
+/// per home node.
+#[derive(Debug)]
+pub struct Carve {
+    policy: CoherencePolicy,
+    rdcs: Vec<Rdc>,
+    imsts: Vec<Imst>,
+    broadcast_always: bool,
+    directories: Option<Vec<Directory>>,
+}
+
+impl Carve {
+    /// Creates CARVE state for `num_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero.
+    pub fn new(num_gpus: usize, policy: CoherencePolicy, rdc_cfg: RdcConfig) -> Carve {
+        assert!(num_gpus > 0);
+        Carve {
+            policy,
+            rdcs: (0..num_gpus).map(|_| Rdc::new(rdc_cfg)).collect(),
+            imsts: (0..num_gpus).map(|g| Imst::new(g as u64)).collect(),
+            broadcast_always: false,
+            directories: None,
+        }
+    }
+
+    /// Switches hardware coherence from directory-less GPU-VI broadcast to
+    /// a per-home sharer directory (the paper's Section V-E alternative
+    /// for larger node counts): write-invalidates target exactly the GPUs
+    /// recorded as holding a copy.
+    pub fn set_directory_mode(&mut self, on: bool) {
+        if on && self.directories.is_none() {
+            self.directories = Some((0..self.rdcs.len()).map(|_| Directory::new()).collect());
+        } else if !on {
+            self.directories = None;
+        }
+    }
+
+    /// Whether directory mode is active.
+    pub fn directory_mode(&self) -> bool {
+        self.directories.is_some()
+    }
+
+    /// Disables the IMST write-invalidate filter: every write broadcasts,
+    /// as in raw GPU-VI (ablation of the paper's Figure 12 optimization).
+    pub fn set_broadcast_always(&mut self, on: bool) {
+        self.broadcast_always = on;
+    }
+
+    /// The coherence policy in force.
+    pub fn policy(&self) -> CoherencePolicy {
+        self.policy
+    }
+
+    /// GPU `g`'s Remote Data Cache.
+    pub fn rdc_mut(&mut self, g: usize) -> &mut Rdc {
+        &mut self.rdcs[g]
+    }
+
+    /// GPU `g`'s Remote Data Cache (read-only).
+    pub fn rdc(&self, g: usize) -> &Rdc {
+        &self.rdcs[g]
+    }
+
+    /// Home node `g`'s sharing tracker.
+    pub fn imst_mut(&mut self, g: usize) -> &mut Imst {
+        &mut self.imsts[g]
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.rdcs.len()
+    }
+
+    /// Kernel-boundary handling. Under software coherence every RDC epoch
+    /// is bumped (instant invalidation) and any write-back dirty lines are
+    /// returned per GPU for flushing; other policies retain RDC contents
+    /// and return empty lists.
+    pub fn on_kernel_boundary(&mut self) -> Vec<Vec<u64>> {
+        match self.policy {
+            CoherencePolicy::Software => self
+                .rdcs
+                .iter_mut()
+                .map(Rdc::kernel_boundary_flush)
+                .collect(),
+            CoherencePolicy::NoCoherence | CoherencePolicy::Hardware => {
+                vec![Vec::new(); self.rdcs.len()]
+            }
+        }
+    }
+
+    /// A write observed at `home` for `line_addr`, issued by `writer`.
+    /// Under hardware coherence the home IMST decides whether remote
+    /// caches must be invalidated; the returned list names the GPUs to
+    /// probe (every GPU except the writer).
+    pub fn on_home_write(&mut self, home: usize, line_addr: u64, writer: usize) -> Vec<usize> {
+        if self.policy != CoherencePolicy::Hardware {
+            return Vec::new();
+        }
+        // The IMST is trained in every mode (its two state bits are free
+        // metadata in the spare ECC space), keeping statistics comparable.
+        let decision: ImstDecision = self.imsts[home].on_access(line_addr, home == writer, true);
+        if let Some(dirs) = self.directories.as_mut() {
+            return dirs[home].on_write(line_addr, writer);
+        }
+        if decision.broadcast || self.broadcast_always {
+            (0..self.rdcs.len()).filter(|&g| g != writer).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A read observed at `home` for `line_addr` by `reader` (trains the
+    /// IMST under hardware coherence).
+    pub fn on_home_read(&mut self, home: usize, line_addr: u64, reader: usize) {
+        if self.policy == CoherencePolicy::Hardware {
+            self.imsts[home].on_access(line_addr, home == reader, false);
+            if reader != home {
+                if let Some(dirs) = self.directories.as_mut() {
+                    dirs[home].record_sharer(line_addr, reader);
+                }
+            }
+        }
+    }
+
+    /// Total write-invalidate broadcasts across all home nodes.
+    pub fn total_broadcasts(&self) -> u64 {
+        self.imsts.iter().map(Imst::broadcasts).sum()
+    }
+
+    /// Total *targeted* invalidate messages under directory mode.
+    pub fn total_directory_invalidates(&self) -> u64 {
+        self.directories
+            .as_ref()
+            .map(|d| d.iter().map(Directory::invalidates_sent).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn carve(policy: CoherencePolicy) -> Carve {
+        Carve::new(4, policy, RdcConfig::new(64 * 128, 128))
+    }
+
+    #[test]
+    fn swc_flushes_all_rdcs_at_boundary() {
+        let mut c = carve(CoherencePolicy::Software);
+        c.rdc_mut(0).insert(0x80);
+        c.rdc_mut(2).insert(0x100);
+        c.on_kernel_boundary();
+        assert!(!c.rdc_mut(0).probe(0x80));
+        assert!(!c.rdc_mut(2).probe(0x100));
+    }
+
+    #[test]
+    fn hwc_and_nc_retain_rdc_across_boundaries() {
+        for policy in [CoherencePolicy::Hardware, CoherencePolicy::NoCoherence] {
+            let mut c = carve(policy);
+            c.rdc_mut(1).insert(0x200);
+            c.on_kernel_boundary();
+            assert!(c.rdc_mut(1).probe(0x200), "{policy:?} must retain data");
+        }
+    }
+
+    #[test]
+    fn hwc_broadcasts_on_shared_write() {
+        let mut c = carve(CoherencePolicy::Hardware);
+        // GPU 2 reads a line homed at GPU 0: IMST learns read-shared.
+        c.on_home_read(0, 0x80, 2);
+        // GPU 0 then writes its own line: invalidate GPUs 1..3.
+        let targets = c.on_home_write(0, 0x80, 0);
+        assert_eq!(targets, vec![1, 2, 3]);
+        assert_eq!(c.total_broadcasts(), 1);
+    }
+
+    #[test]
+    fn hwc_private_writes_stay_silent() {
+        let mut c = carve(CoherencePolicy::Hardware);
+        c.on_home_read(0, 0x80, 0); // local read: private
+        assert!(c.on_home_write(0, 0x80, 0).is_empty());
+        assert_eq!(c.total_broadcasts(), 0);
+    }
+
+    #[test]
+    fn nc_and_swc_never_broadcast() {
+        for policy in [CoherencePolicy::NoCoherence, CoherencePolicy::Software] {
+            let mut c = carve(policy);
+            c.on_home_read(0, 0x80, 2);
+            assert!(c.on_home_write(0, 0x80, 1).is_empty(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn writer_excluded_from_broadcast() {
+        let mut c = carve(CoherencePolicy::Hardware);
+        c.on_home_read(1, 0x80, 3);
+        let targets = c.on_home_write(1, 0x80, 3);
+        assert_eq!(targets, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Directory-based hardware coherence (the paper's Section V-E).
+//!
+//! GPU-VI + IMST is directory-*less*: a write to a shared line invalidates
+//! every other node, which the paper notes "can incur significant network
+//! traffic overhead for large multi-node systems that experience frequent
+//! read-write sharing", pointing at directory-based schemes (CANDY, C3D)
+//! as the scalable alternative. This module provides that alternative: a
+//! per-home-node [`Directory`] tracking which GPUs actually hold a copy of
+//! each line, so write-invalidates go only to true sharers.
+//!
+//! The trade-off mirrors the literature: the directory eliminates
+//! broadcast fan-out (messages scale with sharers, not node count) but
+//! needs storage per tracked line and must be told about evictions to stay
+//! precise (untold evictions cost spurious invalidates, not correctness —
+//! invalidating an absent line is a no-op).
+
+use std::collections::HashMap;
+
+/// Sharer bitmask per line at one home node.
+#[derive(Debug, Default)]
+pub struct Directory {
+    sharers: HashMap<u64, u16>,
+    invalidates_sent: u64,
+    spurious_avoided: u64,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Records that `gpu` fetched a copy of `line_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu >= 16`.
+    pub fn record_sharer(&mut self, line_addr: u64, gpu: usize) {
+        assert!(gpu < 16, "directory tracks at most 16 nodes");
+        *self.sharers.entry(line_addr).or_default() |= 1 << gpu;
+    }
+
+    /// Records that `gpu` dropped its copy (eviction notification).
+    pub fn drop_sharer(&mut self, line_addr: u64, gpu: usize) {
+        if let Some(mask) = self.sharers.get_mut(&line_addr) {
+            *mask &= !(1 << gpu);
+            if *mask == 0 {
+                self.sharers.remove(&line_addr);
+            }
+        }
+    }
+
+    /// A write by `writer`: returns the exact set of other GPUs holding a
+    /// copy (to invalidate) and clears them from the directory.
+    pub fn on_write(&mut self, line_addr: u64, writer: usize) -> Vec<usize> {
+        let Some(mask) = self.sharers.get_mut(&line_addr) else {
+            self.spurious_avoided += 1;
+            return Vec::new();
+        };
+        let mut targets = Vec::new();
+        for g in 0..16 {
+            if g != writer && *mask & (1 << g) != 0 {
+                targets.push(g);
+            }
+        }
+        // Only the writer's copy (if any) survives.
+        *mask &= 1 << writer;
+        if *mask == 0 {
+            self.sharers.remove(&line_addr);
+        }
+        self.invalidates_sent += targets.len() as u64;
+        targets
+    }
+
+    /// Number of sharers currently recorded for a line.
+    pub fn sharer_count(&self, line_addr: u64) -> u32 {
+        self.sharers
+            .get(&line_addr)
+            .map(|m| m.count_ones())
+            .unwrap_or(0)
+    }
+
+    /// Lines with at least one recorded sharer (directory storage
+    /// pressure).
+    pub fn tracked_lines(&self) -> usize {
+        self.sharers.len()
+    }
+
+    /// Total targeted invalidates decided.
+    pub fn invalidates_sent(&self) -> u64 {
+        self.invalidates_sent
+    }
+
+    /// Writes that found no sharers at all (a broadcast scheme would have
+    /// invalidated `nodes - 1` caches for each of these).
+    pub fn spurious_avoided(&self) -> u64 {
+        self.spurious_avoided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidates_exactly_the_sharers() {
+        let mut d = Directory::new();
+        d.record_sharer(0x80, 1);
+        d.record_sharer(0x80, 3);
+        let targets = d.on_write(0x80, 0);
+        assert_eq!(targets, vec![1, 3]);
+        assert_eq!(d.invalidates_sent(), 2);
+        // Sharers cleared: a second write invalidates no one.
+        assert!(d.on_write(0x80, 0).is_empty());
+    }
+
+    #[test]
+    fn writer_keeps_its_own_copy() {
+        let mut d = Directory::new();
+        d.record_sharer(0x80, 2);
+        d.record_sharer(0x80, 1);
+        let targets = d.on_write(0x80, 2);
+        assert_eq!(targets, vec![1]);
+        assert_eq!(d.sharer_count(0x80), 1, "writer's copy survives");
+    }
+
+    #[test]
+    fn eviction_notification_prunes() {
+        let mut d = Directory::new();
+        d.record_sharer(0x80, 1);
+        d.drop_sharer(0x80, 1);
+        assert_eq!(d.tracked_lines(), 0);
+        assert!(d.on_write(0x80, 0).is_empty());
+        assert_eq!(d.spurious_avoided(), 1);
+    }
+
+    #[test]
+    fn unknown_lines_cost_nothing() {
+        let mut d = Directory::new();
+        assert!(d.on_write(0xDEAD, 0).is_empty());
+        assert_eq!(d.sharer_count(0xDEAD), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn sharer_bounds_checked() {
+        Directory::new().record_sharer(0, 16);
+    }
+}

@@ -1,0 +1,253 @@
+//! The In-Memory Sharing Tracker (Figure 12).
+//!
+//! GPU-VI broadcasts a write-invalidate to every remote cache on *every*
+//! store, which would swamp the inter-GPU links. The IMST is the paper's
+//! filter: a 2-bit state per 128-byte line, stored in the spare ECC bits at
+//! the line's *home node*, tracking the line's global sharing behaviour
+//! beyond cache residency — `Uncached → Private → Read-Shared →
+//! Read-Write-Shared`. Only writes to lines in the shared states broadcast
+//! invalidates; private lines (the overwhelming majority at 128 B
+//! granularity, per Figure 4) stay silent.
+//!
+//! Because the IMST is sticky, a line could stay read-write-shared forever;
+//! the paper probabilistically (1%) downgrades to private on local writes
+//! (after broadcasting) so phase changes are eventually re-learned.
+
+use std::collections::HashMap;
+
+use sim_core::rng::Stream;
+
+/// Global sharing state of a cache line (2 bits at the home node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharingState {
+    /// Never accessed (or downgraded and not yet re-accessed).
+    #[default]
+    Uncached,
+    /// Accessed only by the home GPU.
+    Private,
+    /// Read by at least one remote GPU, never written while shared.
+    ReadShared,
+    /// Read-write shared: remote copies may exist and writes occur.
+    ReadWriteShared,
+}
+
+/// The decision the home memory controller takes on an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImstDecision {
+    /// Whether a write-invalidate must be broadcast to remote caches.
+    pub broadcast: bool,
+    /// The state after the access.
+    pub state: SharingState,
+}
+
+/// Per-home-node sharing tracker.
+///
+/// Modelled as a map because the simulator tracks only touched lines; in
+/// hardware the two state bits live in each line's spare ECC bits, so the
+/// structure costs no dedicated storage.
+#[derive(Debug)]
+pub struct Imst {
+    states: HashMap<u64, SharingState>,
+    downgrade_prob: f64,
+    rng: Stream,
+    broadcasts: u64,
+    downgrades: u64,
+}
+
+impl Imst {
+    /// Creates a tracker with the paper's 1% probabilistic downgrade.
+    pub fn new(seed: u64) -> Imst {
+        Imst::with_downgrade(seed, 0.01)
+    }
+
+    /// Creates a tracker with an explicit downgrade probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downgrade_prob` is outside `[0, 1]`.
+    pub fn with_downgrade(seed: u64, downgrade_prob: f64) -> Imst {
+        assert!((0.0..=1.0).contains(&downgrade_prob));
+        Imst {
+            states: HashMap::new(),
+            downgrade_prob,
+            rng: Stream::from_parts(&[0x1357, seed]),
+            broadcasts: 0,
+            downgrades: 0,
+        }
+    }
+
+    /// Applies one access at the home node. `local` is true when the
+    /// accessor is the home GPU itself.
+    pub fn on_access(&mut self, line_addr: u64, local: bool, is_write: bool) -> ImstDecision {
+        let state = self.states.entry(line_addr).or_default();
+        let before = *state;
+        // A write to a (potentially) remotely cached line must invalidate.
+        let broadcast = is_write
+            && matches!(
+                before,
+                SharingState::ReadShared | SharingState::ReadWriteShared
+            );
+        let after = match (before, local, is_write) {
+            // First touches.
+            (SharingState::Uncached, true, _) => SharingState::Private,
+            (SharingState::Uncached, false, false) => SharingState::ReadShared,
+            (SharingState::Uncached, false, true) => SharingState::ReadWriteShared,
+            // Private lines escalate on remote access.
+            (SharingState::Private, true, _) => SharingState::Private,
+            (SharingState::Private, false, false) => SharingState::ReadShared,
+            (SharingState::Private, false, true) => SharingState::ReadWriteShared,
+            // Shared lines escalate on any write.
+            (SharingState::ReadShared, _, false) => SharingState::ReadShared,
+            (SharingState::ReadShared, _, true) => SharingState::ReadWriteShared,
+            (SharingState::ReadWriteShared, _, _) => SharingState::ReadWriteShared,
+        };
+        let mut final_state = after;
+        if broadcast {
+            self.broadcasts += 1;
+            // Probabilistic re-privatization on local writes, after the
+            // invalidate has cleared remote copies.
+            if local && self.rng.gen_bool(self.downgrade_prob) {
+                final_state = SharingState::Private;
+                self.downgrades += 1;
+            }
+        }
+        *state = final_state;
+        ImstDecision {
+            broadcast,
+            state: final_state,
+        }
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, line_addr: u64) -> SharingState {
+        self.states.get(&line_addr).copied().unwrap_or_default()
+    }
+
+    /// Total write-invalidate broadcasts decided.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Total probabilistic downgrades to private.
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    /// Number of lines in each state `(uncached-is-absent, private,
+    /// read-shared, rw-shared)`.
+    pub fn state_counts(&self) -> (u64, u64, u64) {
+        let mut p = 0;
+        let mut rs = 0;
+        let mut rw = 0;
+        for s in self.states.values() {
+            match s {
+                SharingState::Uncached => {}
+                SharingState::Private => p += 1,
+                SharingState::ReadShared => rs += 1,
+                SharingState::ReadWriteShared => rw += 1,
+            }
+        }
+        (p, rs, rw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_only_stays_private_and_silent() {
+        let mut imst = Imst::new(0);
+        for _ in 0..100 {
+            let d = imst.on_access(0x80, true, true);
+            assert!(!d.broadcast);
+            assert_eq!(d.state, SharingState::Private);
+        }
+        assert_eq!(imst.broadcasts(), 0);
+    }
+
+    #[test]
+    fn remote_read_makes_read_shared() {
+        let mut imst = Imst::new(0);
+        imst.on_access(0x80, true, false);
+        let d = imst.on_access(0x80, false, false);
+        assert_eq!(d.state, SharingState::ReadShared);
+        assert!(!d.broadcast, "reads never broadcast");
+    }
+
+    #[test]
+    fn write_to_read_shared_broadcasts() {
+        let mut imst = Imst::new(0);
+        imst.on_access(0x80, false, false); // remote read
+        let d = imst.on_access(0x80, true, true); // home write
+        assert!(d.broadcast);
+        assert!(matches!(
+            d.state,
+            SharingState::ReadWriteShared | SharingState::Private
+        ));
+    }
+
+    #[test]
+    fn remote_write_to_private_escalates_without_broadcast() {
+        // No remote copies can exist while private, so no invalidate is
+        // needed; the state still escalates.
+        let mut imst = Imst::new(0);
+        imst.on_access(0x80, true, false);
+        let d = imst.on_access(0x80, false, true);
+        assert!(!d.broadcast);
+        assert_eq!(d.state, SharingState::ReadWriteShared);
+    }
+
+    #[test]
+    fn rw_shared_writes_keep_broadcasting() {
+        let mut imst = Imst::with_downgrade(0, 0.0);
+        imst.on_access(0x80, false, false);
+        imst.on_access(0x80, true, true);
+        let d = imst.on_access(0x80, false, true);
+        assert!(d.broadcast);
+        assert_eq!(imst.broadcasts(), 2);
+    }
+
+    #[test]
+    fn downgrade_eventually_reprivatizes() {
+        let mut imst = Imst::with_downgrade(7, 0.5);
+        imst.on_access(0x80, false, false); // shared
+        let mut downgraded = false;
+        for _ in 0..64 {
+            let d = imst.on_access(0x80, true, true);
+            if d.state == SharingState::Private {
+                downgraded = true;
+                break;
+            }
+            // Re-share so the next write still broadcasts.
+            imst.on_access(0x80, false, false);
+        }
+        assert!(downgraded, "50% downgrade never fired in 64 tries");
+        assert!(imst.downgrades() >= 1);
+    }
+
+    #[test]
+    fn zero_downgrade_probability_is_sticky() {
+        let mut imst = Imst::with_downgrade(0, 0.0);
+        imst.on_access(0x80, false, false);
+        for _ in 0..100 {
+            imst.on_access(0x80, true, true);
+        }
+        assert_eq!(imst.state(0x80), SharingState::ReadWriteShared);
+        assert_eq!(imst.downgrades(), 0);
+    }
+
+    #[test]
+    fn state_counts_tally() {
+        let mut imst = Imst::new(0);
+        imst.on_access(0x0, true, false); // private
+        imst.on_access(0x80, false, false); // read-shared
+        imst.on_access(0x100, false, false);
+        imst.on_access(0x100, true, true); // rw-shared (broadcast)
+        let (p, rs, rw) = imst.state_counts();
+        assert_eq!(p, 1);
+        assert!(rs == 1 || rs == 2, "downgrade may re-privatize");
+        assert!(rw <= 1);
+        let _ = rw;
+    }
+}

@@ -1,0 +1,54 @@
+//! CARVE — Caching Remote Data in Video Memory (the paper's contribution).
+//!
+//! CARVE statically carves a small fraction (the paper evaluates 1.5–12.5%)
+//! of each GPU's HBM into a hardware-managed **Remote Data Cache (RDC)**
+//! that stores recently accessed *remote* data at 128-byte granularity. GPU
+//! memory becomes a hybrid: mostly OS-visible memory, plus a giga-scale
+//! DRAM cache invisible to software. Because only remote data is cached
+//! (local data has no latency/bandwidth benefit from duplication), nearly
+//! every former inter-GPU access is served at local HBM bandwidth.
+//!
+//! The crate provides the three pieces the paper's Sections IV and V
+//! evaluate:
+//!
+//! * [`rdc`] — the Alloy-style RDC with epoch-counter instant invalidation
+//!   and write-through (or ablation write-back) policy,
+//! * [`imst`] — the 2-bit In-Memory Sharing Tracker that filters GPU-VI
+//!   write-invalidate broadcasts down to genuinely read-write-shared lines,
+//! * [`coherence`] — the three coherence designs compared in Figure 11:
+//!   `NoCoherence` (upper bound), `Software` (epoch flush at kernel
+//!   boundaries) and `Hardware` (GPU-VI + IMST),
+//! * [`swc`] — the analytic kernel-launch-delay model behind Table IV,
+//! * [`predictor`] — the optional RDC hit predictor that mitigates the
+//!   RandAccess-style probe-latency pathology.
+//!
+//! # Example
+//!
+//! ```
+//! use carve::{Carve, CoherencePolicy, RdcConfig};
+//!
+//! let mut carve = Carve::new(4, CoherencePolicy::Hardware, RdcConfig::new(2 << 20, 128));
+//! // GPU 0 misses on a remote line, fetches it, and inserts it.
+//! assert!(!carve.rdc_mut(0).probe(0x8000));
+//! carve.rdc_mut(0).insert(0x8000);
+//! assert!(carve.rdc_mut(0).probe(0x8000));
+//! // A write at the home node to a read-shared line must broadcast.
+//! carve.imst_mut(1).on_access(0x8000, false, false); // remote read seen
+//! assert!(carve.imst_mut(1).on_access(0x8000, true, true).broadcast);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coherence;
+pub mod directory;
+pub mod imst;
+pub mod predictor;
+pub mod rdc;
+pub mod swc;
+
+pub use coherence::{Carve, CoherencePolicy};
+pub use directory::Directory;
+pub use imst::{Imst, ImstDecision, SharingState};
+pub use predictor::HitPredictor;
+pub use rdc::{Rdc, RdcConfig, RdcStats, WritePolicy};
+pub use swc::{coherence_delay_model, CoherenceDelays};

@@ -1,0 +1,309 @@
+//! The Remote Data Cache.
+
+use carve_cache::alloy::{AlloyCache, AlloyProbe, EPOCH_MAX};
+
+/// Write policy of the RDC.
+///
+/// The paper evaluates both and adopts write-through: it performs within 1%
+/// of write-back (remote data cached at line granularity is heavily
+/// read-biased) and makes the kernel-boundary dirty flush free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Stores update the RDC copy and always propagate to the home node.
+    #[default]
+    WriteThrough,
+    /// Stores dirty the RDC copy; a dirty-map flush writes them back at
+    /// kernel boundaries (ablation variant).
+    WriteBack,
+}
+
+/// RDC geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdcConfig {
+    /// Carve-out capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes (128 in the paper).
+    pub line_size: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl RdcConfig {
+    /// Creates a write-through RDC config.
+    pub fn new(capacity_bytes: u64, line_size: u64) -> RdcConfig {
+        RdcConfig {
+            capacity_bytes,
+            line_size,
+            write_policy: WritePolicy::WriteThrough,
+        }
+    }
+}
+
+/// RDC activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RdcStats {
+    /// Probes that hit.
+    pub hits: u64,
+    /// Probes that missed (tag mismatch or empty).
+    pub misses: u64,
+    /// Probes that missed on a stale epoch (software-coherence flushes).
+    pub stale_misses: u64,
+    /// Lines inserted.
+    pub insertions: u64,
+    /// Store updates applied to resident lines.
+    pub store_updates: u64,
+    /// Invalidation probes that dropped a line.
+    pub invalidations: u64,
+    /// Epoch bumps (instant whole-cache invalidations).
+    pub epoch_bumps: u64,
+    /// Physical resets on epoch rollover.
+    pub rollover_resets: u64,
+}
+
+impl RdcStats {
+    /// Hit rate over all probes.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One GPU's Remote Data Cache.
+///
+/// A thin policy layer over the Alloy tags-with-data array: it owns the
+/// 20-bit epoch counter (EPCTR) and implements the paper's instant
+/// invalidation — bumping the epoch makes every resident line stale with
+/// zero memory traffic; a physical reset only happens on the (rare)
+/// counter rollover.
+#[derive(Debug)]
+pub struct Rdc {
+    array: AlloyCache,
+    epoch: u32,
+    cfg: RdcConfig,
+    stats: RdcStats,
+}
+
+impl Rdc {
+    /// Creates the RDC described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds no lines.
+    pub fn new(cfg: RdcConfig) -> Rdc {
+        Rdc {
+            array: AlloyCache::new(cfg.capacity_bytes, cfg.line_size),
+            epoch: 0,
+            cfg,
+            stats: RdcStats::default(),
+        }
+    }
+
+    /// Probes for `line_addr` under the current epoch. One probe models one
+    /// local DRAM access (tags travel with data in the spare ECC bits).
+    pub fn probe(&mut self, line_addr: u64) -> bool {
+        match self.array.probe(line_addr, self.epoch) {
+            AlloyProbe::Hit => {
+                self.stats.hits += 1;
+                true
+            }
+            AlloyProbe::Miss => {
+                self.stats.misses += 1;
+                false
+            }
+            AlloyProbe::StaleEpoch => {
+                self.stats.stale_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Whether `line_addr` is resident (no statistics side effects).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.array.contains(line_addr, self.epoch)
+    }
+
+    /// Inserts `line_addr` (remote fetch completed). Returns the address of
+    /// a dirty victim needing write-back under [`WritePolicy::WriteBack`].
+    pub fn insert(&mut self, line_addr: u64) -> Option<u64> {
+        self.stats.insertions += 1;
+        self.array.insert(line_addr, self.epoch)
+    }
+
+    /// Applies a store to `line_addr`. Under write-through the resident
+    /// copy is refreshed (stays clean); under write-back it is dirtied.
+    /// Returns whether a resident copy was updated (i.e. the store consumed
+    /// local DRAM write bandwidth).
+    pub fn store(&mut self, line_addr: u64) -> bool {
+        let resident = self.array.contains(line_addr, self.epoch);
+        if resident {
+            self.stats.store_updates += 1;
+            if self.cfg.write_policy == WritePolicy::WriteBack {
+                self.array.mark_dirty(line_addr, self.epoch);
+            }
+        }
+        resident
+    }
+
+    /// Hardware-coherence write-invalidate probe. Returns whether a line
+    /// was dropped.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let dropped = self.array.invalidate(line_addr);
+        if dropped {
+            self.stats.invalidations += 1;
+        }
+        dropped
+    }
+
+    /// Software-coherence kernel-boundary invalidation: bump the epoch
+    /// (instant, zero traffic). Under [`WritePolicy::WriteBack`] the dirty
+    /// lines that must first be flushed are returned (the dirty-map walk);
+    /// under write-through the flush is free and the list empty.
+    pub fn kernel_boundary_flush(&mut self) -> Vec<u64> {
+        let dirty = if self.cfg.write_policy == WritePolicy::WriteBack {
+            self.array.drain_dirty(self.epoch)
+        } else {
+            Vec::new()
+        };
+        self.stats.epoch_bumps += 1;
+        if self.epoch >= EPOCH_MAX {
+            self.array.reset();
+            self.epoch = 0;
+            self.stats.rollover_resets += 1;
+        } else {
+            self.epoch += 1;
+        }
+        dirty
+    }
+
+    /// The DRAM address inside the carve-out backing `line_addr`'s set,
+    /// relative to the carve-out base. RDC sets are interleaved across all
+    /// memory channels like any other address, so probes/fills spread over
+    /// the full local HBM bandwidth.
+    pub fn backing_offset(&self, line_addr: u64) -> u64 {
+        let set = (line_addr / self.cfg.line_size) % self.array.sets();
+        set * self.cfg.line_size
+    }
+
+    /// Current epoch value.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> RdcStats {
+        self.stats
+    }
+
+    /// Configured geometry.
+    pub fn config(&self) -> RdcConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rdc() -> Rdc {
+        Rdc::new(RdcConfig::new(64 * 128, 128))
+    }
+
+    #[test]
+    fn probe_insert_probe() {
+        let mut r = rdc();
+        assert!(!r.probe(0x8000));
+        r.insert(0x8000);
+        assert!(r.probe(0x8000));
+        assert_eq!(r.stats().hits, 1);
+        assert_eq!(r.stats().misses, 1);
+    }
+
+    #[test]
+    fn kernel_flush_invalidates_instantly() {
+        let mut r = rdc();
+        r.insert(0x100);
+        assert!(r.probe(0x100));
+        let dirty = r.kernel_boundary_flush();
+        assert!(dirty.is_empty(), "write-through flush is free");
+        assert!(!r.probe(0x100));
+        assert_eq!(r.stats().stale_misses, 1);
+        assert_eq!(r.epoch(), 1);
+    }
+
+    #[test]
+    fn writeback_flush_returns_dirty_lines() {
+        let mut r = Rdc::new(RdcConfig {
+            capacity_bytes: 64 * 128,
+            line_size: 128,
+            write_policy: WritePolicy::WriteBack,
+        });
+        r.insert(0x100);
+        r.insert(0x200);
+        assert!(r.store(0x100));
+        let dirty = r.kernel_boundary_flush();
+        assert_eq!(dirty, vec![0x100]);
+    }
+
+    #[test]
+    fn write_through_store_updates_resident_only() {
+        let mut r = rdc();
+        assert!(!r.store(0x300), "no resident copy to update");
+        r.insert(0x300);
+        assert!(r.store(0x300));
+        assert_eq!(r.stats().store_updates, 1);
+        // Write-through never leaves dirt behind.
+        assert!(r.kernel_boundary_flush().is_empty());
+    }
+
+    #[test]
+    fn invalidate_probe() {
+        let mut r = rdc();
+        r.insert(0x80);
+        assert!(r.invalidate(0x80));
+        assert!(!r.invalidate(0x80));
+        assert!(!r.probe(0x80));
+        assert_eq!(r.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn reinsert_after_flush_revives() {
+        let mut r = rdc();
+        r.insert(0x80);
+        r.kernel_boundary_flush();
+        r.insert(0x80);
+        assert!(r.probe(0x80));
+    }
+
+    #[test]
+    fn backing_offset_stays_in_carve_out() {
+        let r = rdc();
+        for addr in [0u64, 0x80, 64 * 128, 1 << 30] {
+            let off = r.backing_offset(addr);
+            assert!(off < r.config().capacity_bytes);
+            assert_eq!(off % 128, 0);
+        }
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_counted_by_alloy() {
+        let mut r = rdc();
+        let stride = 64 * 128u64;
+        r.insert(0);
+        r.insert(stride); // same set
+        assert!(!r.probe(0));
+        assert!(r.probe(stride));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut r = rdc();
+        r.insert(0x80);
+        r.probe(0x80);
+        r.probe(0x10000);
+        assert!((r.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

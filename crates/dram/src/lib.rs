@@ -1,0 +1,636 @@
+//! HBM-style DRAM model for the `carve-mgpu` simulator.
+//!
+//! Models the paper's per-GPU memory system (Section III): multiple
+//! channels, 16 banks per channel with open-page row buffers, 128-entry
+//! read/write queues per channel, FR-FCFS scheduling that prioritizes reads,
+//! batched write drains triggered by a high-watermark, and a line-interleaved
+//! ("minimalist"-style) address mapping that spreads consecutive cache lines
+//! across channels.
+//!
+//! Two models are provided:
+//!
+//! * [`DramModel`] — the detailed channel/bank/row timing model used by all
+//!   headline experiments.
+//! * [`FlatMemory`] — a flat bandwidth-latency alternative used by the
+//!   memory-model ablation bench (and by anyone who wants a faster, less
+//!   detailed simulation).
+//!
+//! # Example
+//!
+//! ```
+//! use carve_dram::{DramConfig, DramModel};
+//! use sim_core::Cycle;
+//!
+//! let mut dram = DramModel::new(DramConfig::default());
+//! dram.try_enqueue_read(1, 0x1000, Cycle(0)).unwrap();
+//! let mut done = Vec::new();
+//! for c in 0..10_000u64 {
+//!     done.extend(dram.tick(Cycle(c)));
+//!     if !done.is_empty() { break; }
+//! }
+//! assert_eq!(done[0].token, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use sim_core::{BoundedQueue, Cycle, ScaledConfig};
+
+/// Geometry and timing of one GPU's DRAM subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Data-bus bandwidth per channel in bytes/cycle.
+    pub bytes_per_cycle: f64,
+    /// Row activate latency (tRCD).
+    pub t_rcd: u64,
+    /// Precharge latency (tRP).
+    pub t_rp: u64,
+    /// Column access latency (tCL).
+    pub t_cl: u64,
+    /// Fixed controller/PHY pipeline latency added to every access.
+    pub fixed_latency: u64,
+    /// Read and write queue depth per channel.
+    pub queue_depth: usize,
+    /// Write-queue occupancy that starts a drain batch.
+    pub drain_high: usize,
+    /// Write-queue occupancy that ends a drain batch.
+    pub drain_low: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: u64,
+    /// Cache line (transfer) size in bytes.
+    pub line_size: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> DramConfig {
+        DramConfig::from_scaled(&ScaledConfig::default())
+    }
+}
+
+impl DramConfig {
+    /// Extracts the DRAM parameters from a system configuration.
+    pub fn from_scaled(cfg: &ScaledConfig) -> DramConfig {
+        DramConfig {
+            channels: cfg.dram_channels,
+            banks_per_channel: cfg.dram_banks_per_channel,
+            bytes_per_cycle: cfg.dram_channel_bytes_per_cycle,
+            t_rcd: cfg.dram_t_rcd,
+            t_rp: cfg.dram_t_rp,
+            t_cl: cfg.dram_t_cl,
+            fixed_latency: cfg.dram_fixed_latency,
+            queue_depth: cfg.dram_queue_depth,
+            drain_high: cfg.dram_write_drain_high,
+            drain_low: cfg.dram_write_drain_low,
+            row_bytes: cfg.dram_row_bytes,
+            line_size: cfg.line_size,
+        }
+    }
+
+    /// Aggregate bandwidth across channels in bytes/cycle.
+    pub fn total_bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle * self.channels as f64
+    }
+}
+
+/// A finished DRAM access, reported by [`DramModel::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-supplied token identifying the request.
+    pub token: u64,
+    /// Cycle at which data is available (read) or committed (write).
+    pub at: Cycle,
+    /// Whether this was a write.
+    pub is_write: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DramRequest {
+    token: u64,
+    addr: u64,
+    arrival: Cycle,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    read_q: BoundedQueue<DramRequest>,
+    write_q: BoundedQueue<DramRequest>,
+    in_service: Vec<(Completion, u64)>, // (completion, finish cycle)
+    bus_free_at: f64,
+    draining: bool,
+}
+
+/// Per-GPU DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Reads serviced.
+    pub reads: u64,
+    /// Writes serviced.
+    pub writes: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that needed activate (and possibly precharge).
+    pub row_misses: u64,
+    /// Total bytes moved over the data buses.
+    pub bytes_transferred: u64,
+    /// Enqueue attempts rejected because a queue was full.
+    pub queue_rejections: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate over all serviced accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Detailed multi-channel DRAM timing model.
+#[derive(Debug)]
+pub struct DramModel {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates the DRAM subsystem described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (no channels/banks, zero
+    /// bandwidth, or drain watermarks out of order).
+    pub fn new(cfg: DramConfig) -> DramModel {
+        assert!(cfg.channels > 0 && cfg.banks_per_channel > 0);
+        assert!(cfg.bytes_per_cycle > 0.0);
+        assert!(cfg.drain_low < cfg.drain_high && cfg.drain_high <= cfg.queue_depth);
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                banks: vec![Bank::default(); cfg.banks_per_channel],
+                read_q: BoundedQueue::new(cfg.queue_depth),
+                write_q: BoundedQueue::new(cfg.queue_depth),
+                in_service: Vec::new(),
+                bus_free_at: 0.0,
+                draining: false,
+            })
+            .collect();
+        DramModel {
+            cfg,
+            channels,
+            stats: DramStats::default(),
+        }
+    }
+
+    #[inline]
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_size) % self.cfg.channels as u64) as usize
+    }
+
+    /// Enqueues a read. On a full queue the request is rejected and the
+    /// caller must retry (back-pressure).
+    pub fn try_enqueue_read(&mut self, token: u64, addr: u64, now: Cycle) -> Result<(), u64> {
+        let ch = self.channel_of(addr);
+        let req = DramRequest {
+            token,
+            addr,
+            arrival: now,
+        };
+        match self.channels[ch].read_q.try_push(req) {
+            Ok(()) => Ok(()),
+            Err(r) => {
+                self.stats.queue_rejections += 1;
+                Err(r.token)
+            }
+        }
+    }
+
+    /// Enqueues a write (posted; the completion is for stats/ordering).
+    pub fn try_enqueue_write(&mut self, token: u64, addr: u64, now: Cycle) -> Result<(), u64> {
+        let ch = self.channel_of(addr);
+        let req = DramRequest {
+            token,
+            addr,
+            arrival: now,
+        };
+        match self.channels[ch].write_q.try_push(req) {
+            Ok(()) => Ok(()),
+            Err(r) => {
+                self.stats.queue_rejections += 1;
+                Err(r.token)
+            }
+        }
+    }
+
+    /// Whether the read queue owning `addr` has space.
+    pub fn can_accept_read(&self, addr: u64) -> bool {
+        !self.channels[self.channel_of(addr)].read_q.is_full()
+    }
+
+    /// Whether the write queue owning `addr` has space.
+    pub fn can_accept_write(&self, addr: u64) -> bool {
+        !self.channels[self.channel_of(addr)].write_q.is_full()
+    }
+
+    /// Advances every channel one cycle and returns completions due at or
+    /// before `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let cfg = self.cfg.clone();
+        let banks_per_channel = cfg.banks_per_channel;
+        for ch in &mut self.channels {
+            // 1. Deliver finished accesses.
+            let mut i = 0;
+            while i < ch.in_service.len() {
+                if ch.in_service[i].1 <= now.0 {
+                    done.push(ch.in_service.swap_remove(i).0);
+                } else {
+                    i += 1;
+                }
+            }
+            // 2. Write-drain hysteresis.
+            if ch.write_q.len() >= cfg.drain_high {
+                ch.draining = true;
+            } else if ch.write_q.len() <= cfg.drain_low {
+                ch.draining = false;
+            }
+            // 3. Issue while the data bus has room this cycle.
+            while ch.bus_free_at <= now.0 as f64 + 1.0 {
+                // FR-FCFS with read priority: prefer row-hit reads, then
+                // oldest read; during a drain (or when no reads) serve
+                // writes the same way.
+                let serve_writes = ch.draining || ch.read_q.is_empty();
+                let (queue, is_write) = if serve_writes && !ch.write_q.is_empty() {
+                    (&mut ch.write_q, true)
+                } else if !ch.read_q.is_empty() {
+                    (&mut ch.read_q, false)
+                } else {
+                    break;
+                };
+                // Find a row-hit request on a ready bank; else oldest on a
+                // ready bank; else give up this cycle.
+                let pick = {
+                    let banks = &ch.banks;
+                    let line = cfg.line_size;
+                    let row_bytes = cfg.row_bytes;
+                    let chn = cfg.channels as u64;
+                    let nb = banks_per_channel as u64;
+                    let classify = |addr: u64| {
+                        let cl = (addr / line) / chn;
+                        let lpr = (row_bytes / line).max(1);
+                        let rl = cl / lpr;
+                        ((rl % nb) as usize, rl / nb)
+                    };
+                    let mut hit_idx: Option<usize> = None;
+                    let mut ready_idx: Option<usize> = None;
+                    for (i, req) in queue.iter().enumerate() {
+                        let (b, row) = classify(req.addr);
+                        if banks[b].ready_at <= now.0 {
+                            if banks[b].open_row == Some(row) {
+                                hit_idx = Some(i);
+                                break;
+                            }
+                            if ready_idx.is_none() {
+                                ready_idx = Some(i);
+                            }
+                        }
+                    }
+                    hit_idx.or(ready_idx)
+                };
+                let Some(idx) = pick else { break };
+                let mut taken = 0usize;
+                let req = queue
+                    .pop_first_matching(|_| {
+                        let found = taken == idx;
+                        taken += 1;
+                        found
+                    })
+                    .expect("picked index must exist");
+                // Timing.
+                let (bank_idx, row) = {
+                    let cl = (req.addr / cfg.line_size) / cfg.channels as u64;
+                    let lpr = (cfg.row_bytes / cfg.line_size).max(1);
+                    let rl = cl / lpr;
+                    (
+                        (rl % banks_per_channel as u64) as usize,
+                        rl / banks_per_channel as u64,
+                    )
+                };
+                let bank = &mut ch.banks[bank_idx];
+                let start = (now.0 as f64).max(ch.bus_free_at).max(bank.ready_at as f64);
+                let access_lat = match bank.open_row {
+                    Some(r) if r == row => {
+                        self.stats.row_hits += 1;
+                        cfg.t_cl
+                    }
+                    Some(_) => {
+                        self.stats.row_misses += 1;
+                        cfg.t_rp + cfg.t_rcd + cfg.t_cl
+                    }
+                    None => {
+                        self.stats.row_misses += 1;
+                        cfg.t_rcd + cfg.t_cl
+                    }
+                };
+                let burst = cfg.line_size as f64 / cfg.bytes_per_cycle;
+                // The bank is occupied for the DRAM timing only; the fixed
+                // controller/PHY pipeline latency delays the *completion*
+                // without blocking the bank.
+                let bank_ready = start + access_lat as f64 + burst;
+                let finish = bank_ready + cfg.fixed_latency as f64;
+                bank.open_row = Some(row);
+                bank.ready_at = bank_ready as u64;
+                ch.bus_free_at = start + burst;
+                self.stats.bytes_transferred += cfg.line_size;
+                if is_write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                ch.in_service.push((
+                    Completion {
+                        token: req.token,
+                        at: Cycle(finish.ceil() as u64),
+                        is_write,
+                    },
+                    finish.ceil() as u64,
+                ));
+                let _ = req.arrival; // latency accounting happens at the caller
+            }
+        }
+        done
+    }
+
+    /// Whether any queue or bank still has work in flight.
+    pub fn is_idle(&self) -> bool {
+        self.channels
+            .iter()
+            .all(|c| c.read_q.is_empty() && c.write_q.is_empty() && c.in_service.is_empty())
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+}
+
+/// Flat bandwidth-latency memory model (ablation alternative).
+///
+/// Every access completes after `latency` plus queueing delay imposed by an
+/// aggregate bytes/cycle budget. No banks, rows or scheduling.
+#[derive(Debug)]
+pub struct FlatMemory {
+    latency: u64,
+    bytes_per_cycle: f64,
+    line_size: u64,
+    next_slot: f64,
+    in_service: Vec<(Completion, u64)>,
+    stats: DramStats,
+}
+
+impl FlatMemory {
+    /// Creates a flat model with fixed `latency` and aggregate bandwidth.
+    pub fn new(latency: u64, bytes_per_cycle: f64, line_size: u64) -> FlatMemory {
+        assert!(bytes_per_cycle > 0.0 && line_size > 0);
+        FlatMemory {
+            latency,
+            bytes_per_cycle,
+            line_size,
+            next_slot: 0.0,
+            in_service: Vec::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Enqueues an access; flat model never rejects.
+    pub fn enqueue(&mut self, token: u64, is_write: bool, now: Cycle) {
+        let start = (now.0 as f64).max(self.next_slot);
+        let burst = self.line_size as f64 / self.bytes_per_cycle;
+        self.next_slot = start + burst;
+        let finish = (start + self.latency as f64 + burst).ceil() as u64;
+        self.stats.bytes_transferred += self.line_size;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.in_service.push((
+            Completion {
+                token,
+                at: Cycle(finish),
+                is_write,
+            },
+            finish,
+        ));
+    }
+
+    /// Returns completions due at or before `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].1 <= now.0 {
+                done.push(self.in_service.swap_remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_service.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DramConfig {
+        DramConfig {
+            channels: 2,
+            banks_per_channel: 4,
+            bytes_per_cycle: 16.0,
+            t_rcd: 14,
+            t_rp: 14,
+            t_cl: 14,
+            fixed_latency: 0,
+            queue_depth: 8,
+            drain_high: 6,
+            drain_low: 2,
+            row_bytes: 2048,
+            line_size: 128,
+        }
+    }
+
+    fn run_until_done(dram: &mut DramModel, limit: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for c in 0..limit {
+            out.extend(dram.tick(Cycle(c)));
+            if dram.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_activate_latency() {
+        let mut dram = DramModel::new(small_cfg());
+        dram.try_enqueue_read(7, 0, Cycle(0)).unwrap();
+        let done = run_until_done(&mut dram, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].token, 7);
+        assert!(!done[0].is_write);
+        // tRCD + tCL + burst(128/16=8) = 36
+        assert_eq!(done[0].at, Cycle(36));
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let cfg = small_cfg();
+        let mut dram = DramModel::new(cfg.clone());
+        // Two lines in the same row (consecutive lines on channel 0:
+        // addresses 0 and 256 with 2 channels).
+        dram.try_enqueue_read(1, 0, Cycle(0)).unwrap();
+        dram.try_enqueue_read(2, 256, Cycle(0)).unwrap();
+        let done = run_until_done(&mut dram, 1000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(dram.stats().row_hits, 1);
+        assert_eq!(dram.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_lines() {
+        let dram = DramModel::new(small_cfg());
+        assert_ne!(dram.channel_of(0), dram.channel_of(128));
+        assert_eq!(dram.channel_of(0), dram.channel_of(256));
+    }
+
+    #[test]
+    fn queue_depth_is_enforced() {
+        let mut dram = DramModel::new(small_cfg());
+        for i in 0..8 {
+            // all map to channel 0
+            dram.try_enqueue_read(i, i * 256, Cycle(0)).unwrap();
+        }
+        assert!(dram.try_enqueue_read(99, 9 * 256, Cycle(0)).is_err());
+        assert!(dram.can_accept_read(128)); // other channel still open
+        assert_eq!(dram.stats().queue_rejections, 1);
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_until_drain() {
+        let mut dram = DramModel::new(small_cfg());
+        for i in 0..4 {
+            dram.try_enqueue_write(100 + i, i * 256, Cycle(0)).unwrap();
+        }
+        dram.try_enqueue_read(1, 0x10000, Cycle(0)).unwrap();
+        let done = run_until_done(&mut dram, 5000);
+        let first_read_pos = done.iter().position(|c| !c.is_write).unwrap();
+        // The read finishes before at least the later writes despite
+        // arriving last (write queue below drain_high, reads priority).
+        assert!(first_read_pos < done.len() - 1);
+        assert_eq!(done.len(), 5);
+    }
+
+    #[test]
+    fn write_drain_kicks_in_at_high_watermark() {
+        let mut dram = DramModel::new(small_cfg());
+        for i in 0..6 {
+            dram.try_enqueue_write(i, i * 256, Cycle(0)).unwrap();
+        }
+        let done = run_until_done(&mut dram, 5000);
+        assert_eq!(done.len(), 6);
+        assert_eq!(dram.stats().writes, 6);
+    }
+
+    #[test]
+    fn bandwidth_bounds_throughput() {
+        let cfg = small_cfg(); // 2ch x 16 B/cyc = 32 B/cyc aggregate
+        let mut dram = DramModel::new(cfg);
+        // Saturate: 64 sequential lines.
+        let mut issued = 0u64;
+        let mut completed = 0usize;
+        let mut last = 0u64;
+        for c in 0..100_000u64 {
+            while issued < 64 {
+                if dram
+                    .try_enqueue_read(issued, issued * 128, Cycle(c))
+                    .is_ok()
+                {
+                    issued += 1;
+                } else {
+                    break;
+                }
+            }
+            let done = dram.tick(Cycle(c));
+            completed += done.len();
+            if completed == 64 {
+                last = c;
+                break;
+            }
+        }
+        assert_eq!(completed, 64);
+        // 64 lines * 128B = 8KB at 32 B/cyc = 256 cycles minimum.
+        assert!(last >= 256, "finished unrealistically fast: {last}");
+        assert!(last < 1000, "took unreasonably long: {last}");
+    }
+
+    #[test]
+    fn flat_memory_latency_and_order() {
+        let mut m = FlatMemory::new(100, 16.0, 128);
+        m.enqueue(1, false, Cycle(0));
+        m.enqueue(2, false, Cycle(0));
+        let mut done = Vec::new();
+        for c in 0..500u64 {
+            done.extend(m.tick(Cycle(c)));
+        }
+        assert_eq!(done.len(), 2);
+        // First: 100 + 8 = 108; second starts at bus slot 8: 8+100+8=116.
+        assert_eq!(done[0].at, Cycle(108));
+        assert_eq!(done[1].at, Cycle(116));
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_drain_watermarks_panic() {
+        let mut cfg = small_cfg();
+        cfg.drain_low = cfg.drain_high;
+        let _ = DramModel::new(cfg);
+    }
+
+    #[test]
+    fn stats_row_hit_rate() {
+        let mut s = DramStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        s.row_hits = 3;
+        s.row_misses = 1;
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

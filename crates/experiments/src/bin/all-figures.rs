@@ -1,0 +1,26 @@
+//! Runs the entire experiment campaign, sharing simulation results across
+//! figures, and writes every table to `results/*.tsv`.
+use experiments::{figures, Campaign};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut c = Campaign::new();
+    if c.is_quick() {
+        eprintln!("CARVE_QUICK set: running shrunken workloads");
+    }
+    figures::table4().emit();
+    figures::fig04(&mut c).emit();
+    figures::fig05(&mut c).emit();
+    figures::fig02(&mut c).emit();
+    figures::fig08(&mut c).emit();
+    figures::fig09(&mut c).emit();
+    figures::fig11(&mut c).emit();
+    figures::fig13(&mut c).emit();
+    figures::table5(&mut c).emit();
+    figures::fig14(&mut c).emit();
+    eprintln!(
+        "campaign complete: {} simulation runs in {:.0}s",
+        c.cached_runs(),
+        t0.elapsed().as_secs_f64()
+    );
+}

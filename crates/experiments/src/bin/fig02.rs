@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig02.
+use experiments::{figures, Campaign};
+
+fn main() {
+    let mut c = Campaign::new();
+    figures::fig02(&mut c).emit();
+    eprintln!("({} simulation runs)", c.cached_runs());
+}

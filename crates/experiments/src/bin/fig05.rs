@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig05.
+use experiments::{figures, Campaign};
+
+fn main() {
+    let mut c = Campaign::new();
+    figures::fig05(&mut c).emit();
+    eprintln!("({} simulation runs)", c.cached_runs());
+}

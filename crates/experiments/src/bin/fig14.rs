@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig14.
+use experiments::{figures, Campaign};
+
+fn main() {
+    let mut c = Campaign::new();
+    figures::fig14(&mut c).emit();
+    eprintln!("({} simulation runs)", c.cached_runs());
+}

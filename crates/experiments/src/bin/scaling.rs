@@ -1,0 +1,97 @@
+//! Node-count scalability study (the paper's Section V-E).
+//!
+//! "NUMA-GPU problems exacerbate as the number of nodes in a multi-GPU
+//! system increase. In such situations, CARVE can scale to arbitrary node
+//! counts... increasing node counts require an efficient hardware
+//! coherence mechanism \[and\] a directory-based hardware coherence
+//! mechanism may be more efficient."
+//!
+//! This experiment sweeps 2/4/8 GPUs and reports (a) geomean speedup over
+//! one GPU for NUMA-GPU, CARVE-HWC and ideal, and (b) the invalidate
+//! message count of broadcast GPU-VI vs a sharer directory.
+
+use carve_system::{Design, ScaledConfig, SimConfig};
+use experiments::{Campaign, Table};
+use sim_core::geomean;
+
+fn cfg_with_gpus(base: &ScaledConfig, gpus: usize) -> ScaledConfig {
+    let mut cfg = base.clone();
+    cfg.num_gpus = gpus;
+    cfg
+}
+
+fn main() {
+    let mut c = Campaign::new();
+    speedup_scaling(&mut c).emit();
+    coherence_scaling(&mut c).emit();
+    eprintln!("({} simulation runs)", c.cached_runs());
+}
+
+fn speedup_scaling(c: &mut Campaign) -> Table {
+    let base = c.base_cfg();
+    let mut t = Table::new(
+        "scaling_speedup",
+        "Scaling: geomean speedup over 1 GPU vs node count",
+        &["GPUs", "NUMA-GPU", "CARVE-HWC", "Ideal"],
+    );
+    for gpus in [2usize, 4, 8] {
+        let cfg = cfg_with_gpus(&base, gpus);
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for spec in c.specs() {
+            let single = c.result(&spec, &SimConfig::with_cfg(Design::SingleGpu, cfg.clone()));
+            for (i, design) in [Design::NumaGpu, Design::CarveHwc, Design::Ideal]
+                .into_iter()
+                .enumerate()
+            {
+                let sim = SimConfig::with_cfg(design, cfg.clone());
+                cols[i].push(c.result(&spec, &sim).speedup_over(&single));
+            }
+        }
+        let mut row = vec![gpus.to_string()];
+        row.extend(
+            cols.iter()
+                .map(|col| format!("{:.2}x", geomean(col.iter().copied()))),
+        );
+        t.push(row);
+    }
+    t
+}
+
+fn coherence_scaling(c: &mut Campaign) -> Table {
+    let base = c.base_cfg();
+    let mut t = Table::new(
+        "scaling_coherence",
+        "Scaling: invalidate messages, broadcast GPU-VI vs sharer directory (CARVE-HWC, RW-sharing workloads)",
+        &["GPUs", "workload", "broadcast msgs", "directory msgs", "reduction"],
+    );
+    for gpus in [2usize, 4, 8] {
+        let cfg = cfg_with_gpus(&base, gpus);
+        for name in ["SSSP", "HPGMG", "Lulesh"] {
+            let spec = c
+                .specs()
+                .into_iter()
+                .find(|s| s.name == name)
+                .expect("known workload");
+            let bcast_sim = SimConfig::with_cfg(Design::CarveHwc, cfg.clone());
+            let bcast = c.result(&spec, &bcast_sim);
+            // Broadcast decisions fan out to (gpus - 1) messages each.
+            let bcast_msgs = bcast.broadcasts * (gpus as u64 - 1);
+            let mut dir_sim = SimConfig::with_cfg(Design::CarveHwc, cfg.clone());
+            dir_sim.directory_coherence = true;
+            let dir = c.result(&spec, &dir_sim);
+            let dir_msgs = dir.directory_invalidates;
+            t.push(vec![
+                gpus.to_string(),
+                name.to_string(),
+                bcast_msgs.to_string(),
+                dir_msgs.to_string(),
+                if bcast_msgs > 0 {
+                    format!("{:.1}x", bcast_msgs as f64 / dir_msgs.max(1) as f64)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    t
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table IV (analytic; no simulation needed).
+use experiments::figures;
+
+fn main() {
+    figures::table4().emit();
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table5.
+use experiments::{figures, Campaign};
+
+fn main() {
+    let mut c = Campaign::new();
+    figures::table5(&mut c).emit();
+    eprintln!("({} simulation runs)", c.cached_runs());
+}

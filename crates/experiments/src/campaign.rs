@@ -1,0 +1,162 @@
+//! Shared simulation cache for the experiment campaign.
+
+use std::collections::HashMap;
+
+use carve_system::{
+    profile_workload, run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig, SimResult,
+};
+use carve_trace::{workloads, WorkloadSpec};
+
+/// Runs simulations on demand and memoizes them, so figures sharing the
+/// same (workload × configuration) points do not re-simulate.
+pub struct Campaign {
+    pub(crate) specs: Vec<WorkloadSpec>,
+    profiles: HashMap<String, SharingProfile>,
+    cache: HashMap<(String, String), SimResult>,
+    base_cfg: ScaledConfig,
+    quick: bool,
+}
+
+impl Default for Campaign {
+    fn default() -> Campaign {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// Creates a campaign over all 20 workloads; honours `CARVE_QUICK`.
+    pub fn new() -> Campaign {
+        let quick = std::env::var_os("CARVE_QUICK").is_some();
+        let mut specs = workloads::all();
+        if quick {
+            for spec in &mut specs {
+                spec.shape.kernels = spec.shape.kernels.min(4);
+                spec.shape.ctas = 32;
+                spec.shape.instrs_per_warp = spec.shape.instrs_per_warp.min(120);
+            }
+        }
+        Campaign {
+            specs,
+            profiles: HashMap::new(),
+            cache: HashMap::new(),
+            base_cfg: ScaledConfig::default(),
+            quick,
+        }
+    }
+
+    /// Whether quick mode is active.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The workload list in Table II order.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        self.specs.clone()
+    }
+
+    /// The base machine configuration.
+    pub fn base_cfg(&self) -> ScaledConfig {
+        self.base_cfg.clone()
+    }
+
+    /// The 4-GPU sharing profile of a workload (memoized).
+    pub fn profile(&mut self, spec: &WorkloadSpec) -> &SharingProfile {
+        let num_gpus = self.base_cfg.num_gpus;
+        let cfg = self.base_cfg.clone();
+        self.profiles
+            .entry(spec.name.to_string())
+            .or_insert_with(|| profile_workload(spec, &cfg, num_gpus))
+    }
+
+    /// Simulates `spec` under `sim` (memoized by a derived key).
+    pub fn result(&mut self, spec: &WorkloadSpec, sim: &SimConfig) -> SimResult {
+        let key = (
+            spec.name.to_string(),
+            format!(
+                "{}|rdc={}|spill={:.4}|bw={:.3}|pred={}|wp={:?}|bcast={}|dir={}|sysrdc={}|gpus={}",
+                sim.design.label(),
+                sim.rdc_capacity(),
+                sim.spill_fraction,
+                sim.cfg.link_bytes_per_cycle,
+                sim.hit_predictor,
+                sim.rdc_write_policy,
+                sim.gpu_vi_broadcast_always,
+                sim.directory_coherence,
+                sim.rdc_caches_sysmem,
+                sim.cfg.num_gpus,
+            ),
+        );
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        // Profiles are only valid for the 4-GPU machine; single-GPU runs
+        // use no profile-driven policy.
+        self.profile(spec);
+        let profile = self.profiles.get(spec.name).expect("just inserted");
+        let r = run_with_profile(spec, sim, Some(profile));
+        assert!(
+            r.completed,
+            "{} under {} hit the cycle cap",
+            spec.name,
+            sim.design.label()
+        );
+        self.cache.insert(key, r.clone());
+        r
+    }
+
+    /// Convenience: default-machine result for a design.
+    pub fn design_result(&mut self, spec: &WorkloadSpec, design: Design) -> SimResult {
+        let mut sim = SimConfig::new(design);
+        sim.cfg = self.base_cfg.clone();
+        self.result(spec, &sim)
+    }
+
+    /// Number of memoized simulation results.
+    pub fn cached_runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_campaign() -> Campaign {
+        let mut c = Campaign::new();
+        // Force tiny shapes regardless of env to keep tests fast.
+        for spec in &mut c.specs {
+            spec.shape.kernels = 2;
+            spec.shape.ctas = 16;
+            spec.shape.instrs_per_warp = 40;
+        }
+        c
+    }
+
+    #[test]
+    fn results_are_memoized() {
+        let mut c = quick_campaign();
+        let spec = c.specs()[3].clone(); // Lulesh
+        let a = c.design_result(&spec, Design::NumaGpu);
+        assert_eq!(c.cached_runs(), 1);
+        let b = c.design_result(&spec, Design::NumaGpu);
+        assert_eq!(c.cached_runs(), 1);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_entries() {
+        let mut c = quick_campaign();
+        let spec = c.specs()[3].clone();
+        c.design_result(&spec, Design::NumaGpu);
+        let mut sim = SimConfig::new(Design::CarveHwc);
+        sim.rdc_bytes = Some(1 << 20);
+        c.result(&spec, &sim);
+        assert_eq!(c.cached_runs(), 2);
+    }
+
+    #[test]
+    fn twenty_specs_by_default() {
+        let c = Campaign::new();
+        assert_eq!(c.specs().len(), 20);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each evaluation artifact has a binary (`fig02` … `fig14`, `table4`,
+//! `table5`) and a library function here, so the `all-figures` campaign
+//! runner can share simulation results across figures — most figures slice
+//! the same (workload × design) result matrix.
+//!
+//! Output goes to stdout as aligned tables and to `results/<id>.tsv`.
+//!
+//! Environment knobs:
+//!
+//! * `CARVE_QUICK=1` — shrink workloads (fewer kernels/CTAs) for a fast
+//!   sanity pass of the whole campaign.
+//! * `CARVE_RESULTS_DIR` — where `.tsv` files are written (default
+//!   `results/`).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod figures;
+pub mod table;
+
+pub use campaign::Campaign;
+pub use table::Table;

@@ -1,0 +1,32 @@
+//! The GPU node model: SMs, warps, TLBs, L1s and the banked memory-side L2.
+//!
+//! A [`GpuCore`] is everything *inside* one GPU of the paper's 4-GPU system
+//! except the DRAM, the Remote Data Cache and the links, which the system
+//! crate owns and routes between. The boundary is explicit:
+//!
+//! * the core pulls warp instructions from `carve-trace` workload streams,
+//! * translates addresses through a two-level TLB and a caller-provided
+//!   [`Translator`] (the runtime page table),
+//! * filters accesses through per-SM L1s and the shared, banked L2
+//!   (misses merge in MSHRs),
+//! * and emits [`CoreRequest`]s from its outbox, which the system services
+//!   against DRAM, the RDC or the link fabric, respecting back-pressure via
+//!   the [`Fabric`] capacity probe.
+//!
+//! The model is deliberately warp-level: one memory instruction represents
+//! the coalesced access of a 32-thread warp to one 128-byte line, the
+//! granularity at which the paper's NUMA traffic analysis operates.
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod sm;
+pub mod tlb;
+pub mod types;
+
+pub use crate::core::{CoreStats, GpuCore};
+pub use sm::Sm;
+pub use tlb::Tlb;
+pub use types::{
+    CoreReqKind, CoreRequest, Fabric, ReqSource, TranslationOutcome, Translator, Waiter,
+};

@@ -1,0 +1,139 @@
+//! A small FIFO TLB latency model.
+//!
+//! The paper's GPUs have per-SM L1 TLBs and a shared L2 TLB; large 2 MB
+//! pages exist precisely to keep these effective. The simulator models the
+//! TLBs purely for their *latency* contribution — translation results come
+//! from the runtime page table — so a FIFO replacement TLB tracking page
+//! numbers is sufficient.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A FIFO-replacement TLB over page numbers.
+///
+/// # Example
+///
+/// ```
+/// use carve_gpu::Tlb;
+/// let mut t = Tlb::new(2);
+/// assert!(!t.lookup(7)); // cold miss, now cached
+/// assert!(t.lookup(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: HashMap<u64, ()>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0);
+        Tlb {
+            entries: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `page`, inserting it on a miss (evicting FIFO if full).
+    /// Returns `true` on hit.
+    pub fn lookup(&mut self, page: u64) -> bool {
+        if self.entries.contains_key(&page) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.order.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        self.entries.insert(page, ());
+        self.order.push_back(page);
+        false
+    }
+
+    /// Drops every entry (kernel-boundary shootdown / migration).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Drops one page (migration shootdown).
+    pub fn shootdown(&mut self, page: u64) {
+        if self.entries.remove(&page).is_some() {
+            self.order.retain(|&p| p != page);
+        }
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert!(!t.lookup(1));
+        assert!(t.lookup(1));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut t = Tlb::new(2);
+        t.lookup(1);
+        t.lookup(2);
+        t.lookup(3); // evicts 1
+        assert!(!t.lookup(1));
+        assert!(t.len() <= 2);
+    }
+
+    #[test]
+    fn flush_and_shootdown() {
+        let mut t = Tlb::new(4);
+        t.lookup(1);
+        t.lookup(2);
+        t.shootdown(1);
+        assert!(!t.lookup(1));
+        t.flush();
+        assert!(t.is_empty());
+        assert!(!t.lookup(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

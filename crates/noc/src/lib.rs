@@ -1,0 +1,410 @@
+//! Inter-GPU and CPU-GPU interconnect model.
+//!
+//! The paper's multi-GPU system connects four GPUs with NVLink-style
+//! uni-directional point-to-point links (64 GB/s each direction) and each
+//! GPU to the host CPU at 32 GB/s. The NUMA bottleneck is the ~16× gap
+//! between these links and local HBM bandwidth.
+//!
+//! [`Link`] models one direction of one link: messages serialize over a
+//! bytes/cycle budget (queueing pushes later messages out in time) and
+//! arrive after a propagation latency. [`LinkNetwork`] owns the full
+//! all-to-all mesh plus per-GPU CPU links and routes by `(src, dst)` node
+//! id, where node [`NodeId::Cpu`] is the host.
+//!
+//! # Example
+//!
+//! ```
+//! use carve_noc::{Link, msg};
+//! use sim_core::Cycle;
+//!
+//! let mut link = Link::new(8.0, 100);
+//! link.send(1, msg::RESP_DATA_BYTES, Cycle(0));
+//! let mut got = Vec::new();
+//! for c in 0..200u64 {
+//!     got.extend(link.tick(Cycle(c)));
+//! }
+//! assert_eq!(got, vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+
+use sim_core::Cycle;
+
+/// Message size constants in bytes.
+///
+/// These follow common NoC accounting: a request/control packet is one
+/// 32-byte flit; packets carrying a 128-byte cache line pay the header plus
+/// the data.
+pub mod msg {
+    /// Read request / control header.
+    pub const REQ_BYTES: u64 = 32;
+    /// Response carrying one 128 B cache line (header + data).
+    pub const RESP_DATA_BYTES: u64 = 160;
+    /// Write carrying one 128 B cache line (header + data).
+    pub const WRITE_DATA_BYTES: u64 = 160;
+    /// Write-invalidate probe (GPU-VI hardware coherence).
+    pub const INVALIDATE_BYTES: u64 = 32;
+}
+
+/// One direction of one point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bytes_per_cycle: f64,
+    latency: u64,
+    next_slot: f64,
+    in_flight: Vec<(u64, u64)>, // (token, arrival cycle)
+    bytes_sent: u64,
+    messages_sent: u64,
+    busy_until: f64,
+}
+
+impl Link {
+    /// Creates a link with `bytes_per_cycle` bandwidth and `latency` cycles
+    /// of propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency: u64) -> Link {
+        assert!(bytes_per_cycle > 0.0, "link bandwidth must be positive");
+        Link {
+            bytes_per_cycle,
+            latency,
+            next_slot: 0.0,
+            in_flight: Vec::new(),
+            bytes_sent: 0,
+            messages_sent: 0,
+            busy_until: 0.0,
+        }
+    }
+
+    /// Queues a message of `bytes` onto the wire at `now`; it arrives after
+    /// serialization (including queueing behind earlier messages) plus
+    /// propagation latency. Links accept unboundedly — end-point queues
+    /// (MSHRs, warp slots) bound the traffic in flight.
+    pub fn send(&mut self, token: u64, bytes: u64, now: Cycle) {
+        let start = (now.0 as f64).max(self.next_slot);
+        let ser = bytes as f64 / self.bytes_per_cycle;
+        self.next_slot = start + ser;
+        self.busy_until = self.next_slot;
+        let arrival = (start + ser + self.latency as f64).ceil() as u64;
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        self.in_flight.push((token, arrival));
+    }
+
+    /// Returns tokens of messages that have arrived by `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].1 <= now.0 {
+                out.push(self.in_flight.swap_remove(i).0);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Earliest cycle a new message could start serializing.
+    pub fn next_free(&self) -> Cycle {
+        Cycle(self.next_slot.ceil() as u64)
+    }
+
+    /// Total bytes accepted.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages accepted.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Whether messages are still in flight.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Achieved utilization over `elapsed` cycles (0..=1).
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed.0 == 0 {
+            return 0.0;
+        }
+        (self.bytes_sent as f64 / self.bytes_per_cycle / elapsed.0 as f64).min(1.0)
+    }
+
+    /// Configured bandwidth in bytes/cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+}
+
+/// A node in the interconnect: a GPU or the host CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// GPU `n` (0-based).
+    Gpu(usize),
+    /// The host CPU (system memory).
+    Cpu,
+}
+
+/// An arrived message, reported by [`LinkNetwork::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Caller-supplied token.
+    pub token: u64,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+}
+
+/// All-to-all GPU mesh plus per-GPU CPU links.
+#[derive(Debug)]
+pub struct LinkNetwork {
+    num_gpus: usize,
+    // gpu_links[src * num_gpus + dst], unused when src == dst.
+    gpu_links: Vec<Link>,
+    to_cpu: Vec<Link>,
+    from_cpu: Vec<Link>,
+}
+
+impl LinkNetwork {
+    /// Builds the mesh: every GPU pair gets a dedicated link in each
+    /// direction at `gpu_bpc` bytes/cycle; every GPU gets a CPU link pair at
+    /// `cpu_bpc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus` is zero or bandwidths are not positive.
+    pub fn new(
+        num_gpus: usize,
+        gpu_bpc: f64,
+        gpu_latency: u64,
+        cpu_bpc: f64,
+        cpu_latency: u64,
+    ) -> LinkNetwork {
+        assert!(num_gpus > 0);
+        LinkNetwork {
+            num_gpus,
+            gpu_links: (0..num_gpus * num_gpus)
+                .map(|_| Link::new(gpu_bpc, gpu_latency))
+                .collect(),
+            to_cpu: (0..num_gpus)
+                .map(|_| Link::new(cpu_bpc, cpu_latency))
+                .collect(),
+            from_cpu: (0..num_gpus)
+                .map(|_| Link::new(cpu_bpc, cpu_latency))
+                .collect(),
+        }
+    }
+
+    fn link_ref(&self, src: NodeId, dst: NodeId) -> &Link {
+        match (src, dst) {
+            (NodeId::Gpu(s), NodeId::Gpu(d)) => {
+                assert!(s != d, "no self-link");
+                assert!(s < self.num_gpus && d < self.num_gpus);
+                &self.gpu_links[s * self.num_gpus + d]
+            }
+            (NodeId::Gpu(s), NodeId::Cpu) => &self.to_cpu[s],
+            (NodeId::Cpu, NodeId::Gpu(d)) => &self.from_cpu[d],
+            (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
+        }
+    }
+
+    /// Whether the `src → dst` link's serialization backlog extends more
+    /// than `horizon` cycles past `now`. Senders use this as back-pressure
+    /// instead of piling unbounded traffic onto a saturated link.
+    pub fn congested(&self, src: NodeId, dst: NodeId, now: Cycle, horizon: u64) -> bool {
+        self.link_ref(src, dst).next_free() > Cycle(now.0 + horizon)
+    }
+
+    fn link_mut(&mut self, src: NodeId, dst: NodeId) -> &mut Link {
+        match (src, dst) {
+            (NodeId::Gpu(s), NodeId::Gpu(d)) => {
+                assert!(s != d, "no self-link");
+                assert!(s < self.num_gpus && d < self.num_gpus);
+                &mut self.gpu_links[s * self.num_gpus + d]
+            }
+            (NodeId::Gpu(s), NodeId::Cpu) => &mut self.to_cpu[s],
+            (NodeId::Cpu, NodeId::Gpu(d)) => &mut self.from_cpu[d],
+            (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
+        }
+    }
+
+    /// Sends `bytes` from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or out-of-range GPU ids.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, token: u64, bytes: u64, now: Cycle) {
+        self.link_mut(src, dst).send(token, bytes, now);
+    }
+
+    /// Advances all links, returning every delivery due by `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for s in 0..self.num_gpus {
+            for d in 0..self.num_gpus {
+                if s == d {
+                    continue;
+                }
+                for token in self.gpu_links[s * self.num_gpus + d].tick(now) {
+                    out.push(Delivery {
+                        token,
+                        src: NodeId::Gpu(s),
+                        dst: NodeId::Gpu(d),
+                    });
+                }
+            }
+        }
+        for g in 0..self.num_gpus {
+            for token in self.to_cpu[g].tick(now) {
+                out.push(Delivery {
+                    token,
+                    src: NodeId::Gpu(g),
+                    dst: NodeId::Cpu,
+                });
+            }
+            for token in self.from_cpu[g].tick(now) {
+                out.push(Delivery {
+                    token,
+                    src: NodeId::Cpu,
+                    dst: NodeId::Gpu(g),
+                });
+            }
+        }
+        out
+    }
+
+    /// Total bytes sent over GPU-GPU links.
+    pub fn gpu_bytes_sent(&self) -> u64 {
+        self.gpu_links.iter().map(Link::bytes_sent).sum()
+    }
+
+    /// Total bytes sent over CPU links (both directions).
+    pub fn cpu_bytes_sent(&self) -> u64 {
+        self.to_cpu.iter().map(Link::bytes_sent).sum::<u64>()
+            + self.from_cpu.iter().map(Link::bytes_sent).sum::<u64>()
+    }
+
+    /// Peak utilization across GPU-GPU links over `elapsed` cycles.
+    pub fn max_gpu_link_utilization(&self, elapsed: Cycle) -> f64 {
+        self.gpu_links
+            .iter()
+            .map(|l| l.utilization(elapsed))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every link is quiescent.
+    pub fn is_idle(&self) -> bool {
+        self.gpu_links.iter().all(Link::is_idle)
+            && self.to_cpu.iter().all(Link::is_idle)
+            && self.from_cpu.iter().all(Link::is_idle)
+    }
+
+    /// Number of GPU nodes.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_arrives_after_serialization_plus_latency() {
+        let mut l = Link::new(8.0, 100);
+        l.send(42, 160, Cycle(0));
+        // 160/8 = 20 cycles serialization + 100 latency = arrival 120.
+        assert!(l.tick(Cycle(119)).is_empty());
+        assert_eq!(l.tick(Cycle(120)), vec![42]);
+        assert!(l.is_idle());
+    }
+
+    #[test]
+    fn back_to_back_messages_queue_on_bandwidth() {
+        let mut l = Link::new(8.0, 0);
+        l.send(1, 160, Cycle(0));
+        l.send(2, 160, Cycle(0));
+        // First done serializing at 20, second at 40.
+        let mut arrivals = Vec::new();
+        for c in 0..=40u64 {
+            for t in l.tick(Cycle(c)) {
+                arrivals.push((t, c));
+            }
+        }
+        assert_eq!(arrivals, vec![(1, 20), (2, 40)]);
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let mut l = Link::new(2.0, 0);
+        for i in 0..100 {
+            l.send(i, 128, Cycle(0));
+        }
+        assert!((l.utilization(Cycle(100)) - 1.0).abs() < 1e-9);
+        assert!(l.utilization(Cycle::ZERO) == 0.0);
+    }
+
+    #[test]
+    fn network_routes_between_gpus_and_cpu() {
+        let mut net = LinkNetwork::new(4, 8.0, 10, 4.0, 20);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(3), 1, 32, Cycle(0));
+        net.send(NodeId::Gpu(2), NodeId::Cpu, 2, 32, Cycle(0));
+        net.send(NodeId::Cpu, NodeId::Gpu(1), 3, 32, Cycle(0));
+        let mut seen = Vec::new();
+        for c in 0..100u64 {
+            seen.extend(net.tick(Cycle(c)));
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(seen.contains(&Delivery {
+            token: 1,
+            src: NodeId::Gpu(0),
+            dst: NodeId::Gpu(3)
+        }));
+        assert!(seen.contains(&Delivery {
+            token: 2,
+            src: NodeId::Gpu(2),
+            dst: NodeId::Cpu
+        }));
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn distinct_links_do_not_interfere() {
+        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
+        // Saturate 0->1; 1->0 stays fast.
+        for i in 0..10 {
+            net.send(NodeId::Gpu(0), NodeId::Gpu(1), i, 128, Cycle(0));
+        }
+        net.send(NodeId::Gpu(1), NodeId::Gpu(0), 99, 32, Cycle(0));
+        let deliveries: Vec<_> = (0..=32u64).flat_map(|c| net.tick(Cycle(c))).collect();
+        assert!(deliveries.iter().any(|d| d.token == 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-link")]
+    fn self_link_panics() {
+        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(0), 0, 32, Cycle(0));
+    }
+
+    #[test]
+    fn byte_accounting_split_by_kind() {
+        let mut net = LinkNetwork::new(2, 8.0, 0, 8.0, 0);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 0, msg::REQ_BYTES, Cycle(0));
+        net.send(
+            NodeId::Gpu(0),
+            NodeId::Cpu,
+            1,
+            msg::WRITE_DATA_BYTES,
+            Cycle(0),
+        );
+        assert_eq!(net.gpu_bytes_sent(), 32);
+        assert_eq!(net.cpu_bytes_sent(), 160);
+    }
+}

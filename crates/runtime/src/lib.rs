@@ -1,0 +1,42 @@
+//! The GPU driver/runtime software stack of a NUMA-GPU system.
+//!
+//! This crate models the *software* half of the paper's HW/SW combination:
+//!
+//! * [`sched`] — NUMA-GPU's distributed CTA scheduling (contiguous CTA
+//!   batches per GPU, exploiting inter-CTA locality),
+//! * [`page_table`] — first-touch page placement, page migration, software
+//!   page replication (read-only or all-shared/ideal), and Unified-Memory
+//!   style spilling of cold pages to system memory (Table V(b)),
+//! * [`sharing`] — the page- and line-granularity sharing classifier that
+//!   reproduces Figures 4 and 5 and drives profile-guided replication.
+//!
+//! # Example
+//!
+//! ```
+//! use carve_runtime::page_table::{PageTable, PlacementPolicy};
+//! use carve_noc::NodeId;
+//! use sim_core::Cycle;
+//!
+//! let mut pt = PageTable::new(4, 8192, PlacementPolicy::default());
+//! // First touch by GPU 2 homes the page on GPU 2.
+//! let out = pt.access(2, 0x4000, false, Cycle(0));
+//! assert_eq!(out.home, NodeId::Gpu(2));
+//! assert!(!out.remote);
+//! // GPU 0 then accesses the same page remotely.
+//! let out = pt.access(0, 0x4000, false, Cycle(1));
+//! assert_eq!(out.home, NodeId::Gpu(2));
+//! assert!(out.remote);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod page_table;
+pub mod sched;
+pub mod sharing;
+
+pub use page_table::{AccessOutcome, PageMigration, PageTable, PlacementPolicy, Replication};
+pub use sched::gpu_of_cta;
+pub use sharing::{GpuMask, PageClass, SharingProfile};
+
+// Re-exported so downstream crates name link nodes consistently.
+pub use carve_noc::NodeId;

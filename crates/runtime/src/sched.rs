@@ -1,0 +1,119 @@
+//! NUMA-GPU distributed CTA scheduling.
+//!
+//! NUMA-GPU (Milic et al., MICRO'17) schedules a *contiguous batch* of CTAs
+//! to each GPU, because adjacent CTAs exhibit strong spatial and temporal
+//! locality. Combined with first-touch page placement, this makes the
+//! private slice of each CTA batch land in the local GPU memory.
+
+/// The GPU that runs `cta` when `ctas` CTAs are split into contiguous
+/// batches across `num_gpus` GPUs.
+///
+/// The first `ctas % num_gpus` batches get one extra CTA so every CTA is
+/// assigned.
+///
+/// # Panics
+///
+/// Panics if `num_gpus` is zero or `cta >= ctas`.
+///
+/// # Example
+///
+/// ```
+/// use carve_runtime::gpu_of_cta;
+/// // 8 CTAs on 4 GPUs: batches of 2.
+/// assert_eq!(gpu_of_cta(0, 8, 4), 0);
+/// assert_eq!(gpu_of_cta(3, 8, 4), 1);
+/// assert_eq!(gpu_of_cta(7, 8, 4), 3);
+/// ```
+pub fn gpu_of_cta(cta: usize, ctas: usize, num_gpus: usize) -> usize {
+    assert!(num_gpus > 0, "need at least one GPU");
+    assert!(cta < ctas, "cta {cta} out of range {ctas}");
+    let base = ctas / num_gpus;
+    let extra = ctas % num_gpus;
+    // GPUs [0, extra) own (base + 1) CTAs each.
+    let boundary = extra * (base + 1);
+    if cta < boundary {
+        cta / (base + 1)
+    } else if base > 0 {
+        extra + (cta - boundary) / base
+    } else {
+        // More GPUs than CTAs: one CTA per GPU.
+        cta
+    }
+}
+
+/// CTA index range `[start, end)` assigned to `gpu`.
+///
+/// # Panics
+///
+/// Panics if `gpu >= num_gpus` or `num_gpus` is zero.
+pub fn cta_range_of_gpu(gpu: usize, ctas: usize, num_gpus: usize) -> (usize, usize) {
+    assert!(gpu < num_gpus, "gpu {gpu} out of range {num_gpus}");
+    let base = ctas / num_gpus;
+    let extra = ctas % num_gpus;
+    let start = if gpu < extra {
+        gpu * (base + 1)
+    } else {
+        extra * (base + 1) + (gpu - extra) * base
+    };
+    let len = if gpu < extra { base + 1 } else { base };
+    (start, (start + len).min(ctas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cta_assigned_exactly_once() {
+        for ctas in [1usize, 4, 7, 128, 129, 131] {
+            for gpus in [1usize, 2, 3, 4, 8] {
+                let mut counts = vec![0usize; gpus];
+                for cta in 0..ctas {
+                    counts[gpu_of_cta(cta, ctas, gpus)] += 1;
+                }
+                let total: usize = counts.iter().sum();
+                assert_eq!(total, ctas);
+                // Balanced within one CTA.
+                let min = counts.iter().min().unwrap();
+                let max = counts.iter().max().unwrap();
+                assert!(max - min <= 1, "ctas={ctas} gpus={gpus} {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_contiguous() {
+        for cta in 1..128usize {
+            let prev = gpu_of_cta(cta - 1, 128, 4);
+            let cur = gpu_of_cta(cta, 128, 4);
+            assert!(cur == prev || cur == prev + 1);
+        }
+    }
+
+    #[test]
+    fn ranges_agree_with_assignment() {
+        for gpus in [1usize, 3, 4] {
+            for ctas in [5usize, 128, 131] {
+                for g in 0..gpus {
+                    let (s, e) = cta_range_of_gpu(g, ctas, gpus);
+                    for cta in s..e {
+                        assert_eq!(gpu_of_cta(cta, ctas, gpus), g);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_gpus_than_ctas() {
+        assert_eq!(gpu_of_cta(1, 2, 4), 1);
+        let (s, e) = cta_range_of_gpu(3, 2, 4);
+        assert_eq!(s, e, "gpu 3 gets no CTA");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cta_out_of_range_panics() {
+        let _ = gpu_of_cta(8, 8, 4);
+    }
+}

@@ -1,0 +1,464 @@
+//! Page- and line-granularity sharing classification (Figures 4 and 5).
+//!
+//! A [`SharingProfile`] observes every memory access of a workload —
+//! `(gpu, virtual address, read/write)` — and classifies each page and each
+//! cache line as private, read-only shared or read-write shared, exactly
+//! as the paper does to produce Figure 4. It also measures the shared
+//! memory footprint of Figure 5 and feeds profile-guided software policies
+//! (read-only page replication, UM cold-page spill).
+
+use std::collections::HashMap;
+
+use crate::sched::gpu_of_cta;
+use carve_trace::{Op, WorkloadSpec};
+use sim_core::ScaledConfig;
+
+/// A set of GPUs, as a bitmask (supports up to 16 GPUs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GpuMask(pub u16);
+
+impl GpuMask {
+    /// Adds GPU `g` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= 16`.
+    #[inline]
+    pub fn set(&mut self, g: usize) {
+        assert!(g < 16, "GpuMask supports at most 16 GPUs");
+        self.0 |= 1 << g;
+    }
+
+    /// Whether GPU `g` is in the set.
+    #[inline]
+    pub fn contains(self, g: usize) -> bool {
+        self.0 & (1 << g) != 0
+    }
+
+    /// Number of GPUs in the set.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when no GPU is in the set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two sets.
+    #[inline]
+    pub fn union(self, other: GpuMask) -> GpuMask {
+        GpuMask(self.0 | other.0)
+    }
+}
+
+/// Sharing class of a page or line (paper Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageClass {
+    /// Touched by a single GPU.
+    Private,
+    /// Touched by multiple GPUs, never written.
+    ReadOnlyShared,
+    /// Touched by multiple GPUs, written at least once.
+    ReadWriteShared,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Touch {
+    readers: GpuMask,
+    writers: GpuMask,
+    accesses: u64,
+}
+
+impl Touch {
+    fn classify(&self) -> PageClass {
+        let sharers = self.readers.union(self.writers);
+        if sharers.count() <= 1 {
+            PageClass::Private
+        } else if self.writers.is_empty() {
+            PageClass::ReadOnlyShared
+        } else {
+            PageClass::ReadWriteShared
+        }
+    }
+}
+
+/// Access-count and footprint breakdown for one granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassBreakdown {
+    /// Accesses to private pages/lines.
+    pub private_accesses: u64,
+    /// Accesses to read-only shared pages/lines.
+    pub ro_shared_accesses: u64,
+    /// Accesses to read-write shared pages/lines.
+    pub rw_shared_accesses: u64,
+    /// Unique private pages/lines.
+    pub private_units: u64,
+    /// Unique read-only shared pages/lines.
+    pub ro_shared_units: u64,
+    /// Unique read-write shared pages/lines.
+    pub rw_shared_units: u64,
+}
+
+impl ClassBreakdown {
+    /// Total accesses observed.
+    pub fn total_accesses(&self) -> u64 {
+        self.private_accesses + self.ro_shared_accesses + self.rw_shared_accesses
+    }
+
+    /// Fractions `(private, ro_shared, rw_shared)` of all accesses.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total_accesses();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.private_accesses as f64 / t as f64,
+            self.ro_shared_accesses as f64 / t as f64,
+            self.rw_shared_accesses as f64 / t as f64,
+        )
+    }
+
+    /// Unique shared units (RO + RW).
+    pub fn shared_units(&self) -> u64 {
+        self.ro_shared_units + self.rw_shared_units
+    }
+}
+
+/// Observes accesses and classifies pages and lines.
+#[derive(Debug)]
+pub struct SharingProfile {
+    page_size: u64,
+    line_size: u64,
+    pages: HashMap<u64, Touch>,
+    lines: HashMap<u64, Touch>,
+}
+
+impl SharingProfile {
+    /// Creates a profile for the given page and line sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(page_size: u64, line_size: u64) -> SharingProfile {
+        assert!(page_size > 0 && line_size > 0);
+        SharingProfile {
+            page_size,
+            line_size,
+            pages: HashMap::new(),
+            lines: HashMap::new(),
+        }
+    }
+
+    /// Records one access.
+    #[inline]
+    pub fn record(&mut self, gpu: usize, va: u64, is_write: bool) {
+        let page = self.pages.entry(va / self.page_size).or_default();
+        page.accesses += 1;
+        if is_write {
+            page.writers.set(gpu);
+        } else {
+            page.readers.set(gpu);
+        }
+        let line = self.lines.entry(va / self.line_size).or_default();
+        line.accesses += 1;
+        if is_write {
+            line.writers.set(gpu);
+        } else {
+            line.readers.set(gpu);
+        }
+    }
+
+    fn breakdown(map: &HashMap<u64, Touch>) -> ClassBreakdown {
+        let mut b = ClassBreakdown::default();
+        for t in map.values() {
+            match t.classify() {
+                PageClass::Private => {
+                    b.private_accesses += t.accesses;
+                    b.private_units += 1;
+                }
+                PageClass::ReadOnlyShared => {
+                    b.ro_shared_accesses += t.accesses;
+                    b.ro_shared_units += 1;
+                }
+                PageClass::ReadWriteShared => {
+                    b.rw_shared_accesses += t.accesses;
+                    b.rw_shared_units += 1;
+                }
+            }
+        }
+        b
+    }
+
+    /// Page-granularity breakdown (left bars of Figure 4).
+    pub fn page_breakdown(&self) -> ClassBreakdown {
+        Self::breakdown(&self.pages)
+    }
+
+    /// Line-granularity breakdown (right bars of Figure 4).
+    pub fn line_breakdown(&self) -> ClassBreakdown {
+        Self::breakdown(&self.lines)
+    }
+
+    /// Shared memory footprint in bytes at page granularity (Figure 5):
+    /// unique shared pages × page size.
+    pub fn shared_footprint_bytes(&self) -> u64 {
+        self.page_breakdown().shared_units() * self.page_size
+    }
+
+    /// Total touched footprint in bytes at page granularity.
+    pub fn touched_footprint_bytes(&self) -> u64 {
+        self.pages.len() as u64 * self.page_size
+    }
+
+    /// Pages classified read-only shared: the set software replication may
+    /// copy to every reader without any coherence obligation.
+    pub fn read_only_shared_pages(&self) -> Vec<u64> {
+        self.pages
+            .iter()
+            .filter(|(_, t)| t.classify() == PageClass::ReadOnlyShared)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Pages classified shared (RO or RW): what an *ideal* NUMA-GPU
+    /// replicates.
+    pub fn shared_pages(&self) -> Vec<u64> {
+        self.pages
+            .iter()
+            .filter(|(_, t)| t.classify() != PageClass::Private)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Line-aligned addresses of lines classified read-write shared: the
+    /// lines whose writes require coherence actions (the HWC watch list).
+    pub fn rw_shared_line_addrs(&self) -> Vec<u64> {
+        self.lines
+            .iter()
+            .filter(|(_, t)| t.classify() == PageClass::ReadWriteShared)
+            .map(|(&l, _)| l * self.line_size)
+            .collect()
+    }
+
+    /// Class of one page, if it was touched.
+    pub fn page_class(&self, page: u64) -> Option<PageClass> {
+        self.pages.get(&page).map(Touch::classify)
+    }
+
+    /// Number of sharers (reader or writer GPUs) of one page.
+    pub fn page_sharers(&self, page: u64) -> u32 {
+        self.pages
+            .get(&page)
+            .map(|t| t.readers.union(t.writers).count())
+            .unwrap_or(0)
+    }
+
+    /// The coldest fraction `frac` of touched pages by access count
+    /// (ties broken by page number for determinism). This is the set a
+    /// UM-style runtime would leave in system memory (Table V(b)).
+    pub fn coldest_pages(&self, frac: f64) -> Vec<u64> {
+        let mut pages: Vec<(u64, u64)> = self.pages.iter().map(|(&p, t)| (t.accesses, p)).collect();
+        pages.sort_unstable();
+        let n = ((pages.len() as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+        pages.into_iter().take(n).map(|(_, p)| p).collect()
+    }
+
+    /// Memory-capacity multiplier if every shared page were replicated on
+    /// each of its sharer GPUs (the paper reports ~2.4× on average).
+    pub fn replication_footprint_multiplier(&self) -> f64 {
+        let mut base = 0u64;
+        let mut replicated = 0u64;
+        for t in self.pages.values() {
+            let sharers = t.readers.union(t.writers).count().max(1) as u64;
+            base += 1;
+            replicated += if t.classify() == PageClass::Private {
+                1
+            } else {
+                sharers
+            };
+        }
+        if base == 0 {
+            1.0
+        } else {
+            replicated as f64 / base as f64
+        }
+    }
+}
+
+/// Functionally replays the full workload (no timing) through a sharing
+/// profile, using NUMA-GPU's contiguous CTA batches on `num_gpus` GPUs.
+///
+/// This is how Figures 4 and 5 are produced, and how the profile-guided
+/// software policies (replication, UM spill) obtain their page sets — the
+/// stand-in for the profiling step a real runtime performs with page-fault
+/// or performance-counter telemetry.
+pub fn profile_workload(
+    spec: &WorkloadSpec,
+    cfg: &ScaledConfig,
+    num_gpus: usize,
+) -> SharingProfile {
+    let mut profile = SharingProfile::new(cfg.page_size, cfg.line_size);
+    for kernel in 0..spec.shape.kernels {
+        for cta in 0..spec.shape.ctas {
+            let gpu = gpu_of_cta(cta, spec.shape.ctas, num_gpus);
+            for warp in 0..spec.shape.warps_per_cta {
+                let mut gen = spec.warp_gen(cfg, kernel, cta, warp);
+                while let Some(op) = gen.next_op() {
+                    match op {
+                        Op::Compute(_) => {}
+                        Op::Load(va) => profile.record(gpu, va, false),
+                        Op::Store(va) => profile.record(gpu, va, true),
+                    }
+                }
+            }
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carve_trace::workloads;
+
+    #[test]
+    fn mask_operations() {
+        let mut m = GpuMask::default();
+        assert!(m.is_empty());
+        m.set(0);
+        m.set(3);
+        assert!(m.contains(0) && m.contains(3) && !m.contains(1));
+        assert_eq!(m.count(), 2);
+        let mut o = GpuMask::default();
+        o.set(1);
+        assert_eq!(m.union(o).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 16")]
+    fn mask_bounds_checked() {
+        GpuMask::default().set(16);
+    }
+
+    #[test]
+    fn single_gpu_touch_is_private() {
+        let mut p = SharingProfile::new(8192, 128);
+        p.record(0, 0, false);
+        p.record(0, 128, true);
+        let b = p.page_breakdown();
+        assert_eq!(b.private_accesses, 2);
+        assert_eq!(b.private_units, 1);
+        assert_eq!(p.page_class(0), Some(PageClass::Private));
+    }
+
+    #[test]
+    fn multi_reader_page_is_ro_shared() {
+        let mut p = SharingProfile::new(8192, 128);
+        p.record(0, 0, false);
+        p.record(1, 256, false);
+        assert_eq!(p.page_class(0), Some(PageClass::ReadOnlyShared));
+        // Line granularity: each line touched by one GPU => private.
+        let lb = p.line_breakdown();
+        assert_eq!(lb.private_units, 2);
+        assert_eq!(lb.ro_shared_units, 0);
+    }
+
+    #[test]
+    fn single_write_flips_page_to_rw_shared() {
+        let mut p = SharingProfile::new(8192, 128);
+        p.record(0, 0, false);
+        p.record(1, 256, false);
+        p.record(2, 512, true);
+        assert_eq!(p.page_class(0), Some(PageClass::ReadWriteShared));
+        // The written line itself is private at line granularity:
+        // the false-sharing effect the paper highlights.
+        let lb = p.line_breakdown();
+        assert_eq!(lb.rw_shared_units, 0);
+        assert_eq!(lb.private_units, 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut p = SharingProfile::new(8192, 128);
+        for g in 0..4 {
+            for i in 0..100u64 {
+                p.record(g, i * 128 * (g as u64 + 1), i % 7 == 0);
+            }
+        }
+        let (pr, ro, rw) = p.page_breakdown().fractions();
+        assert!((pr + ro + rw - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_footprint_counts_shared_pages_only() {
+        let mut p = SharingProfile::new(8192, 128);
+        p.record(0, 0, false); // private page 0
+        p.record(0, 8192, false); // page 1 shared RO
+        p.record(1, 8192 + 128, false);
+        assert_eq!(p.shared_footprint_bytes(), 8192);
+        assert_eq!(p.touched_footprint_bytes(), 2 * 8192);
+    }
+
+    #[test]
+    fn coldest_pages_picks_least_accessed() {
+        let mut p = SharingProfile::new(8192, 128);
+        for _ in 0..10 {
+            p.record(0, 0, false); // hot page 0
+        }
+        p.record(0, 8192, false); // cold page 1
+        p.record(0, 16384, false); // cold page 2
+        let cold = p.coldest_pages(0.67);
+        assert_eq!(cold.len(), 2);
+        assert!(cold.contains(&1) && cold.contains(&2));
+    }
+
+    #[test]
+    fn replication_multiplier_counts_sharers() {
+        let mut p = SharingProfile::new(8192, 128);
+        // One private page + one page shared by 4 GPUs.
+        p.record(0, 0, false);
+        for g in 0..4 {
+            p.record(g, 8192, false);
+        }
+        // (1 + 4) / 2 pages = 2.5x
+        assert!((p.replication_footprint_multiplier() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ml_workload_profiles_as_ro_shared_heavy() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("AlexNet").unwrap();
+        let p = profile_workload(&spec, &cfg, 4);
+        let b = p.page_breakdown();
+        let (_, ro, rw) = b.fractions();
+        assert!(ro > 0.25, "AlexNet RO-shared fraction too low: {ro}");
+        assert!(rw < 0.15, "AlexNet should have almost no RW sharing: {rw}");
+    }
+
+    #[test]
+    fn streaming_workload_profiles_as_private() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("stream-triad").unwrap();
+        let p = profile_workload(&spec, &cfg, 4);
+        let (pr, _, _) = p.page_breakdown().fractions();
+        assert!(pr > 0.9, "stream-triad should be private-heavy: {pr}");
+    }
+
+    #[test]
+    fn false_sharing_gap_page_vs_line() {
+        // The paper's key Figure 4 insight: RW sharing at page granularity
+        // far exceeds RW sharing at line granularity.
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("Lulesh").unwrap();
+        let p = profile_workload(&spec, &cfg, 4);
+        let (_, _, rw_page) = p.page_breakdown().fractions();
+        let (_, _, rw_line) = p.line_breakdown().fractions();
+        assert!(
+            rw_page > rw_line * 1.5,
+            "page RW {rw_page} should exceed line RW {rw_line}"
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! System configuration.
+//!
+//! [`BaselineConfig`] records the paper's Table III parameters verbatim
+//! (4 GPUs, 64 SMs each, 2 MB pages, 8 MB L2 per GPU, 64 GB/s NVLink,
+//! 1 TB/s HBM, 32 GB memory per GPU). Simulating that machine for four
+//! billion warp-instructions is not feasible in a test suite, so every
+//! experiment runs a [`ScaledConfig`]: all *capacities* are divided by
+//! `capacity_scale` and the machine is narrowed (fewer SMs/warps) with
+//! *bandwidths* divided by the same width factor. Because the NUMA
+//! phenomena under study are governed by capacity *ratios* (shared
+//! footprint vs LLC vs RDC) and bandwidth *ratios* (HBM vs link), the
+//! scaled system reproduces the paper's qualitative behaviour.
+
+use crate::units::{gbs_to_bytes_per_cycle, GIB, KIB, MIB};
+
+/// The paper's baseline multi-GPU system (Table III), unscaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Number of GPU nodes (paper: 4).
+    pub num_gpus: usize,
+    /// SMs per GPU (paper: 64, for 256 total).
+    pub sms_per_gpu: usize,
+    /// Maximum resident warps per SM (paper: 64).
+    pub warps_per_sm: usize,
+    /// GPU core frequency in GHz (paper: 1 GHz).
+    pub gpu_freq_ghz: f64,
+    /// OS page size in bytes (paper: 2 MB).
+    pub page_size: u64,
+    /// Cache line size in bytes (paper: 128 B).
+    pub line_size: u64,
+    /// L1 data cache per SM in bytes (paper: 128 KB, 4 ways).
+    pub l1_bytes_per_sm: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 (LLC) per GPU in bytes (paper: 32 MB total across 4 GPUs).
+    pub l2_bytes_per_gpu: u64,
+    /// L2 associativity (paper: 16 ways).
+    pub l2_ways: usize,
+    /// Uni-directional inter-GPU link bandwidth in GB/s (paper: 64).
+    pub inter_gpu_link_gbs: f64,
+    /// CPU-GPU link bandwidth in GB/s per GPU (paper: 32).
+    pub cpu_gpu_link_gbs: f64,
+    /// Local DRAM bandwidth per GPU in GB/s (paper: 1 TB/s).
+    pub dram_gbs_per_gpu: f64,
+    /// DRAM capacity per GPU in bytes (paper: 32 GB).
+    pub dram_capacity_per_gpu: u64,
+    /// RDC carve-out per GPU in bytes (paper default evaluation: 2 GB).
+    pub rdc_bytes_per_gpu: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> BaselineConfig {
+        BaselineConfig {
+            num_gpus: 4,
+            sms_per_gpu: 64,
+            warps_per_sm: 64,
+            gpu_freq_ghz: 1.0,
+            page_size: 2 * MIB,
+            line_size: 128,
+            l1_bytes_per_sm: 128 * KIB,
+            l1_ways: 4,
+            l2_bytes_per_gpu: 8 * MIB,
+            l2_ways: 16,
+            inter_gpu_link_gbs: 64.0,
+            cpu_gpu_link_gbs: 32.0,
+            dram_gbs_per_gpu: 1000.0,
+            dram_capacity_per_gpu: 32 * GIB,
+            rdc_bytes_per_gpu: 2 * GIB,
+        }
+    }
+}
+
+/// Default linear capacity scale (1/256 of the paper machine).
+pub const DEFAULT_CAPACITY_SCALE: u64 = 256;
+/// Default machine-width scale (64 SMs → 8 SMs per GPU).
+pub const DEFAULT_WIDTH_SCALE: u64 = 8;
+
+/// The concrete, scaled configuration consumed by every simulator component.
+///
+/// Construct via [`ScaledConfig::default`] (paper machine at default scale)
+/// or [`ScaledConfig::from_baseline`] for explicit scales, then tweak fields
+/// for sweeps (e.g. `cfg.link_bytes_per_cycle /= 2.0` for the Fig 14 sweep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledConfig {
+    /// Number of GPU nodes.
+    pub num_gpus: usize,
+    /// SMs per GPU after width scaling.
+    pub sms_per_gpu: usize,
+    /// Warp slots per SM after width scaling.
+    pub warps_per_sm: usize,
+    /// Cache line size in bytes (never scaled: 128 B).
+    pub line_size: u64,
+    /// Page size in bytes after capacity scaling (2 MB / 256 = 8 KB).
+    pub page_size: u64,
+    /// L1 bytes per SM after capacity scaling.
+    pub l1_bytes_per_sm: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency: u64,
+    /// L2 bytes per GPU after capacity scaling.
+    pub l2_bytes_per_gpu: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Number of independent L2 banks per GPU.
+    pub l2_banks: usize,
+    /// L2 hit latency in cycles.
+    pub l2_hit_latency: u64,
+    /// L2 MSHR entries per bank.
+    pub l2_mshrs_per_bank: usize,
+    /// L1 TLB entries per SM.
+    pub l1_tlb_entries: usize,
+    /// Shared L2 TLB entries per GPU.
+    pub l2_tlb_entries: usize,
+    /// Page-table walk latency in cycles.
+    pub walk_latency: u64,
+    /// DRAM channels per GPU.
+    pub dram_channels: usize,
+    /// Banks per DRAM channel.
+    pub dram_banks_per_channel: usize,
+    /// Per-channel data bandwidth in bytes/cycle after width scaling.
+    pub dram_channel_bytes_per_cycle: f64,
+    /// Row-activate latency (tRCD) in cycles.
+    pub dram_t_rcd: u64,
+    /// Precharge latency (tRP) in cycles.
+    pub dram_t_rp: u64,
+    /// Column access latency (tCL) in cycles.
+    pub dram_t_cl: u64,
+    /// Fixed controller + PHY + on-die network pipeline latency added to
+    /// every DRAM access (puts total local HBM latency near the ~300 ns
+    /// GPUs observe).
+    pub dram_fixed_latency: u64,
+    /// Read/write queue depth per channel (paper: 128).
+    pub dram_queue_depth: usize,
+    /// Write-queue high watermark triggering a drain batch.
+    pub dram_write_drain_high: usize,
+    /// Write-queue low watermark ending a drain batch.
+    pub dram_write_drain_low: usize,
+    /// DRAM row-buffer (page) size in bytes.
+    pub dram_row_bytes: u64,
+    /// Inter-GPU link bandwidth in bytes/cycle per direction (after width
+    /// scaling; paper 64 GB/s ÷ 8 = 8 B/cyc).
+    pub link_bytes_per_cycle: f64,
+    /// Inter-GPU link latency in cycles (one direction).
+    pub link_latency: u64,
+    /// CPU link bandwidth in bytes/cycle per GPU.
+    pub cpu_link_bytes_per_cycle: f64,
+    /// CPU link + system memory access latency in cycles.
+    pub cpu_link_latency: u64,
+    /// GPU memory capacity per GPU in bytes after capacity scaling.
+    pub mem_bytes_per_gpu: u64,
+    /// RDC carve-out per GPU in bytes after capacity scaling (0 = no RDC).
+    pub rdc_bytes_per_gpu: u64,
+    /// The capacity scale this config was derived with.
+    pub capacity_scale: u64,
+    /// The width scale this config was derived with.
+    pub width_scale: u64,
+}
+
+impl Default for ScaledConfig {
+    fn default() -> ScaledConfig {
+        ScaledConfig::from_baseline(
+            &BaselineConfig::default(),
+            DEFAULT_CAPACITY_SCALE,
+            DEFAULT_WIDTH_SCALE,
+        )
+    }
+}
+
+impl ScaledConfig {
+    /// Derives a scaled machine from `base`.
+    ///
+    /// Capacities (caches, memories, pages) are divided by
+    /// `capacity_scale`; machine width (SMs, warps) and bandwidths are
+    /// divided by `width_scale`. Latencies are left at paper-machine values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either scale is zero or scales the machine below one
+    /// SM / one line-sized page.
+    pub fn from_baseline(
+        base: &BaselineConfig,
+        capacity_scale: u64,
+        width_scale: u64,
+    ) -> ScaledConfig {
+        assert!(
+            capacity_scale > 0 && width_scale > 0,
+            "scales must be positive"
+        );
+        let sms_per_gpu = (base.sms_per_gpu as u64 / width_scale).max(1) as usize;
+        let warps_per_sm = (base.warps_per_sm as u64 / (width_scale / 2).max(1)).max(2) as usize;
+        let page_size = (base.page_size / capacity_scale).max(base.line_size * 4);
+        let freq = base.gpu_freq_ghz;
+        let ws = width_scale as f64;
+        let dram_channels = 8usize;
+        let dram_bpc =
+            gbs_to_bytes_per_cycle(base.dram_gbs_per_gpu, freq) / ws / dram_channels as f64;
+        ScaledConfig {
+            num_gpus: base.num_gpus,
+            sms_per_gpu,
+            warps_per_sm,
+            line_size: base.line_size,
+            page_size,
+            l1_bytes_per_sm: (base.l1_bytes_per_sm / capacity_scale).max(base.line_size * 8),
+            l1_ways: base.l1_ways,
+            l1_hit_latency: 28,
+            l2_bytes_per_gpu: (base.l2_bytes_per_gpu / capacity_scale).max(base.line_size * 32),
+            l2_ways: base.l2_ways,
+            l2_banks: 4,
+            l2_hit_latency: 120,
+            l2_mshrs_per_bank: 64,
+            l1_tlb_entries: 16,
+            l2_tlb_entries: 512,
+            walk_latency: 300,
+            dram_channels,
+            dram_banks_per_channel: 16,
+            dram_channel_bytes_per_cycle: dram_bpc,
+            dram_t_rcd: 14,
+            dram_t_rp: 14,
+            dram_t_cl: 14,
+            dram_fixed_latency: 250,
+            dram_queue_depth: 128,
+            dram_write_drain_high: 96,
+            dram_write_drain_low: 32,
+            dram_row_bytes: 2 * KIB,
+            link_bytes_per_cycle: gbs_to_bytes_per_cycle(base.inter_gpu_link_gbs, freq) / ws,
+            link_latency: 200,
+            cpu_link_bytes_per_cycle: gbs_to_bytes_per_cycle(base.cpu_gpu_link_gbs, freq) / ws,
+            cpu_link_latency: 500,
+            mem_bytes_per_gpu: base.dram_capacity_per_gpu / capacity_scale,
+            rdc_bytes_per_gpu: base.rdc_bytes_per_gpu / capacity_scale,
+            capacity_scale,
+            width_scale,
+        }
+    }
+
+    /// Total SMs in the system.
+    pub fn total_sms(&self) -> usize {
+        self.num_gpus * self.sms_per_gpu
+    }
+
+    /// Total L2 capacity across all GPUs in bytes.
+    pub fn total_l2_bytes(&self) -> u64 {
+        self.l2_bytes_per_gpu * self.num_gpus as u64
+    }
+
+    /// Aggregate local DRAM bandwidth per GPU in bytes/cycle.
+    pub fn dram_bytes_per_cycle_per_gpu(&self) -> f64 {
+        self.dram_channel_bytes_per_cycle * self.dram_channels as f64
+    }
+
+    /// Ratio of local DRAM bandwidth to one link's bandwidth; the paper's
+    /// headline NUMA differential (≈ 15.6×).
+    pub fn numa_bandwidth_ratio(&self) -> f64 {
+        self.dram_bytes_per_cycle_per_gpu() / self.link_bytes_per_cycle
+    }
+
+    /// Converts a paper-scale byte quantity (e.g. a Table II footprint) to
+    /// this configuration's scale.
+    pub fn scale_bytes(&self, paper_bytes: u64) -> u64 {
+        (paper_bytes / self.capacity_scale).max(self.page_size)
+    }
+
+    /// Fraction of GPU memory consumed by the RDC carve-out.
+    pub fn rdc_fraction(&self) -> f64 {
+        self.rdc_bytes_per_gpu as f64 / self.mem_bytes_per_gpu as f64
+    }
+
+    /// OS-visible memory per GPU after the carve-out.
+    pub fn os_visible_bytes_per_gpu(&self) -> u64 {
+        self.mem_bytes_per_gpu - self.rdc_bytes_per_gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preserves_paper_ratios() {
+        let cfg = ScaledConfig::default();
+        // NUMA bandwidth differential ~ 1000/64 ≈ 15.6x regardless of scale.
+        assert!((cfg.numa_bandwidth_ratio() - 1000.0 / 64.0).abs() < 0.01);
+        // RDC is 6.25% of GPU memory, as in the paper's 2GB/32GB evaluation.
+        assert!((cfg.rdc_fraction() - 0.0625).abs() < 1e-9);
+        // Page size scaled 2MB/256 = 8KB.
+        assert_eq!(cfg.page_size, 8 * KIB);
+        assert_eq!(cfg.num_gpus, 4);
+    }
+
+    #[test]
+    fn capacity_scaling_divides_sizes() {
+        let base = BaselineConfig::default();
+        let cfg = ScaledConfig::from_baseline(&base, 1024, 8);
+        assert_eq!(cfg.mem_bytes_per_gpu, 32 * GIB / 1024);
+        assert_eq!(cfg.rdc_bytes_per_gpu, 2 * GIB / 1024);
+        assert_eq!(cfg.l2_bytes_per_gpu, 8 * MIB / 1024);
+    }
+
+    #[test]
+    fn width_scaling_divides_bandwidth_and_sms() {
+        let base = BaselineConfig::default();
+        let a = ScaledConfig::from_baseline(&base, 256, 4);
+        let b = ScaledConfig::from_baseline(&base, 256, 8);
+        assert_eq!(a.sms_per_gpu, 16);
+        assert_eq!(b.sms_per_gpu, 8);
+        assert!((a.link_bytes_per_cycle / b.link_bytes_per_cycle - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscaled_config_matches_paper() {
+        let cfg = ScaledConfig::from_baseline(&BaselineConfig::default(), 1, 1);
+        assert_eq!(cfg.sms_per_gpu, 64);
+        assert_eq!(cfg.page_size, 2 * MIB);
+        assert!((cfg.link_bytes_per_cycle - 64.0).abs() < 1e-9);
+        assert!((cfg.dram_bytes_per_cycle_per_gpu() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_bytes_never_below_page() {
+        let cfg = ScaledConfig::default();
+        assert_eq!(cfg.scale_bytes(100), cfg.page_size);
+        assert_eq!(cfg.scale_bytes(24 * MIB), 24 * MIB / 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "scales must be positive")]
+    fn zero_scale_panics() {
+        let _ = ScaledConfig::from_baseline(&BaselineConfig::default(), 0, 1);
+    }
+
+    #[test]
+    fn os_visible_memory_excludes_carve_out() {
+        let cfg = ScaledConfig::default();
+        assert_eq!(
+            cfg.os_visible_bytes_per_gpu(),
+            cfg.mem_bytes_per_gpu - cfg.rdc_bytes_per_gpu
+        );
+    }
+}

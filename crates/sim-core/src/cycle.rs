@@ -1,0 +1,131 @@
+//! Simulation clock.
+//!
+//! The whole simulator is stepped at GPU core frequency (nominally 1 GHz, so
+//! one [`Cycle`] ≈ 1 ns). A newtype keeps cycle arithmetic from being mixed
+//! up with other integer quantities (instruction counts, byte counts, ...).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in GPU core clock cycles.
+///
+/// `Cycle` is also used for durations; the arithmetic impls below cover the
+/// few operations the simulator needs (`+`, `+=`, saturating `-`).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Cycle;
+/// let t = Cycle(10) + Cycle(5);
+/// assert_eq!(t.0, 15);
+/// assert_eq!(t - Cycle(20), Cycle(0)); // saturating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero point of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Largest representable time; used as "never" for idle schedulers.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Advances time by one cycle.
+    #[inline]
+    pub fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Converts to nanoseconds given a core frequency in GHz.
+    pub fn to_nanos(self, freq_ghz: f64) -> f64 {
+        self.0 as f64 / freq_ghz
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// Saturating subtraction: durations never go negative.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        assert_eq!(c, Cycle(3));
+        assert_eq!(Cycle(3) - Cycle(5), Cycle::ZERO);
+        assert_eq!(Cycle(9).since(Cycle(4)), Cycle(5));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(42).to_string(), "42 cyc");
+        assert_eq!(Cycle::from(7u64).as_u64(), 7);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        assert!((Cycle(2000).to_nanos(2.0) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Engine substrate for the `carve-mgpu` multi-GPU NUMA simulator.
+//!
+//! This crate holds the pieces every other crate in the workspace leans on:
+//!
+//! * [`cycle`] — the simulation clock ([`Cycle`]) and time arithmetic,
+//! * [`rng`] — deterministic, splittable pseudo-random streams,
+//! * [`stats`] — counters, histograms and summary math (geometric mean),
+//! * [`queue`] — bounded FIFO queues used to connect pipeline stages,
+//! * [`config`] — the scaled system configuration shared by all components,
+//! * [`units`] — byte-size / bandwidth formatting helpers.
+//!
+//! The simulator is cycle-stepped and single threaded: determinism is a core
+//! design goal (two runs with the same seed produce bit-identical results),
+//! which is why random streams are derived from explicit seeds rather than
+//! OS entropy.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::rng::Stream;
+//! use sim_core::stats::geomean;
+//!
+//! let mut s = Stream::from_parts(&[1, 2, 3]);
+//! let x = s.next_u64();
+//! let y = Stream::from_parts(&[1, 2, 3]).next_u64();
+//! assert_eq!(x, y); // deterministic
+//! assert!((geomean([2.0, 8.0].iter().copied()) - 4.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cycle;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use config::{BaselineConfig, ScaledConfig};
+pub use cycle::Cycle;
+pub use queue::BoundedQueue;
+pub use rng::Stream;
+pub use stats::{geomean, Counter, Histogram};

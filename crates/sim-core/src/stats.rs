@@ -1,0 +1,297 @@
+//! Counters, histograms and summary statistics.
+//!
+//! Components accumulate raw event counts into [`Counter`]s and latency /
+//! size distributions into [`Histogram`]s; experiment harnesses reduce
+//! per-workload results with [`geomean`] the same way the paper reports
+//! geometric-mean speedups.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This counter as a fraction of `total` (0.0 if `total` is zero).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A power-of-two bucketed histogram for latencies and sizes.
+///
+/// Values are placed into bucket `floor(log2(v))` (value 0 goes into bucket
+/// 0), which is plenty of resolution for order-of-magnitude latency
+/// distributions while staying allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(100);
+/// h.record(300);
+/// assert_eq!(h.count(), 2);
+/// assert!((h.mean() - 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = 63 - (v | 1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate p-th percentile (`p` in 0..=100) using bucket lower
+    /// bounds; adequate for order-of-magnitude latency reporting.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Some(1u64 << i);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+///
+/// Returns 0.0 for an empty iterator. Non-positive values are clamped to a
+/// tiny epsilon so a single degenerate data point cannot poison a report.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::geomean;
+/// let g = geomean([1.0, 4.0].iter().copied());
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean of an iterator of values (0.0 when empty).
+pub fn mean<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert!((c.fraction_of(40) - 0.25).abs() < 1e-12);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(16));
+        assert!((h.mean() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_zero_value_ok() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p50 <= p99);
+        assert!(h.percentile(0.0).is_some());
+    }
+
+    #[test]
+    fn histogram_empty_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(1000));
+        assert_eq!(a.min(), Some(10));
+    }
+
+    #[test]
+    fn geomean_and_mean() {
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+        assert!((geomean([3.0, 3.0, 3.0].iter().copied()) - 3.0).abs() < 1e-12);
+        assert!((mean([1.0, 2.0, 3.0].iter().copied()) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn geomean_clamps_nonpositive() {
+        let g = geomean([0.0, 1.0].iter().copied());
+        assert!(g >= 0.0 && g < 1.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Byte-size and bandwidth formatting helpers.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Formats a byte count with a binary-prefix unit, e.g. `2.0 GiB`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sim_core::units::fmt_bytes(3 * 1024 * 1024), "3.0 MiB");
+/// assert_eq!(sim_core::units::fmt_bytes(512), "512 B");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Converts a bandwidth in GB/s to bytes per cycle at `freq_ghz`.
+///
+/// At 1 GHz, 64 GB/s is exactly 64 bytes per cycle.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sim_core::units::gbs_to_bytes_per_cycle(64.0, 1.0), 64.0);
+/// ```
+pub fn gbs_to_bytes_per_cycle(gbs: f64, freq_ghz: f64) -> f64 {
+    gbs / freq_ghz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_each_magnitude() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(5 * MIB), "5.0 MiB");
+        assert_eq!(fmt_bytes(2 * GIB), "2.0 GiB");
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        assert!((gbs_to_bytes_per_cycle(1000.0, 1.0) - 1000.0).abs() < 1e-9);
+        assert!((gbs_to_bytes_per_cycle(64.0, 2.0) - 32.0).abs() < 1e-9);
+    }
+}

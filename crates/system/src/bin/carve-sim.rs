@@ -1,0 +1,289 @@
+//! `carve-sim` — command-line front end to the multi-GPU NUMA simulator.
+//!
+//! ```text
+//! carve-sim list                          # the 20 workload models
+//! carve-sim run <workload> [options]      # simulate one configuration
+//! carve-sim compare <workload>            # all designs side by side
+//! carve-sim profile <workload>            # Figure-4 style sharing profile
+//!
+//! options for `run`:
+//!   --design <1-gpu|numa|numa-migrate|numa-repl|ideal|carve-nc|carve-swc|carve-hwc>
+//!   --rdc <bytes-per-gpu>        RDC carve-out override (scaled bytes)
+//!   --spill <fraction>           UM cold-page spill fraction (0..1)
+//!   --link-gbs <gbs>             inter-GPU link bandwidth, paper-equivalent GB/s
+//!   --gpus <n>                   GPU count (default 4)
+//!   --predictor                  enable the RDC hit predictor
+//!   --directory                  directory coherence instead of broadcast
+//! ```
+
+use std::process::ExitCode;
+
+use carve_system::{profile_workload, run, workloads, Design, SimConfig};
+
+fn parse_design(s: &str) -> Option<Design> {
+    Some(match s {
+        "1-gpu" | "single" => Design::SingleGpu,
+        "numa" => Design::NumaGpu,
+        "numa-migrate" => Design::NumaGpuMigrate,
+        "numa-repl" => Design::NumaGpuRepl,
+        "ideal" => Design::Ideal,
+        "carve-nc" => Design::CarveNc,
+        "carve-swc" => Design::CarveSwc,
+        "carve-hwc" | "carve" => Design::CarveHwc,
+        _ => return None,
+    })
+}
+
+/// Parsed `run` options (exposed for unit testing).
+#[derive(Debug, Clone, PartialEq)]
+struct RunArgs {
+    workload: String,
+    design: Design,
+    rdc: Option<u64>,
+    spill: f64,
+    link_gbs: Option<f64>,
+    gpus: Option<usize>,
+    predictor: bool,
+    directory: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut it = args.iter();
+    let workload = it
+        .next()
+        .ok_or_else(|| "run: missing <workload>".to_string())?
+        .clone();
+    let mut out = RunArgs {
+        workload,
+        design: Design::CarveHwc,
+        rdc: None,
+        spill: 0.0,
+        link_gbs: None,
+        gpus: None,
+        predictor: false,
+        directory: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--design" => {
+                let v = it.next().ok_or("--design needs a value")?;
+                out.design = parse_design(v).ok_or_else(|| format!("unknown design '{v}'"))?;
+            }
+            "--rdc" => {
+                let v = it.next().ok_or("--rdc needs a value")?;
+                out.rdc = Some(v.parse().map_err(|_| format!("bad --rdc '{v}'"))?);
+            }
+            "--spill" => {
+                let v = it.next().ok_or("--spill needs a value")?;
+                out.spill = v.parse().map_err(|_| format!("bad --spill '{v}'"))?;
+                if !(0.0..=1.0).contains(&out.spill) {
+                    return Err(format!("--spill must be in 0..=1, got {}", out.spill));
+                }
+            }
+            "--link-gbs" => {
+                let v = it.next().ok_or("--link-gbs needs a value")?;
+                out.link_gbs = Some(v.parse().map_err(|_| format!("bad --link-gbs '{v}'"))?);
+            }
+            "--gpus" => {
+                let v = it.next().ok_or("--gpus needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --gpus '{v}'"))?;
+                if !(1..=16).contains(&n) {
+                    return Err(format!("--gpus must be 1..=16, got {n}"));
+                }
+                out.gpus = Some(n);
+            }
+            "--predictor" => out.predictor = true,
+            "--directory" => out.directory = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn sim_config_from(args: &RunArgs) -> SimConfig {
+    let mut sim = SimConfig::new(args.design);
+    sim.rdc_bytes = args.rdc;
+    sim.spill_fraction = args.spill;
+    sim.hit_predictor = args.predictor;
+    sim.directory_coherence = args.directory;
+    if let Some(gbs) = args.link_gbs {
+        // Paper-equivalent GB/s, divided by the width scale like the
+        // default 64 GB/s is.
+        sim.cfg.link_bytes_per_cycle = gbs / sim.cfg.width_scale as f64;
+    }
+    if let Some(gpus) = args.gpus {
+        sim.cfg.num_gpus = gpus;
+    }
+    sim
+}
+
+fn print_result(r: &carve_system::SimResult) {
+    println!("workload:           {}", r.workload);
+    println!("design:             {}", r.design.label());
+    println!("cycles:             {}", r.cycles);
+    println!("instructions:       {}", r.instructions);
+    println!("ipc:                {:.2}", r.ipc());
+    println!("remote accesses:    {:.1}%", 100.0 * r.remote_fraction());
+    println!("rdc hit rate:       {:.1}%", 100.0 * r.rdc.hit_rate());
+    println!("link bytes:         {}", r.link_bytes);
+    println!("cpu link bytes:     {}", r.cpu_link_bytes);
+    println!("migrations:         {}", r.migrations);
+    println!("coherence bcasts:   {}", r.broadcasts);
+    println!(
+        "read latency:       mean {:.0} cyc, p50 {}, p99 {}",
+        r.read_latency.mean(),
+        r.read_latency.percentile(50.0).unwrap_or(0),
+        r.read_latency.percentile(99.0).unwrap_or(0)
+    );
+    println!("completed:          {}", r.completed);
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: carve-sim <list|run|compare|profile> [args]  (see --help in source header)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<14} {:>6} {:>9} {:>8}  suite", "workload", "kernels", "footprint", "instrs");
+            for w in workloads::all() {
+                println!(
+                    "{:<14} {:>6} {:>8}M {:>7}k  {}",
+                    w.name,
+                    w.shape.kernels,
+                    w.paper_footprint >> 20,
+                    w.shape.total_instrs() / 1000,
+                    w.suite.label()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let parsed = match parse_run_args(&args[1..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(spec) = workloads::by_name(&parsed.workload) else {
+                eprintln!("error: unknown workload '{}' (try `carve-sim list`)", parsed.workload);
+                return ExitCode::FAILURE;
+            };
+            let sim = sim_config_from(&parsed);
+            print_result(&run(&spec, &sim));
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(spec) = workloads::by_name(name) else {
+                eprintln!("error: unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            println!(
+                "{:<18} {:>10} {:>7} {:>8} {:>9}",
+                "design", "cycles", "ipc", "remote", "rdc-hit"
+            );
+            for design in Design::all() {
+                let r = run(&spec, &SimConfig::new(design));
+                println!(
+                    "{:<18} {:>10} {:>7.2} {:>7.1}% {:>8.1}%",
+                    design.label(),
+                    r.cycles,
+                    r.ipc(),
+                    100.0 * r.remote_fraction(),
+                    100.0 * r.rdc.hit_rate()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("profile") => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(spec) = workloads::by_name(name) else {
+                eprintln!("error: unknown workload '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let sim = SimConfig::new(Design::NumaGpu);
+            let p = profile_workload(&spec, &sim.cfg, sim.cfg.num_gpus);
+            let (pp, pro, prw) = p.page_breakdown().fractions();
+            let (lp, lro, lrw) = p.line_breakdown().fractions();
+            println!("sharing profile of {name} on {} GPUs:", sim.cfg.num_gpus);
+            println!("  pages: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared", 100.0*pp, 100.0*pro, 100.0*prw);
+            println!("  lines: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared", 100.0*lp, 100.0*lro, 100.0*lrw);
+            println!("  shared footprint: {} (x{} paper-equivalent)", p.shared_footprint_bytes(), sim.cfg.capacity_scale);
+            println!("  replication multiplier: {:.2}x", p.replication_footprint_multiplier());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_run() {
+        let a = parse_run_args(&strs(&["Lulesh"])).unwrap();
+        assert_eq!(a.workload, "Lulesh");
+        assert_eq!(a.design, Design::CarveHwc);
+        assert_eq!(a.spill, 0.0);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let a = parse_run_args(&strs(&[
+            "XSBench",
+            "--design",
+            "carve-swc",
+            "--rdc",
+            "1048576",
+            "--spill",
+            "0.0625",
+            "--link-gbs",
+            "128",
+            "--gpus",
+            "8",
+            "--predictor",
+            "--directory",
+        ]))
+        .unwrap();
+        assert_eq!(a.design, Design::CarveSwc);
+        assert_eq!(a.rdc, Some(1048576));
+        assert!((a.spill - 0.0625).abs() < 1e-12);
+        assert_eq!(a.link_gbs, Some(128.0));
+        assert_eq!(a.gpus, Some(8));
+        assert!(a.predictor && a.directory);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_run_args(&[]).is_err());
+        assert!(parse_run_args(&strs(&["w", "--design", "nope"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--spill", "1.5"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--gpus", "0"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn design_aliases() {
+        assert_eq!(parse_design("carve"), Some(Design::CarveHwc));
+        assert_eq!(parse_design("single"), Some(Design::SingleGpu));
+        assert_eq!(parse_design("x"), None);
+    }
+
+    #[test]
+    fn link_gbs_scales_with_width() {
+        let mut a = parse_run_args(&strs(&["w", "--link-gbs", "64"])).unwrap();
+        a.workload = "w".into();
+        let sim = sim_config_from(&a);
+        let default = SimConfig::new(Design::CarveHwc);
+        assert!((sim.cfg.link_bytes_per_cycle - default.cfg.link_bytes_per_cycle).abs() < 1e-9);
+    }
+}

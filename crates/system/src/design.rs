@@ -1,0 +1,231 @@
+//! The named system configurations of the paper's figures.
+
+use carve::{CoherencePolicy, WritePolicy};
+use carve_runtime::page_table::{PlacementPolicy, Replication};
+use sim_core::ScaledConfig;
+
+/// One of the system designs the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// A single GPU running the whole workload: the speedup baseline of
+    /// Figure 13.
+    SingleGpu,
+    /// Baseline NUMA-GPU (Milic et al.): contiguous CTA batches,
+    /// first-touch placement, remote data cached in the (software-coherent)
+    /// LLC.
+    NumaGpu,
+    /// NUMA-GPU plus reactive page migration.
+    NumaGpuMigrate,
+    /// NUMA-GPU plus software replication of read-only shared pages.
+    NumaGpuRepl,
+    /// The upper bound: every shared page replicated locally at zero cost.
+    Ideal,
+    /// NUMA-GPU + CARVE with zero-overhead coherence (upper bound for RDC).
+    CarveNc,
+    /// NUMA-GPU + CARVE with software coherence: RDC epoch-flushed at every
+    /// kernel boundary.
+    CarveSwc,
+    /// NUMA-GPU + CARVE with hardware coherence (GPU-VI + IMST).
+    CarveHwc,
+}
+
+impl Design {
+    /// All designs in presentation order.
+    pub fn all() -> [Design; 8] {
+        [
+            Design::SingleGpu,
+            Design::NumaGpu,
+            Design::NumaGpuMigrate,
+            Design::NumaGpuRepl,
+            Design::Ideal,
+            Design::CarveNc,
+            Design::CarveSwc,
+            Design::CarveHwc,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::SingleGpu => "1-GPU",
+            Design::NumaGpu => "NUMA-GPU",
+            Design::NumaGpuMigrate => "NUMA-GPU+Migrate",
+            Design::NumaGpuRepl => "NUMA-GPU+RO-Repl",
+            Design::Ideal => "Ideal",
+            Design::CarveNc => "CARVE-NC",
+            Design::CarveSwc => "CARVE-SWC",
+            Design::CarveHwc => "CARVE-HWC",
+        }
+    }
+
+    /// Whether the design carves an RDC out of GPU memory.
+    pub fn uses_carve(self) -> bool {
+        matches!(self, Design::CarveNc | Design::CarveSwc | Design::CarveHwc)
+    }
+
+    /// The RDC coherence policy, when CARVE is in use.
+    pub fn coherence(self) -> Option<CoherencePolicy> {
+        match self {
+            Design::CarveNc => Some(CoherencePolicy::NoCoherence),
+            Design::CarveSwc => Some(CoherencePolicy::Software),
+            Design::CarveHwc => Some(CoherencePolicy::Hardware),
+            _ => None,
+        }
+    }
+
+    /// The software placement policy layered on first-touch.
+    pub fn placement_policy(self) -> PlacementPolicy {
+        match self {
+            Design::NumaGpuMigrate => PlacementPolicy {
+                migration: true,
+                migration_threshold: 16,
+                ..Default::default()
+            },
+            Design::NumaGpuRepl => PlacementPolicy {
+                replication: Replication::ReadOnlyShared,
+                ..Default::default()
+            },
+            Design::Ideal => PlacementPolicy {
+                replication: Replication::AllShared,
+                ..Default::default()
+            },
+            _ => PlacementPolicy::default(),
+        }
+    }
+
+    /// Whether remotely-homed L2 lines are invalidated at kernel
+    /// boundaries (software-coherent LLC). Hardware coherence and the
+    /// no-coherence upper bound retain the LLC across kernels.
+    pub fn flushes_llc_at_boundary(self) -> bool {
+        !matches!(self, Design::CarveNc | Design::CarveHwc)
+    }
+
+    /// Number of GPUs this design runs on, given a base config.
+    pub fn num_gpus(self, cfg: &ScaledConfig) -> usize {
+        if self == Design::SingleGpu {
+            1
+        } else {
+            cfg.num_gpus
+        }
+    }
+}
+
+/// A complete simulation request: design + machine + experiment knobs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scaled machine parameters.
+    pub cfg: ScaledConfig,
+    /// System design.
+    pub design: Design,
+    /// RDC carve-out override in bytes per GPU (defaults to
+    /// `cfg.rdc_bytes_per_gpu`).
+    pub rdc_bytes: Option<u64>,
+    /// Fraction of the touched footprint spilled to system memory
+    /// (Table V(b)'s UM experiment). Cold pages are chosen by profile.
+    pub spill_fraction: f64,
+    /// Enables the RDC hit predictor (probe bypass on predicted misses).
+    pub hit_predictor: bool,
+    /// RDC write policy (the paper adopts write-through; write-back with a
+    /// dirty-map flush is the ablation variant).
+    pub rdc_write_policy: WritePolicy,
+    /// Disables the IMST filter so every write broadcasts (raw GPU-VI
+    /// ablation). Only meaningful for [`Design::CarveHwc`].
+    pub gpu_vi_broadcast_always: bool,
+    /// Uses a per-home sharer directory instead of broadcast invalidation
+    /// (the paper's Section V-E scalability alternative). Only meaningful
+    /// for [`Design::CarveHwc`].
+    pub directory_coherence: bool,
+    /// Lets the RDC also cache system (CPU) memory, per the paper's
+    /// footnote 2 — assumes CPU-GPU coherence support (Agarwal et al.,
+    /// HPCA'16).
+    pub rdc_caches_sysmem: bool,
+    /// Hard cycle cap; runs exceeding it report `completed = false`.
+    pub max_cycles: u64,
+    /// Cycles charged per kernel launch.
+    pub kernel_launch_cycles: u64,
+}
+
+impl SimConfig {
+    /// A default-machine simulation of `design`.
+    pub fn new(design: Design) -> SimConfig {
+        SimConfig {
+            cfg: ScaledConfig::default(),
+            design,
+            rdc_bytes: None,
+            spill_fraction: 0.0,
+            hit_predictor: false,
+            rdc_write_policy: WritePolicy::WriteThrough,
+            gpu_vi_broadcast_always: false,
+            directory_coherence: false,
+            rdc_caches_sysmem: false,
+            max_cycles: 80_000_000,
+            // Scaled with kernel runtime: paper kernels run 10^6..10^8
+            // cycles against ~microsecond launch overheads; our scaled
+            // kernels run 10^4..10^5 cycles.
+            kernel_launch_cycles: 400,
+        }
+    }
+
+    /// Same, with an explicit machine configuration.
+    pub fn with_cfg(design: Design, cfg: ScaledConfig) -> SimConfig {
+        SimConfig {
+            cfg,
+            ..SimConfig::new(design)
+        }
+    }
+
+    /// Effective RDC capacity per GPU for this run.
+    pub fn rdc_capacity(&self) -> u64 {
+        self.rdc_bytes.unwrap_or(self.cfg.rdc_bytes_per_gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Design::all().iter().map(|d| d.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn carve_designs_have_coherence() {
+        for d in Design::all() {
+            assert_eq!(d.uses_carve(), d.coherence().is_some());
+        }
+    }
+
+    #[test]
+    fn ideal_replicates_all() {
+        let p = Design::Ideal.placement_policy();
+        assert_eq!(p.replication, Replication::AllShared);
+        assert!(!p.migration);
+    }
+
+    #[test]
+    fn hwc_retains_llc() {
+        assert!(!Design::CarveHwc.flushes_llc_at_boundary());
+        assert!(!Design::CarveNc.flushes_llc_at_boundary());
+        assert!(Design::NumaGpu.flushes_llc_at_boundary());
+        assert!(Design::CarveSwc.flushes_llc_at_boundary());
+    }
+
+    #[test]
+    fn single_gpu_uses_one_gpu() {
+        let cfg = ScaledConfig::default();
+        assert_eq!(Design::SingleGpu.num_gpus(&cfg), 1);
+        assert_eq!(Design::NumaGpu.num_gpus(&cfg), 4);
+    }
+
+    #[test]
+    fn rdc_capacity_override() {
+        let mut sc = SimConfig::new(Design::CarveHwc);
+        assert_eq!(sc.rdc_capacity(), sc.cfg.rdc_bytes_per_gpu);
+        sc.rdc_bytes = Some(1 << 20);
+        assert_eq!(sc.rdc_capacity(), 1 << 20);
+    }
+}

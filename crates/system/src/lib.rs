@@ -1,0 +1,40 @@
+//! The assembled 4-GPU NUMA system and experiment harness.
+//!
+//! This crate wires every substrate together into the machine the paper
+//! evaluates: four [`carve_gpu::GpuCore`]s, four [`carve_dram::DramModel`]s,
+//! an all-to-all [`carve_noc::LinkNetwork`] plus CPU links and system
+//! memory, a [`carve_runtime::PageTable`] with the software placement
+//! policies, and optionally [`carve::Carve`] (RDC + coherence) at the
+//! memory controllers.
+//!
+//! The eight named configurations of the paper's figures are the
+//! [`Design`] enum; [`run`] simulates one workload under one design and
+//! returns a [`SimResult`] with the cycle count and every traffic metric
+//! the figures plot.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use carve_system::{run, Design, SimConfig};
+//! use carve_trace::workloads;
+//!
+//! let spec = workloads::by_name("Lulesh").unwrap();
+//! let baseline = run(&spec, &SimConfig::new(Design::NumaGpu));
+//! let carve = run(&spec, &SimConfig::new(Design::CarveHwc));
+//! assert!(carve.cycles <= baseline.cycles);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod metrics;
+pub mod sim;
+
+pub use design::{Design, SimConfig};
+pub use metrics::SimResult;
+pub use sim::{run, run_with_profile};
+
+// Re-exports so experiment binaries need only this crate.
+pub use carve_runtime::sharing::{profile_workload, SharingProfile};
+pub use carve_trace::workloads;
+pub use sim_core::ScaledConfig;

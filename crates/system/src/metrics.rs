@@ -1,0 +1,162 @@
+//! Results of one simulation run.
+
+use crate::design::Design;
+use carve::RdcStats;
+use carve_dram::DramStats;
+use sim_core::Histogram;
+
+/// Everything measured by one [`crate::run`] invocation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// The simulated design.
+    pub design: Design,
+    /// Total simulated cycles (including kernel launch gaps).
+    pub cycles: u64,
+    /// Warp instructions retired across all GPUs.
+    pub instructions: u64,
+    /// Kernels executed.
+    pub kernels: usize,
+    /// Memory requests serviced from local GPU memory (including RDC hits).
+    pub local_serviced: u64,
+    /// Memory requests serviced remotely (peer GPU memory or system
+    /// memory over the links).
+    pub remote_serviced: u64,
+    /// Of the remote requests, those answered by system (CPU) memory.
+    pub cpu_serviced: u64,
+    /// Requests answered by an RDC hit (subset of `local_serviced`).
+    pub rdc_hits_serviced: u64,
+    /// Aggregated RDC statistics (zero for non-CARVE designs).
+    pub rdc: RdcStats,
+    /// Bytes moved over inter-GPU links.
+    pub link_bytes: u64,
+    /// Bytes moved over CPU links.
+    pub cpu_link_bytes: u64,
+    /// Page migrations performed.
+    pub migrations: u64,
+    /// Hardware-coherence write-invalidate broadcasts (IMST decisions).
+    pub broadcasts: u64,
+    /// Targeted invalidate messages under directory coherence.
+    pub directory_invalidates: u64,
+    /// Aggregated DRAM statistics across GPUs.
+    pub dram: DramStats,
+    /// L2 hits across GPUs.
+    pub l2_hits: u64,
+    /// L2 misses across GPUs.
+    pub l2_misses: u64,
+    /// L1 hits across GPUs.
+    pub l1_hits: u64,
+    /// L1 misses across GPUs.
+    pub l1_misses: u64,
+    /// Issue replays due to back-pressure.
+    pub replays: u64,
+    /// Secondary misses merged in MSHRs.
+    pub mshr_merges: u64,
+    /// Latency distribution of warp-visible read misses (cycles from L2
+    /// miss to fill).
+    pub read_latency: Histogram,
+    /// Whether the run drained before `max_cycles`.
+    pub completed: bool,
+}
+
+impl SimResult {
+    /// Warp instructions per cycle across the whole system.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of post-LLC memory requests serviced remotely (Figure 8).
+    /// RDC hits count as local — that is CARVE's whole point.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_serviced + self.remote_serviced;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_serviced as f64 / total as f64
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (same workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs simulate different workloads.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup comparisons must share a workload"
+        );
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Performance relative to `reference` expressed as reference-cycles /
+    /// own-cycles (1.0 = parity, <1 = slower than the reference).
+    pub fn performance_vs(&self, reference: &SimResult) -> f64 {
+        self.speedup_over(reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(workload: &str, cycles: u64) -> SimResult {
+        SimResult {
+            workload: workload.to_string(),
+            design: Design::NumaGpu,
+            cycles,
+            instructions: 1000,
+            kernels: 1,
+            local_serviced: 60,
+            remote_serviced: 40,
+            cpu_serviced: 0,
+            rdc_hits_serviced: 0,
+            rdc: RdcStats::default(),
+            link_bytes: 0,
+            cpu_link_bytes: 0,
+            migrations: 0,
+            broadcasts: 0,
+            directory_invalidates: 0,
+            dram: DramStats::default(),
+            l2_hits: 0,
+            l2_misses: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            replays: 0,
+            mshr_merges: 0,
+            read_latency: Histogram::new(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn remote_fraction_and_ipc() {
+        let r = result("w", 500);
+        assert!((r.remote_fraction() - 0.4).abs() < 1e-12);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let fast = result("w", 100);
+        let slow = result("w", 400);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.performance_vs(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a workload")]
+    fn cross_workload_speedup_panics() {
+        let a = result("a", 100);
+        let b = result("b", 100);
+        let _ = a.speedup_over(&b);
+    }
+}

@@ -1,0 +1,428 @@
+//! Deterministic per-warp instruction stream generation.
+
+use crate::spec::{Pattern, Sharing, WorkloadSpec};
+use sim_core::{rng::Stream, ScaledConfig};
+
+/// One warp-level operation.
+///
+/// Memory operations carry a line-aligned virtual address representing the
+/// coalesced access of all 32 threads in the warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A run of `n` compute (non-memory) warp instructions.
+    Compute(u32),
+    /// A load from the given virtual address.
+    Load(u64),
+    /// A store to the given virtual address.
+    Store(u64),
+}
+
+#[derive(Debug, Clone)]
+struct RegionState {
+    base: u64,
+    lines: u64,
+    pattern: Pattern,
+    sharing: Sharing,
+    write_prob: f64,
+    rw_line_permille: u32,
+    weight: f64,
+    // Per-CTA slice geometry (PrivatePerCta / Neighbor).
+    slice_lines: u64,
+    // Sequential cursor (line index within region).
+    cursor: u64,
+    // Multiplier coprime with `lines`, used to scatter Zipf ranks so hot
+    // lines do not cluster into a handful of pages.
+    scatter: u64,
+}
+
+/// Deterministic instruction stream for one warp in one kernel launch.
+///
+/// Produced by [`WorkloadSpec::warp_gen`]; see the crate docs for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct WarpGen {
+    regions: Vec<RegionState>,
+    line_size: u64,
+    remaining: u64,
+    mem_fraction: f64,
+    rng: Stream,
+    pending_mem: bool,
+    compute_debt: f64,
+    total_ctas: u64,
+    affinity_cta: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl WarpGen {
+    /// Builds the stream for `(kernel, cta, warp)` of `spec` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cta`/`warp` exceed the kernel shape or the spec has no
+    /// regions.
+    pub fn new(
+        spec: &WorkloadSpec,
+        cfg: &ScaledConfig,
+        kernel: usize,
+        cta: usize,
+        warp: usize,
+    ) -> WarpGen {
+        assert!(cta < spec.shape.ctas, "cta {cta} out of range");
+        assert!(warp < spec.shape.warps_per_cta, "warp {warp} out of range");
+        assert!(!spec.regions.is_empty(), "workload has no regions");
+        let layout = spec.layout(cfg);
+        let total_ctas = spec.shape.ctas as u64;
+        let affinity = spec.affinity_cta(kernel, cta) as u64;
+        let warps_per_cta = spec.shape.warps_per_cta as u64;
+        let rng = Stream::from_parts(&[spec.seed, kernel as u64, cta as u64, warp as u64]);
+        let regions = spec
+            .regions
+            .iter()
+            .zip(layout.regions())
+            .map(|(r, rl)| {
+                let lines = rl.lines(cfg.line_size);
+                let slice_lines = (lines / total_ctas).max(1);
+                // Start each warp at a distinct offset within the slice so
+                // warps of a CTA cover the slice cooperatively.
+                let warp_off = (slice_lines / warps_per_cta.max(1)) * (warp as u64);
+                let mut scatter = 0x9E37_79B1u64 % lines.max(1);
+                if scatter == 0 {
+                    scatter = 1;
+                }
+                while gcd(scatter, lines.max(1)) != 1 {
+                    scatter += 1;
+                }
+                RegionState {
+                    base: rl.base,
+                    lines,
+                    pattern: r.pattern,
+                    sharing: r.sharing,
+                    write_prob: r.write_prob,
+                    rw_line_permille: r.rw_line_permille,
+                    weight: r.weight,
+                    slice_lines,
+                    cursor: warp_off,
+                    scatter,
+                }
+            })
+            .collect();
+        WarpGen {
+            regions,
+            line_size: cfg.line_size,
+            remaining: spec.shape.instrs_per_warp as u64,
+            mem_fraction: spec.mem_fraction,
+            rng,
+            pending_mem: false,
+            compute_debt: 0.0,
+            total_ctas,
+            affinity_cta: affinity,
+        }
+    }
+
+    /// Warp instructions left in this kernel.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Produces the next operation, or `None` when the warp has retired
+    /// all its instructions for this kernel.
+    pub fn next_op(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if !self.pending_mem {
+            self.pending_mem = true;
+            // Mean compute instructions per memory instruction, paid out
+            // exactly over time via a fractional debt accumulator.
+            let mean = ((1.0 - self.mem_fraction) / self.mem_fraction).max(0.0);
+            self.compute_debt += mean;
+            let k = self.compute_debt as u64;
+            self.compute_debt -= k as f64;
+            let k = k.min(self.remaining.saturating_sub(1)) as u32;
+            if k > 0 {
+                self.remaining -= k as u64;
+                return Some(Op::Compute(k));
+            }
+            // Fall through to emit the memory op immediately.
+        }
+        self.pending_mem = false;
+        self.remaining -= 1;
+        Some(self.gen_mem_op())
+    }
+
+    fn gen_mem_op(&mut self) -> Op {
+        // Pick a region by weight.
+        let idx = {
+            let total: f64 = self.regions.iter().map(|r| r.weight).sum();
+            let mut x = self.rng.gen_f64() * total;
+            let mut pick = self.regions.len() - 1;
+            for (i, r) in self.regions.iter().enumerate() {
+                if x < r.weight {
+                    pick = i;
+                    break;
+                }
+                x -= r.weight;
+            }
+            pick
+        };
+        let (line, may_write) = self.gen_line(idx);
+        let r = &self.regions[idx];
+        let wants_write = self.rng.gen_f64() < r.write_prob;
+        let writable = match r.sharing {
+            Sharing::PrivatePerCta => true,
+            _ => {
+                // Scatter writable lines uniformly: page-granularity false
+                // sharing with line-granularity read-mostly behaviour.
+                let h = line
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17)
+                    .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                (h % 1000) < r.rw_line_permille as u64
+            }
+        };
+        let va = r.base + line * self.line_size;
+        if wants_write && writable && may_write {
+            Op::Store(va)
+        } else {
+            Op::Load(va)
+        }
+    }
+
+    /// Draws a line index within region `idx`; the bool reports whether a
+    /// write is permitted to this line (halo reads are read-only).
+    fn gen_line(&mut self, idx: usize) -> (u64, bool) {
+        let r = &self.regions[idx];
+        let lines = r.lines;
+        let slice = r.slice_lines;
+        let my_slice_base = (self.affinity_cta * slice) % lines;
+        match r.sharing {
+            Sharing::PrivatePerCta => {
+                let line = match r.pattern {
+                    Pattern::Sequential => {
+                        let l = my_slice_base + (self.regions[idx].cursor % slice);
+                        self.regions[idx].cursor += 1;
+                        l % lines
+                    }
+                    Pattern::Uniform => my_slice_base + self.rng.gen_range(0, slice),
+                    Pattern::Zipf(s) => {
+                        let rank = self.rng.gen_zipf(slice, s);
+                        my_slice_base + rank
+                    }
+                };
+                (line % lines, true)
+            }
+            Sharing::SharedAll => {
+                let line = match r.pattern {
+                    Pattern::Sequential => {
+                        let l = (my_slice_base + self.regions[idx].cursor) % lines;
+                        self.regions[idx].cursor += 1;
+                        l
+                    }
+                    Pattern::Uniform => self.rng.gen_range(0, lines),
+                    Pattern::Zipf(s) => {
+                        let rank = self.rng.gen_zipf(lines, s);
+                        // Scatter ranks so hot lines spread across pages.
+                        (rank.wrapping_mul(r.scatter)) % lines
+                    }
+                };
+                (line, true)
+            }
+            Sharing::Neighbor { halo } => {
+                if self.rng.gen_f64() < halo {
+                    // Touch the facing edge of a neighbouring CTA slice.
+                    let edge = (slice / 8).max(1);
+                    let left = self.rng.gen_bool(0.5);
+                    let neighbor = if left {
+                        (self.affinity_cta + self.total_ctas - 1) % self.total_ctas
+                    } else {
+                        (self.affinity_cta + 1) % self.total_ctas
+                    };
+                    let nbase = (neighbor * slice) % lines;
+                    let off = if left {
+                        // Right edge of the left neighbour.
+                        slice - edge + self.rng.gen_range(0, edge)
+                    } else {
+                        self.rng.gen_range(0, edge)
+                    };
+                    (((nbase + off) % lines), false)
+                } else {
+                    let line = match r.pattern {
+                        Pattern::Sequential => {
+                            let l = my_slice_base + (self.regions[idx].cursor % slice);
+                            self.regions[idx].cursor += 1;
+                            l % lines
+                        }
+                        Pattern::Uniform => (my_slice_base + self.rng.gen_range(0, slice)) % lines,
+                        Pattern::Zipf(s) => (my_slice_base + self.rng.gen_zipf(slice, s)) % lines,
+                    };
+                    (line, true)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use sim_core::ScaledConfig;
+
+    fn drain(spec_name: &str, kernel: usize, cta: usize, warp: usize) -> Vec<Op> {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name(spec_name).unwrap();
+        let mut g = spec.warp_gen(&cfg, kernel, cta, warp);
+        std::iter::from_fn(|| g.next_op()).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(drain("Lulesh", 0, 3, 1), drain("Lulesh", 0, 3, 1));
+    }
+
+    #[test]
+    fn different_warps_differ() {
+        assert_ne!(drain("Lulesh", 0, 3, 1), drain("Lulesh", 0, 3, 2));
+    }
+
+    #[test]
+    fn instruction_budget_is_exact() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("XSBench").unwrap();
+        let ops = drain("XSBench", 0, 0, 0);
+        let total: u64 = ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(n) => *n as u64,
+                _ => 1,
+            })
+            .sum();
+        assert_eq!(total, spec.shape.instrs_per_warp as u64);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn addresses_stay_in_layout() {
+        let cfg = ScaledConfig::default();
+        for name in ["XSBench", "Lulesh", "RandAccess", "stream-triad", "HPGMG"] {
+            let spec = workloads::by_name(name).unwrap();
+            let layout = spec.layout(&cfg);
+            let mut g = spec.warp_gen(&cfg, 0, 0, 0);
+            while let Some(op) = g.next_op() {
+                if let Op::Load(va) | Op::Store(va) = op {
+                    assert!(va < layout.total_bytes(), "{name}: va {va:#x} escapes");
+                    assert_eq!(va % cfg.line_size, 0, "{name}: unaligned va");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_fraction_roughly_respected() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("stream-triad").unwrap();
+        let mut mem = 0u64;
+        let mut total = 0u64;
+        for cta in 0..4 {
+            let mut g = spec.warp_gen(&cfg, 0, cta, 0);
+            while let Some(op) = g.next_op() {
+                match op {
+                    Op::Compute(n) => total += n as u64,
+                    _ => {
+                        mem += 1;
+                        total += 1;
+                    }
+                }
+            }
+        }
+        let frac = mem as f64 / total as f64;
+        assert!(
+            (frac - spec.mem_fraction).abs() < 0.15,
+            "frac={frac} target={}",
+            spec.mem_fraction
+        );
+    }
+
+    #[test]
+    fn private_sequential_stays_in_cta_slice() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("stream-triad").unwrap();
+        let layout = spec.layout(&cfg);
+        // stream-triad is fully private: every access from CTA 0 must land
+        // in the first slice of each region.
+        let mut g = spec.warp_gen(&cfg, 0, 0, 0);
+        while let Some(op) = g.next_op() {
+            if let Op::Load(va) | Op::Store(va) = op {
+                let ridx = layout.region_of(va).unwrap();
+                let r = layout.regions()[ridx];
+                let lines = r.lines(cfg.line_size);
+                let slice = (lines / spec.shape.ctas as u64).max(1);
+                let line = (va - r.base) / cfg.line_size;
+                assert!(line < slice, "line {line} outside slice {slice}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_halo_reaches_adjacent_slice() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("Lulesh").unwrap();
+        let layout = spec.layout(&cfg);
+        let mut crossed = false;
+        for warp in 0..spec.shape.warps_per_cta {
+            let mut g = spec.warp_gen(&cfg, 0, 1, warp);
+            while let Some(op) = g.next_op() {
+                if let Op::Load(va) | Op::Store(va) = op {
+                    let ridx = layout.region_of(va).unwrap();
+                    let r = layout.regions()[ridx];
+                    let lines = r.lines(cfg.line_size);
+                    let slice = (lines / spec.shape.ctas as u64).max(1);
+                    let line = (va - r.base) / cfg.line_size;
+                    let owner = (line / slice).min(spec.shape.ctas as u64 - 1);
+                    if owner != 1 {
+                        crossed = true;
+                    }
+                }
+            }
+        }
+        assert!(crossed, "stencil workload never touched a neighbour slice");
+    }
+
+    #[test]
+    fn shared_writes_are_minority_of_shared_accesses() {
+        // Figure 4's line-granularity story: the shared region of a
+        // Monte-Carlo workload is overwhelmingly read.
+        let ops = drain("XSBench", 0, 0, 0);
+        let loads = ops.iter().filter(|o| matches!(o, Op::Load(_))).count();
+        let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count();
+        assert!(stores < loads / 4, "stores={stores} loads={loads}");
+    }
+
+    #[test]
+    fn remap_changes_addresses_between_kernels() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("HPGMG").unwrap();
+        let collect = |kernel| {
+            let mut g = spec.warp_gen(&cfg, kernel, 0, 0);
+            let mut addrs = Vec::new();
+            while let Some(op) = g.next_op() {
+                if let Op::Load(va) | Op::Store(va) = op {
+                    addrs.push(va);
+                }
+            }
+            addrs
+        };
+        let k0 = collect(0);
+        let k1 = collect(1);
+        // Same CTA id reads a different slice after the remap.
+        assert_ne!(k0, k1);
+    }
+}

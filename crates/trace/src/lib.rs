@@ -1,0 +1,46 @@
+//! Synthetic workload models for the `carve-mgpu` simulator.
+//!
+//! The paper evaluates 20 proprietary CUDA application traces (Table II).
+//! Those traces are not available, so this crate provides parameterized
+//! *workload models* — one per paper benchmark — that generate deterministic
+//! per-warp instruction streams with the memory-access *structure* each
+//! benchmark is characterized with in the paper:
+//!
+//! * total memory footprint (Table II),
+//! * the split of accesses into private / read-only shared / read-write
+//!   shared data at page and cache-line granularity (Figure 4),
+//! * shared-working-set size relative to the LLC (Figure 5),
+//! * inter-kernel data reuse (the effect separating CARVE-SWC from
+//!   CARVE-HWC in Figure 11), and
+//! * access regularity (streaming vs. stencil halos vs. graph / Monte-Carlo
+//!   randomness).
+//!
+//! Every stream is generated from counters and seeded PRNG streams keyed by
+//! `(workload, kernel, cta, warp)`, so runs are exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use carve_trace::{workloads, Op};
+//! use sim_core::ScaledConfig;
+//!
+//! let cfg = ScaledConfig::default();
+//! let spec = workloads::by_name("XSBench").unwrap();
+//! let mut gen = spec.warp_gen(&cfg, 0, 0, 0);
+//! let op = gen.next_op().unwrap();
+//! match op {
+//!     Op::Compute(n) => assert!(n > 0),
+//!     Op::Load(va) | Op::Store(va) => assert!(va < spec.layout(&cfg).total_bytes()),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod spec;
+pub mod workloads;
+
+pub use gen::{Op, WarpGen};
+pub use spec::{
+    KernelShape, Layout, Pattern, RegionLayout, RegionSpec, Sharing, Suite, WorkloadSpec,
+};

@@ -1,0 +1,319 @@
+//! Workload specification types and address-space layout.
+
+use sim_core::ScaledConfig;
+
+/// Benchmark suite grouping from the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// HPC applications (CORAL, Rodinia, Lonestar...).
+    Hpc,
+    /// Machine-learning / DNN workloads.
+    Ml,
+    /// Other (crypto, raytracing, STREAM, GUPS).
+    Other,
+}
+
+impl Suite {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Hpc => "HPC",
+            Suite::Ml => "ML",
+            Suite::Other => "Other",
+        }
+    }
+}
+
+/// How addresses are drawn within a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Each warp walks its slice sequentially line by line, wrapping.
+    /// Models coalesced streaming (STREAM triad, dense layers).
+    Sequential,
+    /// Uniform random lines over the whole region (GUPS, hash tables).
+    Uniform,
+    /// Zipf-skewed random lines with the given exponent (graph frontiers,
+    /// Monte-Carlo cross-section tables, BVH hot nodes).
+    Zipf(f64),
+}
+
+/// Who touches a region, which determines NUMA sharing behaviour under
+/// contiguous-CTA scheduling and first-touch placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sharing {
+    /// Region is partitioned per-CTA; each CTA touches only its slice.
+    /// First-touch makes these accesses local (unless CTA→data affinity is
+    /// remapped between kernels).
+    PrivatePerCta,
+    /// Every CTA on every GPU draws from the whole region (shared tables,
+    /// weights, graph structure).
+    SharedAll,
+    /// Stencil-style: mostly the CTA's own slice, but a `halo` fraction of
+    /// accesses touch the edges of neighbouring CTA slices. CTAs at GPU
+    /// batch boundaries therefore share pages across GPUs.
+    Neighbor {
+        /// Fraction of this region's accesses that go to a neighbour halo.
+        halo: f64,
+    },
+}
+
+/// One logically distinct data region of a workload (an array, table, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Size at *paper* scale in bytes (scaled down by the config at build
+    /// time).
+    pub paper_bytes: u64,
+    /// Address pattern inside the region.
+    pub pattern: Pattern,
+    /// Sharing structure.
+    pub sharing: Sharing,
+    /// Probability an access to this region is a store.
+    pub write_prob: f64,
+    /// Permille of this region's *lines* that are ever writable. Writes
+    /// drawn to non-writable lines are issued as reads instead. Scattering
+    /// a few writable lines uniformly across the region is what creates
+    /// the paper's page-granularity false sharing (Figure 4): at 2 MB page
+    /// granularity nearly every page containing a writable line classifies
+    /// as read-write shared, while at 128 B granularity only
+    /// `rw_line_permille / 1000` of lines do.
+    pub rw_line_permille: u32,
+    /// Relative weight of this region when choosing where an access goes.
+    pub weight: f64,
+}
+
+/// Kernel/CTA/warp shape of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelShape {
+    /// Number of kernel launches in the run.
+    pub kernels: usize,
+    /// CTAs per kernel.
+    pub ctas: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+    /// Warp-instructions per warp per kernel (compute + memory).
+    pub instrs_per_warp: usize,
+}
+
+impl KernelShape {
+    /// Total warp-instructions across the whole run.
+    pub fn total_instrs(&self) -> u64 {
+        self.kernels as u64
+            * self.ctas as u64
+            * self.warps_per_cta as u64
+            * self.instrs_per_warp as u64
+    }
+}
+
+/// A complete workload model: one per paper benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark abbreviation from Table II (e.g. "XSBench").
+    pub name: &'static str,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// Paper-reported memory footprint in bytes (Table II).
+    pub paper_footprint: u64,
+    /// Kernel/CTA/warp structure.
+    pub shape: KernelShape,
+    /// Fraction of instructions that are memory operations.
+    pub mem_fraction: f64,
+    /// The data regions and their access weights.
+    pub regions: Vec<RegionSpec>,
+    /// When true, the CTA→data affinity rotates between kernels (as in
+    /// multigrid/AMR codes whose grids are re-partitioned per level). This
+    /// turns "private" data into inter-GPU read-write shared data across
+    /// kernel boundaries and defeats first-touch placement.
+    pub remap_ctas_between_kernels: bool,
+    /// Deterministic seed namespace for this workload.
+    pub seed: u64,
+}
+
+/// A region placed in the flat virtual address space, at simulator scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionLayout {
+    /// First byte of the region (page aligned).
+    pub base: u64,
+    /// Region size in bytes at simulator scale (page aligned, >= 1 page).
+    pub bytes: u64,
+}
+
+impl RegionLayout {
+    /// Number of cache lines in the region.
+    pub fn lines(&self, line_size: u64) -> u64 {
+        (self.bytes / line_size).max(1)
+    }
+}
+
+/// The scaled address-space layout of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    regions: Vec<RegionLayout>,
+    total: u64,
+    line_size: u64,
+    page_size: u64,
+}
+
+impl Layout {
+    /// Regions in declaration order.
+    pub fn regions(&self) -> &[RegionLayout] {
+        &self.regions
+    }
+
+    /// Total VA footprint in bytes at simulator scale.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// Line size the layout was built with.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Page size the layout was built with.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Which region contains `va`, if any.
+    pub fn region_of(&self, va: u64) -> Option<usize> {
+        self.regions
+            .iter()
+            .position(|r| va >= r.base && va < r.base + r.bytes)
+    }
+}
+
+impl WorkloadSpec {
+    /// Builds the scaled address-space layout for this workload under `cfg`.
+    ///
+    /// Regions are laid out back to back, each page-aligned and at least
+    /// one page (so a "24 MB" paper workload still has distinct regions at
+    /// 1/256 scale).
+    pub fn layout(&self, cfg: &ScaledConfig) -> Layout {
+        let page = cfg.page_size;
+        let mut base = 0u64;
+        let mut regions = Vec::with_capacity(self.regions.len());
+        for r in &self.regions {
+            let scaled = (r.paper_bytes / cfg.capacity_scale).max(page);
+            let bytes = scaled.div_ceil(page) * page;
+            regions.push(RegionLayout { base, bytes });
+            base += bytes;
+        }
+        Layout {
+            regions,
+            total: base,
+            line_size: cfg.line_size,
+            page_size: page,
+        }
+    }
+
+    /// Sum of paper-scale region sizes (should track `paper_footprint`).
+    pub fn regions_paper_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.paper_bytes).sum()
+    }
+
+    /// Effective CTA index used for data affinity in `kernel`.
+    ///
+    /// With [`WorkloadSpec::remap_ctas_between_kernels`] set, the mapping
+    /// rotates through a small cycle of shifts, modelling multigrid/AMR
+    /// V-cycles: each level re-partitions the grid differently, but the
+    /// same partitionings recur every cycle, so data written by one GPU is
+    /// read by another *and* the remote working set repeats across kernels
+    /// (the inter-kernel locality CARVE-HWC exploits and CARVE-SWC
+    /// destroys).
+    pub fn affinity_cta(&self, kernel: usize, cta: usize) -> usize {
+        if self.remap_ctas_between_kernels {
+            let ctas = self.shape.ctas.max(1);
+            let shift = ((kernel % 3) * 7919) % ctas;
+            (cta + shift) % ctas
+        } else {
+            cta
+        }
+    }
+
+    /// Creates the deterministic instruction stream for one warp in one
+    /// kernel launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cta` or `warp` is outside the kernel shape, or the spec
+    /// has no regions.
+    pub fn warp_gen(
+        &self,
+        cfg: &ScaledConfig,
+        kernel: usize,
+        cta: usize,
+        warp: usize,
+    ) -> crate::gen::WarpGen {
+        crate::gen::WarpGen::new(self, cfg, kernel, cta, warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn layout_is_page_aligned_and_disjoint() {
+        let cfg = ScaledConfig::default();
+        for spec in workloads::all() {
+            let layout = spec.layout(&cfg);
+            let mut expected_base = 0;
+            for r in layout.regions() {
+                assert_eq!(r.base % cfg.page_size, 0, "{}", spec.name);
+                assert_eq!(r.bytes % cfg.page_size, 0, "{}", spec.name);
+                assert!(r.bytes >= cfg.page_size);
+                assert_eq!(r.base, expected_base);
+                expected_base += r.bytes;
+            }
+            assert_eq!(layout.total_bytes(), expected_base);
+        }
+    }
+
+    #[test]
+    fn region_of_finds_correct_region() {
+        let cfg = ScaledConfig::default();
+        let spec = workloads::by_name("XSBench").unwrap();
+        let layout = spec.layout(&cfg);
+        for (i, r) in layout.regions().iter().enumerate() {
+            assert_eq!(layout.region_of(r.base), Some(i));
+            assert_eq!(layout.region_of(r.base + r.bytes - 1), Some(i));
+        }
+        assert_eq!(layout.region_of(layout.total_bytes()), None);
+    }
+
+    #[test]
+    fn affinity_identity_without_remap() {
+        let spec = workloads::by_name("stream-triad").unwrap();
+        assert!(!spec.remap_ctas_between_kernels);
+        assert_eq!(spec.affinity_cta(3, 17), 17);
+    }
+
+    #[test]
+    fn affinity_rotates_with_remap() {
+        let spec = workloads::by_name("HPGMG").unwrap();
+        assert!(spec.remap_ctas_between_kernels);
+        let k0 = spec.affinity_cta(0, 5);
+        let k1 = spec.affinity_cta(1, 5);
+        assert_ne!(k0, k1);
+        assert!(k1 < spec.shape.ctas);
+    }
+
+    #[test]
+    fn total_instrs_multiplies_shape() {
+        let shape = KernelShape {
+            kernels: 2,
+            ctas: 3,
+            warps_per_cta: 4,
+            instrs_per_warp: 5,
+        };
+        assert_eq!(shape.total_instrs(), 120);
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::Hpc.label(), "HPC");
+        assert_eq!(Suite::Ml.label(), "ML");
+        assert_eq!(Suite::Other.label(), "Other");
+    }
+}

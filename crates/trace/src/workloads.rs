@@ -1,0 +1,792 @@
+//! The 20 benchmark models of the paper's Table II.
+//!
+//! Each model is a [`WorkloadSpec`] whose parameters are set from the
+//! paper's own characterization:
+//!
+//! * footprints come from Table II;
+//! * the private / read-only-shared / read-write-shared access mix targets
+//!   Figure 4 (large page-granularity RW sharing from scattered writable
+//!   lines; small line-granularity RW sharing);
+//! * shared-working-set sizes target Figure 5 (most exceed the aggregate
+//!   LLC; XSBench-class table workloads exceed even multi-GB RDCs);
+//! * kernel counts target Figure 11 (iterative solvers launch many kernels
+//!   and lose all RDC locality under software coherence; XSBench's few
+//!   long kernels do not);
+//! * NUMA sensitivity targets Figure 2 (eight workloads are private-heavy
+//!   and suffer little; AlexNet/GoogLeNet/OverFeat are fixed by read-only
+//!   page replication; the stencil/graph/Monte-Carlo group needs CARVE).
+
+use crate::spec::{KernelShape, Pattern, RegionSpec, Sharing, Suite, WorkloadSpec};
+use sim_core::units::{GIB, MIB};
+
+const KB: u64 = 1024;
+
+fn region(
+    paper_bytes: u64,
+    pattern: Pattern,
+    sharing: Sharing,
+    write_prob: f64,
+    rw_line_permille: u32,
+    weight: f64,
+) -> RegionSpec {
+    RegionSpec {
+        paper_bytes,
+        pattern,
+        sharing,
+        write_prob,
+        rw_line_permille,
+        weight,
+    }
+}
+
+/// Shape used by iterative many-kernel workloads (solvers, stencils,
+/// graph algorithms): inter-kernel reuse makes software coherence painful.
+fn iterative_shape(kernels: usize) -> KernelShape {
+    KernelShape {
+        kernels,
+        ctas: 128,
+        warps_per_cta: 4,
+        instrs_per_warp: 1920 / kernels.max(1),
+    }
+}
+
+/// Shape used by few-long-kernel workloads (XSBench, Bitcoin, GUPS).
+fn long_kernel_shape(kernels: usize) -> KernelShape {
+    KernelShape {
+        kernels,
+        ctas: 128,
+        warps_per_cta: 4,
+        instrs_per_warp: 2000 / kernels.max(1),
+    }
+}
+
+/// Builds all 20 workload models in Table II order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        // ------------------------------------------------------- HPC -----
+        WorkloadSpec {
+            name: "AMG",
+            suite: Suite::Hpc,
+            paper_footprint: 3_435 * MIB, // 3.2 GB
+            shape: iterative_shape(12),
+            mem_fraction: 0.40,
+            regions: vec![
+                // Private solution/residual vectors, streamed.
+                region(
+                    2 * GIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.30,
+                    1000,
+                    0.58,
+                ),
+                // Shared sparse-matrix structure, read-mostly, skewed.
+                region(
+                    1_200 * MIB,
+                    Pattern::Zipf(0.6),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.36,
+                ),
+                // Small shared coarse-grid data with real RW sharing.
+                region(
+                    76 * MIB,
+                    Pattern::Uniform,
+                    Sharing::SharedAll,
+                    0.25,
+                    300,
+                    0.06,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xA3601,
+        },
+        WorkloadSpec {
+            name: "HPGMG",
+            suite: Suite::Hpc,
+            paper_footprint: 2 * GIB,
+            shape: iterative_shape(16),
+            mem_fraction: 0.42,
+            regions: vec![
+                // Multigrid levels: re-partitioned every kernel (remap), so
+                // "private" grid data becomes inter-GPU RW shared.
+                region(
+                    1_600 * MIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.10 },
+                    0.12,
+                    1000,
+                    0.70,
+                ),
+                // Shared coefficients / restriction tables.
+                region(
+                    448 * MIB,
+                    Pattern::Zipf(0.8),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.30,
+                ),
+            ],
+            remap_ctas_between_kernels: true,
+            seed: 0x48731,
+        },
+        WorkloadSpec {
+            name: "HPGMG-amry",
+            suite: Suite::Hpc,
+            paper_footprint: 7_700 * MIB,
+            shape: iterative_shape(16),
+            mem_fraction: 0.42,
+            regions: vec![
+                region(
+                    6 * GIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.08 },
+                    0.12,
+                    1000,
+                    0.72,
+                ),
+                region(
+                    1_556 * MIB,
+                    Pattern::Zipf(0.7),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.28,
+                ),
+            ],
+            remap_ctas_between_kernels: true,
+            seed: 0x48732,
+        },
+        WorkloadSpec {
+            name: "Lulesh",
+            suite: Suite::Hpc,
+            paper_footprint: 24 * MIB,
+            shape: iterative_shape(20),
+            mem_fraction: 0.45,
+            regions: vec![
+                // Unstructured mesh node/element arrays with heavy halos.
+                region(
+                    16 * MIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.22 },
+                    0.32,
+                    1000,
+                    0.55,
+                ),
+                // Shared mesh connectivity, read-mostly but scattered writes
+                // (nodal accumulations) => page-level RW sharing.
+                region(
+                    8 * MIB,
+                    Pattern::Zipf(0.7),
+                    Sharing::SharedAll,
+                    0.06,
+                    80,
+                    0.45,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x107E5,
+        },
+        WorkloadSpec {
+            name: "Lulesh-s190",
+            suite: Suite::Hpc,
+            paper_footprint: 3_700 * MIB,
+            shape: iterative_shape(16),
+            mem_fraction: 0.42,
+            regions: vec![
+                region(
+                    3 * GIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.06 },
+                    0.32,
+                    1000,
+                    0.80,
+                ),
+                region(
+                    628 * MIB,
+                    Pattern::Zipf(0.6),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.20,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x107E6,
+        },
+        WorkloadSpec {
+            name: "CoMD",
+            suite: Suite::Hpc,
+            paper_footprint: 910 * MIB,
+            shape: iterative_shape(12),
+            mem_fraction: 0.40,
+            regions: vec![
+                // Particle data partitioned by spatial cell, small halo.
+                region(
+                    768 * MIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.04 },
+                    0.35,
+                    1000,
+                    0.85,
+                ),
+                region(
+                    142 * MIB,
+                    Pattern::Zipf(0.5),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.15,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xC04D,
+        },
+        WorkloadSpec {
+            name: "MCB",
+            suite: Suite::Hpc,
+            paper_footprint: 254 * MIB,
+            shape: iterative_shape(10),
+            mem_fraction: 0.45,
+            regions: vec![
+                // Monte-Carlo particles: private, write-heavy.
+                region(
+                    64 * MIB,
+                    Pattern::Uniform,
+                    Sharing::PrivatePerCta,
+                    0.45,
+                    1000,
+                    0.40,
+                ),
+                // Shared cross-section/material tables: read-mostly random.
+                region(
+                    190 * MIB,
+                    Pattern::Zipf(0.35),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.60,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x3CB01,
+        },
+        WorkloadSpec {
+            name: "MiniAMR",
+            suite: Suite::Hpc,
+            paper_footprint: 4_400 * MIB,
+            shape: iterative_shape(14),
+            mem_fraction: 0.40,
+            regions: vec![
+                region(
+                    4 * GIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.05 },
+                    0.12,
+                    1000,
+                    0.85,
+                ),
+                region(
+                    304 * MIB,
+                    Pattern::Zipf(0.5),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.15,
+                ),
+            ],
+            remap_ctas_between_kernels: true,
+            seed: 0x3A42,
+        },
+        WorkloadSpec {
+            name: "Nekbone",
+            suite: Suite::Hpc,
+            paper_footprint: GIB,
+            shape: iterative_shape(12),
+            mem_fraction: 0.35,
+            regions: vec![
+                // Spectral elements: overwhelmingly private dense math.
+                region(
+                    960 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.30,
+                    1000,
+                    0.94,
+                ),
+                region(
+                    64 * MIB,
+                    Pattern::Zipf(0.6),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.06,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x2EB0,
+        },
+        WorkloadSpec {
+            name: "XSBench",
+            suite: Suite::Hpc,
+            paper_footprint: 4_400 * MIB,
+            shape: long_kernel_shape(2),
+            mem_fraction: 0.50,
+            regions: vec![
+                // Hot slice of the shared nuclide cross-section grid: far
+                // larger than any LLC and comparable to the RDC, so RDC
+                // capacity sweeps (Table V) show strong sensitivity.
+                // Scattered tally writes make nearly every *page* classify
+                // read-write shared (so software replication cannot fix
+                // XSBench, per Figures 2/9) while lines stay read-mostly.
+                region(
+                    768 * MIB,
+                    Pattern::Zipf(0.70),
+                    Sharing::SharedAll,
+                    0.05,
+                    70,
+                    0.70,
+                ),
+                // Cold remainder of the grid, touched rarely: keeps the
+                // Figure 5 shared footprint in the multi-GB class.
+                region(
+                    3_328 * MIB,
+                    Pattern::Uniform,
+                    Sharing::SharedAll,
+                    0.04,
+                    70,
+                    0.06,
+                ),
+                // Private particle state.
+                region(
+                    304 * MIB,
+                    Pattern::Uniform,
+                    Sharing::PrivatePerCta,
+                    0.45,
+                    1000,
+                    0.24,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x55BE7,
+        },
+        WorkloadSpec {
+            name: "Euler",
+            suite: Suite::Hpc,
+            paper_footprint: 26 * MIB,
+            shape: iterative_shape(20),
+            mem_fraction: 0.45,
+            regions: vec![
+                region(
+                    18 * MIB,
+                    Pattern::Sequential,
+                    Sharing::Neighbor { halo: 0.18 },
+                    0.32,
+                    1000,
+                    0.60,
+                ),
+                region(
+                    8 * MIB,
+                    Pattern::Zipf(0.6),
+                    Sharing::SharedAll,
+                    0.05,
+                    70,
+                    0.40,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xE0137,
+        },
+        WorkloadSpec {
+            name: "SSSP",
+            suite: Suite::Hpc,
+            paper_footprint: 42 * MIB,
+            shape: iterative_shape(16),
+            mem_fraction: 0.45,
+            regions: vec![
+                // Graph structure (CSR): shared, skewed by degree.
+                region(
+                    28 * MIB,
+                    Pattern::Zipf(0.6),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.55,
+                ),
+                // Distance array: shared with real scattered RW updates.
+                region(
+                    8 * MIB,
+                    Pattern::Zipf(0.5),
+                    Sharing::SharedAll,
+                    0.22,
+                    250,
+                    0.30,
+                ),
+                // Private worklist chunks.
+                region(
+                    6 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.40,
+                    1000,
+                    0.15,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x555B,
+        },
+        WorkloadSpec {
+            name: "bfs-road",
+            suite: Suite::Hpc,
+            paper_footprint: 590 * MIB,
+            shape: iterative_shape(16),
+            mem_fraction: 0.45,
+            regions: vec![
+                region(
+                    480 * MIB,
+                    Pattern::Zipf(0.45),
+                    Sharing::SharedAll,
+                    0.03,
+                    60,
+                    0.50,
+                ),
+                region(
+                    64 * MIB,
+                    Pattern::Zipf(0.45),
+                    Sharing::SharedAll,
+                    0.18,
+                    200,
+                    0.25,
+                ),
+                region(
+                    46 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.40,
+                    1000,
+                    0.25,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xBF5,
+        },
+        // -------------------------------------------------------- ML -----
+        WorkloadSpec {
+            name: "AlexNet",
+            suite: Suite::Ml,
+            paper_footprint: 96 * MIB,
+            shape: iterative_shape(8),
+            mem_fraction: 0.35,
+            regions: vec![
+                // Layer weights: shared by every CTA, strictly read-only —
+                // the case software read-only replication fully fixes.
+                region(
+                    64 * MIB,
+                    Pattern::Zipf(0.4),
+                    Sharing::SharedAll,
+                    0.0,
+                    0,
+                    0.50,
+                ),
+                // Activations: private per CTA tile.
+                region(
+                    32 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.35,
+                    1000,
+                    0.50,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xA1E7,
+        },
+        WorkloadSpec {
+            name: "GoogLeNet",
+            suite: Suite::Ml,
+            paper_footprint: 1_200 * MIB,
+            shape: iterative_shape(10),
+            mem_fraction: 0.35,
+            regions: vec![
+                region(
+                    896 * MIB,
+                    Pattern::Zipf(0.4),
+                    Sharing::SharedAll,
+                    0.0,
+                    0,
+                    0.55,
+                ),
+                region(
+                    304 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.35,
+                    1000,
+                    0.45,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x6006,
+        },
+        WorkloadSpec {
+            name: "OverFeat",
+            suite: Suite::Ml,
+            paper_footprint: 88 * MIB,
+            shape: iterative_shape(8),
+            mem_fraction: 0.35,
+            regions: vec![
+                region(
+                    56 * MIB,
+                    Pattern::Zipf(0.4),
+                    Sharing::SharedAll,
+                    0.0,
+                    0,
+                    0.52,
+                ),
+                region(
+                    32 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.35,
+                    1000,
+                    0.48,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x0F3A7,
+        },
+        // ----------------------------------------------------- Other -----
+        WorkloadSpec {
+            name: "Bitcoin",
+            suite: Suite::Other,
+            paper_footprint: 5_600 * MIB,
+            shape: long_kernel_shape(4),
+            mem_fraction: 0.20,
+            regions: vec![
+                // Hashing: compute bound, fully private streaming.
+                region(
+                    5_600 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.10,
+                    1000,
+                    1.0,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0xB17C,
+        },
+        WorkloadSpec {
+            name: "Raytracing",
+            suite: Suite::Other,
+            paper_footprint: 150 * MIB,
+            shape: iterative_shape(6),
+            mem_fraction: 0.38,
+            regions: vec![
+                // BVH: shared read-only, extremely hot near the root so the
+                // working set largely fits in the LLC.
+                region(
+                    96 * MIB,
+                    Pattern::Zipf(1.05),
+                    Sharing::SharedAll,
+                    0.0,
+                    0,
+                    0.45,
+                ),
+                // Private rays / framebuffer tiles.
+                region(
+                    54 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.30,
+                    1000,
+                    0.55,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x4A71,
+        },
+        WorkloadSpec {
+            name: "stream-triad",
+            suite: Suite::Other,
+            paper_footprint: 3 * GIB,
+            shape: long_kernel_shape(4),
+            mem_fraction: 0.60,
+            regions: vec![
+                // a[i] = b[i] + s*c[i]: three private streams, one written.
+                region(
+                    GIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    1.0,
+                    1000,
+                    0.34,
+                ),
+                region(
+                    GIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.0,
+                    1000,
+                    0.33,
+                ),
+                region(
+                    GIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.0,
+                    1000,
+                    0.33,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x57A1,
+        },
+        WorkloadSpec {
+            name: "RandAccess",
+            suite: Suite::Other,
+            paper_footprint: 15 * GIB,
+            shape: long_kernel_shape(2),
+            mem_fraction: 0.50,
+            regions: vec![
+                // GUPS: uniform random read-modify-write over a huge table.
+                // Every line is writable => RW shared even at line
+                // granularity (Figure 4's 100% outlier), and the working
+                // set dwarfs the RDC so CARVE adds probe latency for
+                // little hit rate.
+                region(
+                    15 * GIB - 256 * MIB,
+                    Pattern::Uniform,
+                    Sharing::SharedAll,
+                    0.45,
+                    1000,
+                    0.92,
+                ),
+                region(
+                    256 * MIB,
+                    Pattern::Sequential,
+                    Sharing::PrivatePerCta,
+                    0.30,
+                    1000,
+                    0.08,
+                ),
+            ],
+            remap_ctas_between_kernels: false,
+            seed: 0x6B75,
+        },
+    ]
+}
+
+/// Looks up a workload model by its Table II abbreviation.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The Table II abbreviations in paper order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|w| w.name).collect()
+}
+
+const _: () = {
+    let _ = KB;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_workloads_exist() {
+        assert_eq!(all().len(), 20);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for name in names() {
+            assert_eq!(by_name(name).unwrap().name, name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn weights_sum_to_one_ish() {
+        for w in all() {
+            let total: f64 = w.regions.iter().map(|r| r.weight).sum();
+            assert!(
+                (total - 1.0).abs() < 0.05,
+                "{}: weights sum to {total}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn region_sizes_track_footprint() {
+        for w in all() {
+            let sum = w.regions_paper_bytes() as f64;
+            let claim = w.paper_footprint as f64;
+            assert!(
+                (sum - claim).abs() / claim < 0.12,
+                "{}: regions {}B vs footprint {}B",
+                w.name,
+                sum,
+                claim
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for w in all() {
+            assert!(w.mem_fraction > 0.0 && w.mem_fraction < 1.0, "{}", w.name);
+            for r in &w.regions {
+                assert!((0.0..=1.0).contains(&r.write_prob), "{}", w.name);
+                assert!(r.rw_line_permille <= 1000, "{}", w.name);
+                assert!(r.weight > 0.0, "{}", w.name);
+                if let Sharing::Neighbor { halo } = r.sharing {
+                    assert!((0.0..1.0).contains(&halo), "{}", w.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ml_weights_are_strictly_read_only() {
+        for name in ["AlexNet", "GoogLeNet", "OverFeat"] {
+            let w = by_name(name).unwrap();
+            let shared: Vec<_> = w
+                .regions
+                .iter()
+                .filter(|r| matches!(r.sharing, Sharing::SharedAll))
+                .collect();
+            assert!(!shared.is_empty());
+            for r in shared {
+                assert_eq!(r.write_prob, 0.0, "{name} weights must be RO");
+                assert_eq!(r.rw_line_permille, 0, "{name} weights must be RO");
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_totals_are_simulation_sized() {
+        for w in all() {
+            let t = w.shape.total_instrs();
+            assert!(
+                (400_000..4_000_000).contains(&t),
+                "{}: {t} instrs out of range",
+                w.name
+            );
+        }
+    }
+}

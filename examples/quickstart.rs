@@ -1,0 +1,43 @@
+//! Quickstart: simulate one workload on the 4-GPU NUMA system, with and
+//! without CARVE, and print what changed.
+//!
+//! ```text
+//! cargo run --release -p carve-system --example quickstart
+//! ```
+
+use carve_system::{run, workloads, Design, SimConfig};
+
+fn main() {
+    // Pick a workload from the paper's Table II by its abbreviation.
+    let spec = workloads::by_name("Lulesh").expect("known workload");
+    println!(
+        "workload: {} ({} kernels x {} CTAs x {} warps)",
+        spec.name, spec.shape.kernels, spec.shape.ctas, spec.shape.warps_per_cta
+    );
+
+    // Baseline NUMA-GPU: first-touch placement + remote caching in the LLC.
+    let baseline = run(&spec, &SimConfig::new(Design::NumaGpu));
+    // The paper's proposal: NUMA-GPU + CARVE with hardware coherence.
+    let carve = run(&spec, &SimConfig::new(Design::CarveHwc));
+    // The upper bound: every shared page replicated locally for free.
+    let ideal = run(&spec, &SimConfig::new(Design::Ideal));
+
+    for r in [&baseline, &carve, &ideal] {
+        println!(
+            "{:>10}: {:>9} cycles, ipc {:>5.2}, remote accesses {:>5.1}%, RDC hit rate {:>5.1}%",
+            r.design.label(),
+            r.cycles,
+            r.ipc(),
+            100.0 * r.remote_fraction(),
+            100.0 * r.rdc.hit_rate(),
+        );
+    }
+    println!(
+        "\nCARVE recovers {:.0}% of the NUMA performance gap \
+         (baseline {:.2} -> carve {:.2} of ideal)",
+        100.0 * (carve.performance_vs(&ideal) - baseline.performance_vs(&ideal))
+            / (1.0 - baseline.performance_vs(&ideal)).max(1e-9),
+        baseline.performance_vs(&ideal),
+        carve.performance_vs(&ideal),
+    );
+}
