@@ -1,12 +1,12 @@
 //! Throughput benchmarks of the DRAM timing model and the link fabric.
 
+use carve_bench::{black_box, run_benches, Runner};
 use carve_dram::{DramConfig, DramModel, FlatMemory};
 use carve_noc::{Link, LinkNetwork, NodeId};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sim_core::rng::Stream;
 use sim_core::Cycle;
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram(c: &mut Runner) {
     let mut g = c.benchmark_group("dram");
     g.bench_function("saturated_tick", |b| {
         let mut dram = DramModel::new(DramConfig::default());
@@ -48,7 +48,7 @@ fn bench_dram(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_noc(c: &mut Criterion) {
+fn bench_noc(c: &mut Runner) {
     let mut g = c.benchmark_group("noc");
     g.bench_function("link_send_tick", |b| {
         let mut link = Link::new(8.0, 200);
@@ -75,5 +75,6 @@ fn bench_noc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dram, bench_noc);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_dram, bench_noc]);
+}

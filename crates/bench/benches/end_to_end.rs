@@ -5,9 +5,9 @@
 //! simulated-cycle results themselves come from
 //! `cargo run -p experiments --bin all-figures`.
 
+use carve_bench::{black_box, run_benches, Runner};
 use carve_system::{run, workloads, Design, ScaledConfig, SimConfig};
 use carve_trace::WorkloadSpec;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn tiny(name: &str) -> WorkloadSpec {
     let mut spec = workloads::by_name(name).expect("known workload");
@@ -18,13 +18,15 @@ fn tiny(name: &str) -> WorkloadSpec {
 }
 
 fn tiny_sim(design: Design) -> SimConfig {
-    let mut cfg = ScaledConfig::default();
-    cfg.sms_per_gpu = 2;
-    cfg.warps_per_sm = 8;
+    let cfg = ScaledConfig {
+        sms_per_gpu: 2,
+        warps_per_sm: 8,
+        ..ScaledConfig::default()
+    };
     SimConfig::with_cfg(design, cfg)
 }
 
-fn bench_designs(c: &mut Criterion) {
+fn bench_designs(c: &mut Runner) {
     let spec = tiny("Lulesh");
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
@@ -43,7 +45,7 @@ fn bench_designs(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_profiling(c: &mut Criterion) {
+fn bench_profiling(c: &mut Runner) {
     use carve_system::profile_workload;
     let spec = tiny("Lulesh");
     let cfg = ScaledConfig::default();
@@ -55,5 +57,6 @@ fn bench_profiling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_designs, bench_profiling);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_designs, bench_profiling]);
+}

@@ -2,13 +2,13 @@
 //! of every simulated cycle.
 
 use carve::{HitPredictor, Imst, Rdc, RdcConfig};
+use carve_bench::{black_box, run_benches, Runner};
 use carve_cache::alloy::AlloyCache;
 use carve_cache::mshr::MshrFile;
 use carve_cache::sram::{AccessKind, SetAssocCache};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sim_core::rng::Stream;
 
-fn bench_sram(c: &mut Criterion) {
+fn bench_sram(c: &mut Runner) {
     let mut g = c.benchmark_group("sram");
     g.bench_function("probe_hit", |b| {
         let mut cache = SetAssocCache::new(32 * 1024, 16, 128);
@@ -30,7 +30,7 @@ fn bench_sram(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_alloy_rdc(c: &mut Criterion) {
+fn bench_alloy_rdc(c: &mut Runner) {
     let mut g = c.benchmark_group("rdc");
     g.bench_function("alloy_probe", |b| {
         let mut a = AlloyCache::new(8 << 20, 128);
@@ -54,7 +54,7 @@ fn bench_alloy_rdc(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_coherence(c: &mut Criterion) {
+fn bench_coherence(c: &mut Runner) {
     let mut g = c.benchmark_group("coherence");
     g.bench_function("imst_private_write", |b| {
         let mut imst = Imst::new(1);
@@ -78,7 +78,7 @@ fn bench_coherence(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_mshr(c: &mut Criterion) {
+fn bench_mshr(c: &mut Runner) {
     c.bench_function("mshr_allocate_complete", |b| {
         let mut m: MshrFile<u32> = MshrFile::new(256, 32);
         b.iter(|| {
@@ -89,11 +89,6 @@ fn bench_mshr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sram,
-    bench_alloy_rdc,
-    bench_coherence,
-    bench_mshr
-);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_sram, bench_alloy_rdc, bench_coherence, bench_mshr]);
+}

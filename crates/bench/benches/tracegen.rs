@@ -3,11 +3,11 @@
 //! Every simulated instruction flows through `WarpGen::next_op`, so its
 //! cost bounds overall simulation speed.
 
+use carve_bench::{black_box, run_benches, Runner};
 use carve_trace::workloads;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sim_core::ScaledConfig;
 
-fn bench_tracegen(c: &mut Criterion) {
+fn bench_tracegen(c: &mut Runner) {
     let cfg = ScaledConfig::default();
     let mut g = c.benchmark_group("tracegen");
     for name in [
@@ -32,7 +32,7 @@ fn bench_tracegen(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_profile(c: &mut Criterion) {
+fn bench_profile(c: &mut Runner) {
     use carve_runtime::sharing::SharingProfile;
     use sim_core::rng::Stream;
     c.bench_function("sharing_profile_record", |b| {
@@ -46,5 +46,6 @@ fn bench_profile(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tracegen, bench_profile);
-criterion_main!(benches);
+fn main() {
+    run_benches(&[bench_tracegen, bench_profile]);
+}

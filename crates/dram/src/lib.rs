@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+use sim_core::event::{earliest, NextEvent};
 use sim_core::{BoundedQueue, Cycle, ScaledConfig};
 
 /// Geometry and timing of one GPU's DRAM subsystem.
@@ -391,6 +392,47 @@ impl DramModel {
     }
 }
 
+impl NextEvent for DramModel {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.0 + 1;
+        let mut horizon: Option<Cycle> = None;
+        for ch in &self.channels {
+            // The floor is the lowest possible horizon; stop scanning.
+            if horizon == Some(Cycle(floor)) {
+                return horizon;
+            }
+            // Deliveries: earliest in-service finish.
+            for &(_, finish) in &ch.in_service {
+                horizon = earliest(horizon, Some(Cycle(finish.max(floor))));
+            }
+            // Issues: the bus must have room (`bus_free_at <= t + 1`) and
+            // some queued request's bank must be ready. Using the minimum
+            // bank-ready over *both* queues under-estimates (the scheduler
+            // may be serving the other queue), which is safe: the engine
+            // just performs a no-op tick there.
+            if ch.read_q.is_empty() && ch.write_q.is_empty() {
+                continue;
+            }
+            let bus_ready = (ch.bus_free_at - 1.0).ceil().max(0.0) as u64;
+            let line = self.cfg.line_size;
+            let chn = self.cfg.channels as u64;
+            let nb = self.cfg.banks_per_channel as u64;
+            let lpr = (self.cfg.row_bytes / line).max(1);
+            let bank_of = |addr: u64| ((addr / line / chn / lpr) % nb) as usize;
+            let min_bank_ready = ch
+                .read_q
+                .iter()
+                .chain(ch.write_q.iter())
+                .map(|req| ch.banks[bank_of(req.addr)].ready_at)
+                .min()
+                .unwrap_or(0);
+            let t = bus_ready.max(min_bank_ready).max(floor);
+            horizon = earliest(horizon, Some(Cycle(t)));
+        }
+        horizon
+    }
+}
+
 /// Flat bandwidth-latency memory model (ablation alternative).
 ///
 /// Every access completes after `latency` plus queueing delay imposed by an
@@ -463,6 +505,16 @@ impl FlatMemory {
     /// Whether nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.in_service.is_empty()
+    }
+}
+
+impl NextEvent for FlatMemory {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.in_service
+            .iter()
+            .map(|&(_, finish)| finish.max(now.0 + 1))
+            .min()
+            .map(Cycle)
     }
 }
 
@@ -623,6 +675,70 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.drain_low = cfg.drain_high;
         let _ = DramModel::new(cfg);
+    }
+
+    /// Drives `dram` with the event-skipping discipline and returns every
+    /// (cycle, token) completion.
+    fn run_skipping(dram: &mut DramModel, limit: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        while now < limit {
+            for c in dram.tick(Cycle(now)) {
+                out.push((now, c.token));
+            }
+            match dram.next_event(Cycle(now)) {
+                Some(next) => now = next.0,
+                None => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn next_event_reproduces_stepped_completions() {
+        let mk = || {
+            let mut dram = DramModel::new(small_cfg());
+            // A mix of row hits, misses, both channels, and writes.
+            for (i, addr) in [0u64, 256, 128, 0x10000, 384, 0x20080]
+                .into_iter()
+                .enumerate()
+            {
+                dram.try_enqueue_read(i as u64, addr, Cycle(0)).unwrap();
+            }
+            dram.try_enqueue_write(100, 512, Cycle(0)).unwrap();
+            dram
+        };
+        let mut stepped = mk();
+        let mut by_step = Vec::new();
+        for c in 0..5000u64 {
+            for done in stepped.tick(Cycle(c)) {
+                by_step.push((c, done.token));
+            }
+        }
+        let mut skipped = mk();
+        let by_skip = run_skipping(&mut skipped, 5000);
+        assert_eq!(by_skip, by_step);
+        assert_eq!(skipped.stats(), stepped.stats());
+        assert!(skipped.is_idle());
+    }
+
+    #[test]
+    fn next_event_is_none_when_idle_and_future_otherwise() {
+        let mut dram = DramModel::new(small_cfg());
+        assert_eq!(dram.next_event(Cycle(0)), None);
+        dram.try_enqueue_read(1, 0, Cycle(0)).unwrap();
+        let ev = dram.next_event(Cycle(0)).expect("queued work has an event");
+        assert!(ev.0 >= 1);
+    }
+
+    #[test]
+    fn flat_memory_next_event_matches_completion() {
+        let mut m = FlatMemory::new(100, 16.0, 128);
+        assert_eq!(m.next_event(Cycle(0)), None);
+        m.enqueue(1, false, Cycle(0));
+        let ev = m.next_event(Cycle(0)).unwrap();
+        assert!(m.tick(Cycle(ev.0 - 1)).is_empty());
+        assert_eq!(m.tick(ev).len(), 1);
     }
 
     #[test]

@@ -9,11 +9,56 @@
 
 use carve::WritePolicy;
 use carve_system::{Design, SimConfig};
+use carve_trace::WorkloadSpec;
 use experiments::{Campaign, Table};
 use sim_core::geomean;
 
+/// Fans every ablation point across worker threads before the tables
+/// slice the warm cache (the launch-overhead study bypasses the cache and
+/// stays sequential).
+fn prefetch(c: &mut Campaign) {
+    let base = c.base_cfg();
+    let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+    for spec in c.specs() {
+        points.push((
+            spec.clone(),
+            SimConfig::with_cfg(Design::CarveHwc, base.clone()),
+        ));
+        let mut dir = SimConfig::with_cfg(Design::CarveHwc, base.clone());
+        dir.directory_coherence = true;
+        points.push((spec.clone(), dir));
+        let mut wb = SimConfig::with_cfg(Design::CarveHwc, base.clone());
+        wb.rdc_write_policy = WritePolicy::WriteBack;
+        points.push((spec.clone(), wb));
+        let mut bcast = SimConfig::with_cfg(Design::CarveHwc, base.clone());
+        bcast.gpu_vi_broadcast_always = true;
+        points.push((spec.clone(), bcast));
+    }
+    let find = |name: &str| {
+        c.specs()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("known workload")
+    };
+    for name in ["RandAccess", "XSBench", "bfs-road", "Lulesh"] {
+        let mut sim = SimConfig::with_cfg(Design::CarveHwc, base.clone());
+        sim.hit_predictor = true;
+        points.push((find(name), sim));
+    }
+    for name in ["MCB", "XSBench", "stream-triad", "AMG"] {
+        let mut off = SimConfig::with_cfg(Design::CarveHwc, base.clone());
+        off.spill_fraction = 0.0625;
+        let mut on = off.clone();
+        on.rdc_caches_sysmem = true;
+        points.push((find(name), off));
+        points.push((find(name), on));
+    }
+    c.run_parallel(&points);
+}
+
 fn main() {
     let mut c = Campaign::new();
+    prefetch(&mut c);
     write_policy_ablation(&mut c).emit();
     imst_ablation(&mut c).emit();
     directory_ablation(&mut c).emit();
@@ -29,7 +74,13 @@ fn directory_ablation(c: &mut Campaign) -> Table {
     let mut t = Table::new(
         "ablation_directory",
         "Ablation: broadcast vs directory coherence (CARVE-HWC)",
-        &["workload", "bcast-cycles", "dir-cycles", "bcast-msgs", "dir-msgs"],
+        &[
+            "workload",
+            "bcast-cycles",
+            "dir-cycles",
+            "bcast-msgs",
+            "dir-msgs",
+        ],
     );
     for spec in c.specs() {
         let bcast = c.design_result(&spec, Design::CarveHwc);

@@ -11,6 +11,7 @@
 //! message count of broadcast GPU-VI vs a sharer directory.
 
 use carve_system::{Design, ScaledConfig, SimConfig};
+use carve_trace::WorkloadSpec;
 use experiments::{Campaign, Table};
 use sim_core::geomean;
 
@@ -20,8 +21,40 @@ fn cfg_with_gpus(base: &ScaledConfig, gpus: usize) -> ScaledConfig {
     cfg
 }
 
+/// Fans the whole node-count sweep across worker threads before the
+/// tables slice the warm cache.
+fn prefetch(c: &mut Campaign) {
+    let base = c.base_cfg();
+    let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+    for gpus in [2usize, 4, 8] {
+        let cfg = cfg_with_gpus(&base, gpus);
+        for spec in c.specs() {
+            for design in [
+                Design::SingleGpu,
+                Design::NumaGpu,
+                Design::CarveHwc,
+                Design::Ideal,
+            ] {
+                points.push((spec.clone(), SimConfig::with_cfg(design, cfg.clone())));
+            }
+        }
+        for name in ["SSSP", "HPGMG", "Lulesh"] {
+            let spec = c
+                .specs()
+                .into_iter()
+                .find(|s| s.name == name)
+                .expect("known workload");
+            let mut dir_sim = SimConfig::with_cfg(Design::CarveHwc, cfg.clone());
+            dir_sim.directory_coherence = true;
+            points.push((spec, dir_sim));
+        }
+    }
+    c.run_parallel(&points);
+}
+
 fn main() {
     let mut c = Campaign::new();
+    prefetch(&mut c);
     speedup_scaling(&mut c).emit();
     coherence_scaling(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());

@@ -1,20 +1,64 @@
 //! Shared simulation cache for the experiment campaign.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use carve_system::{
     profile_workload, run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig, SimResult,
 };
 use carve_trace::{workloads, WorkloadSpec};
 
+use crate::par;
+
+/// Wall-clock record for one simulated campaign point.
+#[derive(Debug, Clone)]
+pub struct PointTiming {
+    /// Workload name (Table II).
+    pub workload: String,
+    /// Derived configuration key (design label + knobs).
+    pub config: String,
+    /// Simulation wall-clock in milliseconds.
+    pub millis: f64,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Whether the point ran inside a parallel fan-out.
+    pub parallel: bool,
+}
+
 /// Runs simulations on demand and memoizes them, so figures sharing the
 /// same (workload × configuration) points do not re-simulate.
 pub struct Campaign {
     pub(crate) specs: Vec<WorkloadSpec>,
-    profiles: HashMap<String, SharingProfile>,
+    profiles: HashMap<String, Arc<SharingProfile>>,
     cache: HashMap<(String, String), SimResult>,
+    timings: Vec<PointTiming>,
     base_cfg: ScaledConfig,
     quick: bool,
+}
+
+/// The memoization key of a campaign point: every knob that changes the
+/// simulated machine must appear here, or distinct configurations would
+/// alias in the cache.
+fn key_of(spec: &WorkloadSpec, sim: &SimConfig) -> (String, String) {
+    (
+        spec.name.to_string(),
+        format!(
+            "{}|rdc={}|spill={:.4}|bw={:.3}|pred={}|wp={:?}|bcast={}|dir={}|sysrdc={}|gpus={}",
+            sim.design.label(),
+            sim.rdc_capacity(),
+            sim.spill_fraction,
+            sim.cfg.link_bytes_per_cycle,
+            sim.hit_predictor,
+            sim.rdc_write_policy,
+            sim.gpu_vi_broadcast_always,
+            sim.directory_coherence,
+            sim.rdc_caches_sysmem,
+            sim.cfg.num_gpus,
+        ),
+    )
 }
 
 impl Default for Campaign {
@@ -39,6 +83,7 @@ impl Campaign {
             specs,
             profiles: HashMap::new(),
             cache: HashMap::new(),
+            timings: Vec::new(),
             base_cfg: ScaledConfig::default(),
             quick,
         }
@@ -61,47 +106,95 @@ impl Campaign {
 
     /// The 4-GPU sharing profile of a workload (memoized).
     pub fn profile(&mut self, spec: &WorkloadSpec) -> &SharingProfile {
+        self.profile_arc(spec);
+        self.profiles.get(spec.name).expect("just inserted")
+    }
+
+    fn profile_arc(&mut self, spec: &WorkloadSpec) -> Arc<SharingProfile> {
         let num_gpus = self.base_cfg.num_gpus;
         let cfg = self.base_cfg.clone();
-        self.profiles
-            .entry(spec.name.to_string())
-            .or_insert_with(|| profile_workload(spec, &cfg, num_gpus))
+        Arc::clone(
+            self.profiles
+                .entry(spec.name.to_string())
+                .or_insert_with(|| Arc::new(profile_workload(spec, &cfg, num_gpus))),
+        )
     }
 
     /// Simulates `spec` under `sim` (memoized by a derived key).
     pub fn result(&mut self, spec: &WorkloadSpec, sim: &SimConfig) -> SimResult {
-        let key = (
-            spec.name.to_string(),
-            format!(
-                "{}|rdc={}|spill={:.4}|bw={:.3}|pred={}|wp={:?}|bcast={}|dir={}|sysrdc={}|gpus={}",
-                sim.design.label(),
-                sim.rdc_capacity(),
-                sim.spill_fraction,
-                sim.cfg.link_bytes_per_cycle,
-                sim.hit_predictor,
-                sim.rdc_write_policy,
-                sim.gpu_vi_broadcast_always,
-                sim.directory_coherence,
-                sim.rdc_caches_sysmem,
-                sim.cfg.num_gpus,
-            ),
-        );
+        let key = key_of(spec, sim);
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
         // Profiles are only valid for the 4-GPU machine; single-GPU runs
         // use no profile-driven policy.
-        self.profile(spec);
-        let profile = self.profiles.get(spec.name).expect("just inserted");
-        let r = run_with_profile(spec, sim, Some(profile));
+        let profile = self.profile_arc(spec);
+        let started = Instant::now();
+        let r = run_with_profile(spec, sim, Some(&profile));
+        let millis = started.elapsed().as_secs_f64() * 1e3;
         assert!(
             r.completed,
             "{} under {} hit the cycle cap",
             spec.name,
             sim.design.label()
         );
+        self.timings.push(PointTiming {
+            workload: key.0.clone(),
+            config: key.1.clone(),
+            millis,
+            cycles: r.cycles,
+            parallel: false,
+        });
         self.cache.insert(key, r.clone());
         r
+    }
+
+    /// Simulates every (workload × configuration) point, fanning uncached
+    /// points across worker threads ([`par::thread_count`]), and returns
+    /// the results **in input order**. Each point is an independent
+    /// `System`, so concurrency cannot change any result; the memo cache
+    /// is filled in the same deterministic order as a sequential pass.
+    pub fn run_parallel(&mut self, points: &[(WorkloadSpec, SimConfig)]) -> Vec<SimResult> {
+        // Sharing profiles are shared across points; memoize them up front
+        // so workers only read them (through `Arc`).
+        let mut jobs: Vec<(WorkloadSpec, SimConfig, Arc<SharingProfile>)> = Vec::new();
+        let mut claimed: HashSet<(String, String)> = HashSet::new();
+        for (spec, sim) in points {
+            let key = key_of(spec, sim);
+            if self.cache.contains_key(&key) || !claimed.insert(key) {
+                continue;
+            }
+            let profile = self.profile_arc(spec);
+            jobs.push((spec.clone(), sim.clone(), profile));
+        }
+        let parallel = jobs.len() > 1 && par::thread_count() > 1;
+        let outcomes = par::parallel_map(jobs, |(spec, sim, profile)| {
+            let started = Instant::now();
+            let r = run_with_profile(&spec, &sim, Some(&profile));
+            let millis = started.elapsed().as_secs_f64() * 1e3;
+            (spec, sim, r, millis)
+        });
+        for (spec, sim, r, millis) in outcomes {
+            assert!(
+                r.completed,
+                "{} under {} hit the cycle cap",
+                spec.name,
+                sim.design.label()
+            );
+            let key = key_of(&spec, &sim);
+            self.timings.push(PointTiming {
+                workload: key.0.clone(),
+                config: key.1.clone(),
+                millis,
+                cycles: r.cycles,
+                parallel,
+            });
+            self.cache.insert(key, r);
+        }
+        points
+            .iter()
+            .map(|(spec, sim)| self.result(spec, sim))
+            .collect()
     }
 
     /// Convenience: default-machine result for a design.
@@ -115,6 +208,60 @@ impl Campaign {
     pub fn cached_runs(&self) -> usize {
         self.cache.len()
     }
+
+    /// Wall-clock records for every point simulated so far.
+    pub fn timings(&self) -> &[PointTiming] {
+        &self.timings
+    }
+
+    /// Writes the per-point wall-clock records as JSON (hand-rolled — the
+    /// workspace vendors no serialization crates).
+    pub fn write_bench_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let engine = if std::env::var_os("CARVE_STEP").is_some() {
+            "step"
+        } else {
+            "event-skip"
+        };
+        let total: f64 = self.timings.iter().map(|t| t.millis).sum();
+        let mut out = std::fs::File::create(path)?;
+        writeln!(out, "{{")?;
+        writeln!(out, "  \"engine\": \"{engine}\",")?;
+        writeln!(out, "  \"threads\": {},", par::thread_count())?;
+        writeln!(out, "  \"quick\": {},", self.quick)?;
+        writeln!(out, "  \"points\": {},", self.timings.len())?;
+        writeln!(out, "  \"total_millis\": {total:.3},")?;
+        writeln!(out, "  \"runs\": [")?;
+        for (i, t) in self.timings.iter().enumerate() {
+            let comma = if i + 1 == self.timings.len() { "" } else { "," };
+            writeln!(
+                out,
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"millis\": {:.3}, \
+                 \"cycles\": {}, \"parallel\": {}}}{comma}",
+                json_escape(&t.workload),
+                json_escape(&t.config),
+                t.millis,
+                t.cycles,
+                t.parallel,
+            )?;
+        }
+        writeln!(out, "  ]")?;
+        writeln!(out, "}}")?;
+        Ok(())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -158,5 +305,56 @@ mod tests {
     fn twenty_specs_by_default() {
         let c = Campaign::new();
         assert_eq!(c.specs().len(), 20);
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_results() {
+        // The fan-out must be invisible: same counters, same cache state,
+        // results in input order, duplicates served from cache.
+        let mut seq = quick_campaign();
+        let mut par_c = quick_campaign();
+        let specs = seq.specs();
+        let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+        for spec in specs.iter().take(3) {
+            for design in [Design::NumaGpu, Design::CarveHwc] {
+                points.push((spec.clone(), SimConfig::new(design)));
+            }
+        }
+        points.push(points[0].clone()); // duplicate point
+        let fanned = par_c.run_parallel(&points);
+        assert_eq!(fanned.len(), points.len());
+        assert_eq!(par_c.cached_runs(), points.len() - 1);
+        for (i, (spec, sim)) in points.iter().enumerate() {
+            let expect = seq.result(spec, sim);
+            assert_eq!(fanned[i].cycles, expect.cycles, "{} point {i}", spec.name);
+            assert_eq!(fanned[i].instructions, expect.instructions);
+            assert_eq!(fanned[i].remote_serviced, expect.remote_serviced);
+        }
+        assert_eq!(fanned[0].cycles, fanned[points.len() - 1].cycles);
+    }
+
+    #[test]
+    fn timings_record_every_simulated_point() {
+        let mut c = quick_campaign();
+        let spec = c.specs()[0].clone();
+        c.design_result(&spec, Design::NumaGpu);
+        c.design_result(&spec, Design::NumaGpu); // cache hit: no new timing
+        assert_eq!(c.timings().len(), 1);
+        assert!(c.timings()[0].millis >= 0.0);
+        assert!(!c.timings()[0].parallel);
+    }
+
+    #[test]
+    fn bench_json_is_written() {
+        let mut c = quick_campaign();
+        let spec = c.specs()[0].clone();
+        c.design_result(&spec, Design::NumaGpu);
+        let dir = std::env::temp_dir().join("carve-bench-json-test");
+        let path = dir.join("BENCH_engine.json");
+        c.write_bench_json(&path).expect("write bench json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"runs\""));
+        assert!(text.contains("\"engine\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,12 +13,17 @@
 //!   sanity pass of the whole campaign.
 //! * `CARVE_RESULTS_DIR` — where `.tsv` files are written (default
 //!   `results/`).
+//! * `CARVE_THREADS` — worker threads for parallel campaign fan-out
+//!   (default: available parallelism).
+//! * `CARVE_STEP=1` — force the legacy cycle-stepping engine instead of
+//!   event skipping (see `carve_system::sim`).
 
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod figures;
+pub mod par;
 pub mod table;
 
-pub use campaign::Campaign;
+pub use campaign::{Campaign, PointTiming};
 pub use table::Table;

@@ -63,8 +63,11 @@ impl Table {
         }
         let name_w = values.iter().map(|(n, _)| n.len()).max().unwrap_or(8);
         let mut out = String::new();
-        out.push_str(&format!("   [{}]
-", self.header[col]));
+        out.push_str(&format!(
+            "   [{}]
+",
+            self.header[col]
+        ));
         for (name, v) in &values {
             let width = ((v / max) * 40.0).round() as usize;
             out.push_str(&format!(
@@ -184,10 +187,7 @@ mod tests {
         t.push(vec!["b".into(), "2.00x".into()]);
         let chart = t.render_chart(1).unwrap();
         let lines: Vec<&str> = chart.lines().collect();
-        let bars: Vec<usize> = lines[1..]
-            .iter()
-            .map(|l| l.matches('#').count())
-            .collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('#').count()).collect();
         assert_eq!(bars[1], 40, "max value fills the scale");
         assert_eq!(bars[0], 20, "half value gets half the bar");
     }

@@ -7,6 +7,7 @@ use carve_cache::mshr::{MshrAllocate, MshrFile};
 use carve_cache::sram::{AccessKind, SetAssocCache};
 use carve_noc::NodeId;
 use carve_trace::WorkloadSpec;
+use sim_core::event::{earliest, NextEvent};
 use sim_core::{BoundedQueue, Cycle, ScaledConfig};
 
 use crate::sm::{L2Req, Sm, SmParams, SmStats};
@@ -491,6 +492,40 @@ impl GpuCore {
     /// GPU index of this core.
     pub fn gpu_id(&self) -> usize {
         self.gpu_id
+    }
+}
+
+impl NextEvent for GpuCore {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.0 + 1;
+        // Pending outgoing traffic and completed external reads are drained
+        // by the system every tick — make that tick happen promptly.
+        if !self.outbox.is_empty() || !self.external_done.is_empty() {
+            return Some(Cycle(floor));
+        }
+        let mut horizon: Option<Cycle> = None;
+        for bank in &self.banks {
+            // A non-empty bank queue must be ticked every cycle once its
+            // busy window ends: `process_bank` probes the L2 on each
+            // attempt even when the head then stalls on back-pressure, and
+            // those probes move LRU state. Skipping them would diverge
+            // from the stepping engine.
+            if !bank.queue.is_empty() {
+                let at = bank.busy_until.max(floor);
+                if at == floor {
+                    return Some(Cycle(floor));
+                }
+                horizon = earliest(horizon, Some(Cycle(at)));
+            }
+        }
+        for sm in &self.sms {
+            horizon = earliest(horizon, sm.next_event(now));
+            // The floor is the lowest possible horizon; stop scanning.
+            if horizon == Some(Cycle(floor)) {
+                return horizon;
+            }
+        }
+        horizon
     }
 }
 

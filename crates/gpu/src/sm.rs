@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use carve_cache::sram::{AccessKind, SetAssocCache};
 use carve_noc::NodeId;
 use carve_trace::{Op, WarpGen, WorkloadSpec};
+use sim_core::event::earliest;
 use sim_core::{Cycle, ScaledConfig};
 
 use crate::tlb::Tlb;
@@ -406,6 +407,29 @@ impl Sm {
     /// non-idle until their fills arrive.
     pub fn is_idle(&self) -> bool {
         self.pending.is_empty() && self.slots.iter().all(|s| s.phase == Phase::Vacant)
+    }
+
+    /// Earliest future cycle this SM could issue or change state on its
+    /// own (see [`sim_core::NextEvent`]). `None` when every warp is vacant
+    /// or waiting on a memory fill — only outside input can wake it then.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.0 + 1;
+        let mut horizon: Option<Cycle> = None;
+        let mut vacant = 0usize;
+        for slot in &self.slots {
+            match slot.phase {
+                Phase::Ready => return Some(Cycle(floor)),
+                Phase::Blocked(t) => {
+                    horizon = earliest(horizon, Some(Cycle(t.max(floor))));
+                }
+                Phase::Vacant => vacant += 1,
+                Phase::WaitingMem => {}
+            }
+        }
+        if !self.pending.is_empty() && vacant >= self.params.warps_per_cta {
+            return Some(Cycle(floor));
+        }
+        horizon
     }
 
     /// Activity counters.

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+use sim_core::event::{earliest, NextEvent};
 use sim_core::Cycle;
 
 /// Message size constants in bytes.
@@ -138,6 +139,16 @@ impl Link {
     /// Configured bandwidth in bytes/cycle.
     pub fn bytes_per_cycle(&self) -> f64 {
         self.bytes_per_cycle
+    }
+}
+
+impl NextEvent for Link {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.in_flight
+            .iter()
+            .map(|&(_, arrival)| arrival.max(now.0 + 1))
+            .min()
+            .map(Cycle)
     }
 }
 
@@ -311,6 +322,21 @@ impl LinkNetwork {
     }
 }
 
+impl NextEvent for LinkNetwork {
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for link in self
+            .gpu_links
+            .iter()
+            .chain(self.to_cpu.iter())
+            .chain(self.from_cpu.iter())
+        {
+            horizon = earliest(horizon, link.next_event(now));
+        }
+        horizon
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +417,23 @@ mod tests {
     fn self_link_panics() {
         let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
         net.send(NodeId::Gpu(0), NodeId::Gpu(0), 0, 32, Cycle(0));
+    }
+
+    #[test]
+    fn next_event_points_at_earliest_arrival() {
+        let mut l = Link::new(8.0, 100);
+        assert_eq!(l.next_event(Cycle(0)), None);
+        l.send(1, 160, Cycle(0)); // arrives at 120
+        l.send(2, 160, Cycle(0)); // arrives at 140
+        assert_eq!(l.next_event(Cycle(0)), Some(Cycle(120)));
+        assert!(l.tick(Cycle(119)).is_empty());
+        assert_eq!(l.tick(Cycle(120)), vec![1]);
+        assert_eq!(l.next_event(Cycle(120)), Some(Cycle(140)));
+        let mut net = LinkNetwork::new(2, 8.0, 10, 4.0, 20);
+        assert_eq!(net.next_event(Cycle(0)), None);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 7, 32, Cycle(0));
+        // 32/8 = 4 serialization + 10 latency.
+        assert_eq!(net.next_event(Cycle(0)), Some(Cycle(14)));
     }
 
     #[test]

@@ -33,11 +33,12 @@ pub fn gpu_of_cta(cta: usize, ctas: usize, num_gpus: usize) -> usize {
     let boundary = extra * (base + 1);
     if cta < boundary {
         cta / (base + 1)
-    } else if base > 0 {
-        extra + (cta - boundary) / base
     } else {
-        // More GPUs than CTAs: one CTA per GPU.
-        cta
+        match (cta - boundary).checked_div(base) {
+            Some(q) => extra + q,
+            // More GPUs than CTAs: one CTA per GPU.
+            None => cta,
+        }
     }
 }
 

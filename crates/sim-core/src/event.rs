@@ -1,0 +1,60 @@
+//! The [`NextEvent`] trait: components report the earliest cycle at which
+//! their state can change, so the engine can skip idle stretches.
+//!
+//! The contract is *conservative*: a component may report a cycle earlier
+//! than its true next state change (the engine just performs a no-op tick
+//! there), but it must never report one later — skipping past a real state
+//! change would alter simulated time and break the bit-for-bit equivalence
+//! with the step-by-1 engine.
+
+use crate::cycle::Cycle;
+
+/// Lower-bound oracle for a component's next state change.
+///
+/// Implementations answer: "given that I receive no further input, what is
+/// the earliest cycle strictly after `now` at which ticking me could do
+/// anything?" The required properties are:
+///
+/// * **Future-only:** any returned cycle is `>= now + 1`.
+/// * **Conservative:** the returned cycle is `<=` the true earliest cycle
+///   at which the component's observable state changes. Returning an
+///   earlier cycle costs a wasted tick; returning a later one is a
+///   correctness bug.
+/// * **Passive means `None`:** a component with no queued or in-flight
+///   work returns `None`, meaning it will never act again without new
+///   input. `None` is *not* "don't know" — an unsure component must
+///   return `Some(now.next())`.
+///
+/// Ticking a component at a cycle before its reported next event must be
+/// a no-op (no state mutation), since the event-skipping engine relies on
+/// never needing those intermediate ticks.
+pub trait NextEvent {
+    /// Earliest cycle (`>= now + 1`) at which this component's state can
+    /// change without outside input, or `None` if it is fully passive.
+    fn next_event(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// Folds two optional event horizons, keeping the earlier one.
+///
+/// Convenience for aggregating `next_event` across subcomponents:
+/// `None` is the identity.
+pub fn earliest(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x <= y { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_prefers_smaller_and_ignores_none() {
+        assert_eq!(earliest(None, None), None);
+        assert_eq!(earliest(Some(Cycle(5)), None), Some(Cycle(5)));
+        assert_eq!(earliest(None, Some(Cycle(7))), Some(Cycle(7)));
+        assert_eq!(earliest(Some(Cycle(9)), Some(Cycle(4))), Some(Cycle(4)));
+    }
+}

@@ -3,16 +3,21 @@
 //! This crate holds the pieces every other crate in the workspace leans on:
 //!
 //! * [`cycle`] — the simulation clock ([`Cycle`]) and time arithmetic,
+//! * [`event`] — the [`NextEvent`] horizon trait the skipping engine polls,
 //! * [`rng`] — deterministic, splittable pseudo-random streams,
 //! * [`stats`] — counters, histograms and summary math (geometric mean),
 //! * [`queue`] — bounded FIFO queues used to connect pipeline stages,
 //! * [`config`] — the scaled system configuration shared by all components,
 //! * [`units`] — byte-size / bandwidth formatting helpers.
 //!
-//! The simulator is cycle-stepped and single threaded: determinism is a core
+//! The simulator advances an event-horizon engine over a cycle-accurate
+//! model: components implement [`NextEvent`] so the engine can jump `now`
+//! straight to the next cycle anything can happen, producing results
+//! bit-identical to stepping one cycle at a time. Determinism is a core
 //! design goal (two runs with the same seed produce bit-identical results),
 //! which is why random streams are derived from explicit seeds rather than
-//! OS entropy.
+//! OS entropy; experiment campaigns may fan independent simulations across
+//! threads, but each `System` instance stays single threaded.
 //!
 //! # Example
 //!
@@ -31,6 +36,7 @@
 
 pub mod config;
 pub mod cycle;
+pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -38,6 +44,7 @@ pub mod units;
 
 pub use config::{BaselineConfig, ScaledConfig};
 pub use cycle::Cycle;
+pub use event::NextEvent;
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};

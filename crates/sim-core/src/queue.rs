@@ -100,8 +100,8 @@ impl<T> BoundedQueue<T> {
 
     /// Removes and returns the first item matching `pred` (for FR-FCFS-style
     /// out-of-order picks). O(n); queues here are short by construction.
-    pub fn pop_first_matching<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
-        let idx = self.items.iter().position(|x| pred(x))?;
+    pub fn pop_first_matching<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
         self.items.remove(idx)
     }
 

@@ -292,6 +292,6 @@ mod tests {
     #[test]
     fn geomean_clamps_nonpositive() {
         let g = geomean([0.0, 1.0].iter().copied());
-        assert!(g >= 0.0 && g < 1.0);
+        assert!((0.0..1.0).contains(&g));
     }
 }

@@ -147,7 +147,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<14} {:>6} {:>9} {:>8}  suite", "workload", "kernels", "footprint", "instrs");
+            println!(
+                "{:<14} {:>6} {:>9} {:>8}  suite",
+                "workload", "kernels", "footprint", "instrs"
+            );
             for w in workloads::all() {
                 println!(
                     "{:<14} {:>6} {:>8}M {:>7}k  {}",
@@ -169,7 +172,10 @@ fn main() -> ExitCode {
                 }
             };
             let Some(spec) = workloads::by_name(&parsed.workload) else {
-                eprintln!("error: unknown workload '{}' (try `carve-sim list`)", parsed.workload);
+                eprintln!(
+                    "error: unknown workload '{}' (try `carve-sim list`)",
+                    parsed.workload
+                );
                 return ExitCode::FAILURE;
             };
             let sim = sim_config_from(&parsed);
@@ -177,7 +183,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("compare") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(spec) = workloads::by_name(name) else {
                 eprintln!("error: unknown workload '{name}'");
                 return ExitCode::FAILURE;
@@ -200,7 +208,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("profile") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(spec) = workloads::by_name(name) else {
                 eprintln!("error: unknown workload '{name}'");
                 return ExitCode::FAILURE;
@@ -210,10 +220,27 @@ fn main() -> ExitCode {
             let (pp, pro, prw) = p.page_breakdown().fractions();
             let (lp, lro, lrw) = p.line_breakdown().fractions();
             println!("sharing profile of {name} on {} GPUs:", sim.cfg.num_gpus);
-            println!("  pages: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared", 100.0*pp, 100.0*pro, 100.0*prw);
-            println!("  lines: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared", 100.0*lp, 100.0*lro, 100.0*lrw);
-            println!("  shared footprint: {} (x{} paper-equivalent)", p.shared_footprint_bytes(), sim.cfg.capacity_scale);
-            println!("  replication multiplier: {:.2}x", p.replication_footprint_multiplier());
+            println!(
+                "  pages: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared",
+                100.0 * pp,
+                100.0 * pro,
+                100.0 * prw
+            );
+            println!(
+                "  lines: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared",
+                100.0 * lp,
+                100.0 * lro,
+                100.0 * lrw
+            );
+            println!(
+                "  shared footprint: {} (x{} paper-equivalent)",
+                p.shared_footprint_bytes(),
+                sim.cfg.capacity_scale
+            );
+            println!(
+                "  replication multiplier: {:.2}x",
+                p.replication_footprint_multiplier()
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

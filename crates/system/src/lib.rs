@@ -32,7 +32,7 @@ pub mod sim;
 
 pub use design::{Design, SimConfig};
 pub use metrics::SimResult;
-pub use sim::{run, run_with_profile};
+pub use sim::{run, run_with_profile, run_with_profile_mode, EngineMode};
 
 // Re-exports so experiment binaries need only this crate.
 pub use carve_runtime::sharing::{profile_workload, SharingProfile};

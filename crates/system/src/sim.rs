@@ -1,8 +1,13 @@
 //! The multi-GPU system simulation loop.
 //!
 //! [`run`] builds the machine described by a [`SimConfig`], executes every
-//! kernel of the workload, and reports a [`SimResult`]. The system crate
-//! owns everything *between* the GPU cores: DRAM, the RDC carve-outs and
+//! kernel of the workload, and reports a [`SimResult`]. Time advances with
+//! an event-horizon engine: every component implements
+//! [`sim_core::NextEvent`], and the loop jumps `now` to the earliest
+//! reported event instead of polling every cycle — bit-identical to the
+//! step-by-1 engine ([`EngineMode::Step`], forced by setting the
+//! `CARVE_STEP` environment variable), just without the no-op ticks. The
+//! system crate owns everything *between* the GPU cores: DRAM, the RDC carve-outs and
 //! their coherence, the link fabric, CPU memory, and the runtime page
 //! table. All routing happens here, so the per-design differences are
 //! concentrated in one file:
@@ -14,7 +19,8 @@
 //! * replication/migration/UM-spill act through the page table's
 //!   effective-home resolution.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use carve::{Carve, HitPredictor, RdcConfig, RdcStats};
@@ -25,6 +31,7 @@ use carve_runtime::page_table::{PageMigration, PageTable};
 use carve_runtime::sched::cta_range_of_gpu;
 use carve_runtime::sharing::{profile_workload, SharingProfile};
 use carve_trace::WorkloadSpec;
+use sim_core::event::{earliest, NextEvent};
 use sim_core::{Cycle, ScaledConfig};
 
 use crate::design::{Design, SimConfig};
@@ -133,9 +140,11 @@ struct System {
     carve: Option<Carve>,
     predictors: Vec<HitPredictor>,
     pending: HashMap<u64, Pending>,
-    delayed: Vec<(u64, u64)>, // (due cycle, token): home responses
+    /// Home responses keyed by due cycle: a min-heap so each tick pops
+    /// only the entries that are due instead of scanning everything.
+    delayed: BinaryHeap<Reverse<(u64, u64)>>, // (due cycle, token)
     ext_retry: Vec<VecDeque<(u64, u64)>>, // per home: (token, line)
-    dram_retry: Vec<VecDeque<u64>>, // per gpu: write addresses
+    dram_retry: Vec<VecDeque<u64>>,       // per gpu: write addresses
     next_token: u64,
     traffic: Traffic,
     migrations_buf: Vec<PageMigration>,
@@ -210,7 +219,7 @@ impl System {
             carve,
             predictors,
             pending: HashMap::new(),
-            delayed: Vec::new(),
+            delayed: BinaryHeap::new(),
             ext_retry: (0..num_gpus).map(|_| VecDeque::new()).collect(),
             dram_retry: (0..num_gpus).map(|_| VecDeque::new()).collect(),
             next_token: 1,
@@ -232,9 +241,12 @@ impl System {
         self.cores[gpu].complete_miss(tag, now);
     }
 
+    /// Returns the next request token. Tokens are unique across the run
+    /// and start at 1 (`next_token`'s initial value).
     fn fresh_token(&mut self) -> u64 {
+        let token = self.next_token;
         self.next_token += 1;
-        self.next_token
+        token
     }
 
     fn rdc_probe_addr(&self, gpu: usize, line: u64) -> u64 {
@@ -687,38 +699,36 @@ impl System {
     }
 
     fn handle_delayed(&mut self, now: Cycle) {
-        let mut i = 0;
-        while i < self.delayed.len() {
-            if self.delayed[i].0 <= now.0 {
-                let (_, token) = self.delayed.swap_remove(i);
-                if let Some(Pending::RemoteRead {
-                    requester,
-                    tag,
-                    line,
-                    home,
-                    phase: RemotePhase::AtHome,
-                }) = self.pending.get(&token).copied()
-                {
-                    self.pending.insert(
-                        token,
-                        Pending::RemoteRead {
-                            requester,
-                            tag,
-                            line,
-                            home,
-                            phase: RemotePhase::Return,
-                        },
-                    );
-                    self.net.send(
-                        NodeId::Gpu(home),
-                        NodeId::Gpu(requester),
-                        token,
-                        msg::RESP_DATA_BYTES,
-                        now,
-                    );
-                }
-            } else {
-                i += 1;
+        while let Some(&Reverse((due, token))) = self.delayed.peek() {
+            if due > now.0 {
+                break;
+            }
+            self.delayed.pop();
+            if let Some(Pending::RemoteRead {
+                requester,
+                tag,
+                line,
+                home,
+                phase: RemotePhase::AtHome,
+            }) = self.pending.get(&token).copied()
+            {
+                self.pending.insert(
+                    token,
+                    Pending::RemoteRead {
+                        requester,
+                        tag,
+                        line,
+                        home,
+                        phase: RemotePhase::Return,
+                    },
+                );
+                self.net.send(
+                    NodeId::Gpu(home),
+                    NodeId::Gpu(requester),
+                    token,
+                    msg::RESP_DATA_BYTES,
+                    now,
+                );
             }
         }
     }
@@ -782,7 +792,7 @@ impl System {
         // Home-side external reads that completed in the cores.
         for g in 0..self.num_gpus {
             for (token, at) in self.cores[g].drain_external_done() {
-                self.delayed.push((at.0, token));
+                self.delayed.push(Reverse((at.0, token)));
             }
         }
         // Drain outboxes with head-of-line back-pressure.
@@ -806,6 +816,43 @@ impl System {
             && self.cpu_mem.is_idle()
             && self.ext_retry.iter().all(VecDeque::is_empty)
             && self.dram_retry.iter().all(VecDeque::is_empty)
+    }
+
+    /// The event-skipping engine's horizon: the earliest future cycle at
+    /// which any component can act (see [`NextEvent`]). Returns `None`
+    /// only when the system will never act again without a kernel launch.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.0 + 1;
+        // Retry queues are re-attempted every cycle in the stepping
+        // engine; keep that cadence so retries land on the same cycle.
+        if self.ext_retry.iter().any(|q| !q.is_empty())
+            || self.dram_retry.iter().any(|q| !q.is_empty())
+        {
+            return Some(Cycle(floor));
+        }
+        // The floor is the lowest horizon any component can report, so the
+        // fold short-circuits the moment it is reached — during busy phases
+        // (some SM always ready) this keeps the skip engine's per-cycle
+        // overhead to roughly one core scan.
+        let mut horizon: Option<Cycle> = None;
+        for core in &self.cores {
+            horizon = earliest(horizon, core.next_event(now));
+            if horizon == Some(Cycle(floor)) {
+                return horizon;
+            }
+        }
+        for dram in &self.drams {
+            horizon = earliest(horizon, dram.next_event(now));
+            if horizon == Some(Cycle(floor)) {
+                return horizon;
+            }
+        }
+        horizon = earliest(horizon, self.net.next_event(now));
+        horizon = earliest(horizon, self.cpu_mem.next_event(now));
+        if let Some(&Reverse((due, _))) = self.delayed.peek() {
+            horizon = earliest(horizon, Some(Cycle(due.max(floor))));
+        }
+        horizon
     }
 
     fn kernel_boundary(&mut self, now: Cycle) {
@@ -853,6 +900,31 @@ impl System {
     }
 }
 
+/// How the simulation loop advances time.
+///
+/// Both modes produce bit-identical results (the event-skipping engine
+/// only omits cycles where provably nothing happens); `Step` exists for
+/// verification and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Jump `now` to the minimum [`NextEvent`] horizon across components.
+    EventSkip,
+    /// Advance `now` one cycle at a time (the original engine).
+    Step,
+}
+
+impl EngineMode {
+    /// The default mode: event skipping, unless the `CARVE_STEP`
+    /// environment variable forces the stepping engine.
+    pub fn from_env() -> EngineMode {
+        if std::env::var_os("CARVE_STEP").is_some() {
+            EngineMode::Step
+        } else {
+            EngineMode::EventSkip
+        }
+    }
+}
+
 /// Simulates `spec` under `sim`, computing any needed sharing profile
 /// internally. Prefer [`run_with_profile`] when sweeping many designs over
 /// one workload, so the profile is computed once.
@@ -873,6 +945,17 @@ pub fn run_with_profile(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     profile: Option<&SharingProfile>,
+) -> SimResult {
+    run_with_profile_mode(spec, sim, profile, EngineMode::from_env())
+}
+
+/// [`run_with_profile`] with an explicit [`EngineMode`], primarily for
+/// verifying that the two engines agree.
+pub fn run_with_profile_mode(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    profile: Option<&SharingProfile>,
+    mode: EngineMode,
 ) -> SimResult {
     let num_gpus = sim.design.num_gpus(&sim.cfg);
     if sim.design.uses_carve() {
@@ -897,6 +980,10 @@ pub fn run_with_profile(
     let mut sys = System::build(spec, sim, profile);
     let mut now = 0u64;
     let mut completed = true;
+    // Hoisted out of the cycle loop: `env::var_os` walks the whole
+    // environment on every call.
+    let trace_tail = std::env::var_os("CARVE_TRACE_TAIL").is_some();
+    let trace_progress = std::env::var_os("CARVE_TRACE_PROGRESS").is_some();
     'kernels: for kernel in 0..spec.shape.kernels {
         if kernel > 0 {
             sys.kernel_boundary(Cycle(now));
@@ -916,10 +1003,7 @@ pub fn run_with_profile(
             if sys.quiescent() {
                 break;
             }
-            if sms_done_at > 0
-                && std::env::var_os("CARVE_TRACE_TAIL").is_some()
-                && (now - sms_done_at) % 2000 == 1999
-            {
+            if trace_tail && sms_done_at > 0 && (now - sms_done_at) % 2000 == 1999 {
                 eprintln!(
                     "      tail+{}: pending={} delayed={} dram_idle={} net_idle={} cores_idle={} dram_retry={} ext_retry={}",
                     now - sms_done_at,
@@ -932,8 +1016,16 @@ pub fn run_with_profile(
                     sys.ext_retry.iter().map(|q| q.len()).sum::<usize>(),
                 );
             }
-            now += 1;
-            if std::env::var_os("CARVE_TRACE_PROGRESS").is_some() && now % 1_000_000 == 0 {
+            let prev = now;
+            now = match mode {
+                EngineMode::Step => now + 1,
+                EngineMode::EventSkip => sys
+                    .next_activity(Cycle(now))
+                    .map(|c| c.0)
+                    .unwrap_or(now + 1),
+            };
+            debug_assert!(now > prev, "time must advance");
+            if trace_progress && now / 1_000_000 != prev / 1_000_000 {
                 let instrs: u64 = sys.cores.iter().map(|c| c.stats().instructions).sum();
                 eprintln!(
                     "    @{now}: {instrs} instrs, pending={}, migrations={}, cores_sms_done={}",
@@ -943,6 +1035,9 @@ pub fn run_with_profile(
                 );
             }
             if now >= sim.max_cycles {
+                // Clamp so an event-skip hop past the cap reports the same
+                // cycle count the stepping engine would.
+                now = sim.max_cycles;
                 if std::env::var_os("CARVE_TRACE_PROGRESS").is_some() {
                     for (tok, p) in &sys.pending {
                         eprintln!("    stuck pending {tok}: {p:?}");
@@ -1057,10 +1152,11 @@ mod tests {
 
     fn quick_cfg() -> ScaledConfig {
         // A narrower machine so unit tests run fast.
-        let mut cfg = ScaledConfig::default();
-        cfg.sms_per_gpu = 2;
-        cfg.warps_per_sm = 8;
-        cfg
+        ScaledConfig {
+            sms_per_gpu: 2,
+            warps_per_sm: 8,
+            ..ScaledConfig::default()
+        }
     }
 
     fn quick_spec(name: &str) -> WorkloadSpec {
@@ -1177,11 +1273,40 @@ mod tests {
         let spec = quick_spec("Lulesh");
         let sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
         let sys = System::build(&spec, &sim, None);
-        for line in [0u64, 0x80, 0xFFF80, 1 << 30] {
-            let addr = sys.rdc_probe_addr(0, line);
-            assert!(addr >= RDC_BASE);
-            assert!(addr < RDC_BASE + sim.rdc_capacity());
+        for gpu in 0..sys.num_gpus {
+            for line in [0u64, 0x80, 0xFFF80, 1 << 30] {
+                let addr = sys.rdc_probe_addr(gpu, line);
+                assert!(addr >= RDC_BASE);
+                assert!(addr < RDC_BASE + sim.rdc_capacity());
+            }
         }
+    }
+
+    #[test]
+    fn fresh_tokens_are_unique_and_start_at_one() {
+        let spec = quick_spec("Lulesh");
+        let sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        let mut sys = System::build(&spec, &sim, None);
+        let first = sys.fresh_token();
+        assert_eq!(first, 1, "token stream must start at the documented value");
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(first);
+        for _ in 0..1000 {
+            assert!(seen.insert(sys.fresh_token()), "token issued twice");
+        }
+    }
+
+    #[test]
+    fn skip_engine_matches_step_engine_on_a_quick_run() {
+        let spec = quick_spec("Lulesh");
+        let sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+        let skip = run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip);
+        let step = run_with_profile_mode(&spec, &sim, None, EngineMode::Step);
+        assert_eq!(skip.cycles, step.cycles);
+        assert_eq!(skip.instructions, step.instructions);
+        assert_eq!(skip.remote_serviced, step.remote_serviced);
+        assert_eq!(skip.rdc.hits, step.rdc.hits);
+        assert_eq!(skip.read_latency.count(), step.read_latency.count());
     }
 
     #[test]

@@ -17,10 +17,11 @@ fn tiny(name: &str) -> WorkloadSpec {
 }
 
 fn tiny_cfg() -> ScaledConfig {
-    let mut cfg = ScaledConfig::default();
-    cfg.sms_per_gpu = 2;
-    cfg.warps_per_sm = 8;
-    cfg
+    ScaledConfig {
+        sms_per_gpu: 2,
+        warps_per_sm: 8,
+        ..ScaledConfig::default()
+    }
 }
 
 fn tiny_sim(design: Design) -> SimConfig {
