@@ -390,6 +390,36 @@ impl DramModel {
     pub fn config(&self) -> &DramConfig {
         &self.cfg
     }
+
+    /// One diagnostic line per channel with queued or in-service work:
+    /// queue depths, drain state, and the oldest queued request's arrival
+    /// cycle. Empty when the subsystem is idle.
+    pub fn occupancy_report(&self) -> Vec<String> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(|(_, ch)| {
+                !ch.read_q.is_empty() || !ch.write_q.is_empty() || !ch.in_service.is_empty()
+            })
+            .map(|(i, ch)| {
+                let oldest = ch
+                    .read_q
+                    .iter()
+                    .chain(ch.write_q.iter())
+                    .map(|r| r.arrival.0)
+                    .min();
+                format!(
+                    "channel {}: read_q={} write_q={} in_service={} draining={}{}",
+                    i,
+                    ch.read_q.len(),
+                    ch.write_q.len(),
+                    ch.in_service.len(),
+                    ch.draining,
+                    oldest.map_or(String::new(), |a| format!(" oldest_arrival={a}")),
+                )
+            })
+            .collect()
+    }
 }
 
 impl NextEvent for DramModel {
@@ -505,6 +535,11 @@ impl FlatMemory {
     /// Whether nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.in_service.is_empty()
+    }
+
+    /// Accesses currently in service.
+    pub fn in_flight(&self) -> usize {
+        self.in_service.len()
     }
 }
 
@@ -739,6 +774,22 @@ mod tests {
         let ev = m.next_event(Cycle(0)).unwrap();
         assert!(m.tick(Cycle(ev.0 - 1)).is_empty());
         assert_eq!(m.tick(ev).len(), 1);
+    }
+
+    #[test]
+    fn occupancy_report_names_busy_channels_only() {
+        let mut dram = DramModel::new(small_cfg());
+        assert!(dram.occupancy_report().is_empty());
+        dram.try_enqueue_read(1, 0, Cycle(5)).unwrap(); // channel 0
+        dram.try_enqueue_write(2, 0, Cycle(7)).unwrap();
+        let report = dram.occupancy_report();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("channel 0"));
+        assert!(report[0].contains("read_q=1"));
+        assert!(report[0].contains("write_q=1"));
+        assert!(report[0].contains("oldest_arrival=5"));
+        run_until_done(&mut dram, 5000);
+        assert!(dram.occupancy_report().is_empty());
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn prefetch(c: &mut Campaign) {
 }
 
 fn main() {
-    let mut c = Campaign::new();
+    let mut c = Campaign::with_journal("ablations");
     prefetch(&mut c);
     write_policy_ablation(&mut c).emit();
     imst_ablation(&mut c).emit();

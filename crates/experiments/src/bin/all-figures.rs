@@ -57,7 +57,7 @@ fn prefetch_points(c: &Campaign) -> Vec<(WorkloadSpec, SimConfig)> {
 fn main() {
     let bench_json = std::env::args().skip(1).any(|a| a == "--bench-json");
     let t0 = std::time::Instant::now();
-    let mut c = Campaign::new();
+    let mut c = Campaign::with_journal("all-figures");
     if c.is_quick() {
         eprintln!("CARVE_QUICK set: running shrunken workloads");
     }

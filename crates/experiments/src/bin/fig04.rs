@@ -2,7 +2,7 @@
 use experiments::{figures, Campaign};
 
 fn main() {
-    let mut c = Campaign::new();
+    let mut c = Campaign::with_journal("fig04");
     figures::fig04(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
 }

@@ -53,7 +53,7 @@ fn prefetch(c: &mut Campaign) {
 }
 
 fn main() {
-    let mut c = Campaign::new();
+    let mut c = Campaign::with_journal("scaling");
     prefetch(&mut c);
     speedup_scaling(&mut c).emit();
     coherence_scaling(&mut c).emit();

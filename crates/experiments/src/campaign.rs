@@ -1,13 +1,35 @@
-//! Shared simulation cache for the experiment campaign.
+//! Shared simulation cache for the experiment campaign, with an on-disk
+//! checkpoint journal so a killed campaign resumes where it stopped.
+//!
+//! # Journal format
+//!
+//! One TSV file per campaign (`results/<name>.journal` via
+//! [`Campaign::set_journal`]). The first line is a fingerprint header
+//! (`#carve-journal v1 quick=<bool>`); every later line is a record:
+//!
+//! * `ok\t<config-key>\t<SimResult journal line>` — a completed point
+//!   ([`SimResult::encode_journal_line`] round-trips byte-exactly, so
+//!   tables rebuilt from a journal are identical to tables from live
+//!   runs).
+//! * `fail\t<workload>\t<config-key>\t<attempts>\t<escaped error>` — a
+//!   point that panicked or returned a `SimError` after every retry.
+//!
+//! Records stream to the file as each point completes (workers append
+//! under a mutex and flush), so killing the process mid-grid loses at
+//! most in-flight points. On [`Campaign::set_journal`] the file is
+//! parsed truncation-tolerantly — a partially written trailing line is
+//! dropped with a warning — and rewritten clean before appending resumes.
 
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::path::Path;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use carve_system::{
-    profile_workload, run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig, SimResult,
+    profile_workload, try_run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig,
+    SimError, SimResult,
 };
 use carve_trace::{workloads, WorkloadSpec};
 
@@ -28,20 +50,153 @@ pub struct PointTiming {
     pub parallel: bool,
 }
 
+/// One campaign point that did not produce a result: every attempt either
+/// panicked or returned a [`SimError`]. Failures are memoized (and
+/// journaled) like results, so a resumed campaign reproduces the same
+/// failed cells without re-running them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Workload name of the failed point.
+    pub workload: String,
+    /// Derived configuration key of the failed point.
+    pub config: String,
+    /// How many attempts were made (1 + retries).
+    pub attempts: usize,
+    /// The last attempt's error: a `SimError` rendering or a panic
+    /// message prefixed with `panic: `.
+    pub error: String,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} under {} failed after {} attempt(s): {}",
+            self.workload, self.config, self.attempts, self.error
+        )
+    }
+}
+
+/// Streaming append handle to the campaign's checkpoint file.
+struct Journal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Appends one record and flushes so a kill right after loses nothing.
+    /// IO errors degrade to a stderr warning — checkpointing is advisory
+    /// and must never take down a healthy campaign.
+    fn append(&self, line: &str) {
+        let mut f = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(e) = writeln!(f, "{line}").and_then(|()| f.flush()) {
+            eprintln!(
+                "warning: could not append to journal {}: {e}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+/// A record parsed back out of a journal file (`SimResult` boxed: it
+/// dwarfs the failure variant).
+enum LoadedRecord {
+    Done(String, Box<SimResult>),
+    Failed(PointFailure),
+}
+
+fn ok_line(config: &str, r: &SimResult) -> String {
+    format!("ok\t{config}\t{}", r.encode_journal_line())
+}
+
+fn fail_line(f: &PointFailure) -> String {
+    format!(
+        "fail\t{}\t{}\t{}\t{}",
+        f.workload,
+        f.config,
+        f.attempts,
+        escape_field(&f.error)
+    )
+}
+
+fn parse_record(line: &str) -> Option<LoadedRecord> {
+    if let Some(rest) = line.strip_prefix("ok\t") {
+        let (config, payload) = rest.split_once('\t')?;
+        let r = SimResult::decode_journal_line(payload)?;
+        Some(LoadedRecord::Done(config.to_string(), Box::new(r)))
+    } else if let Some(rest) = line.strip_prefix("fail\t") {
+        let mut f = rest.splitn(4, '\t');
+        let workload = f.next()?.to_string();
+        let config = f.next()?.to_string();
+        let attempts = f.next()?.parse().ok()?;
+        let error = unescape_field(f.next()?);
+        Some(LoadedRecord::Failed(PointFailure {
+            workload,
+            config,
+            attempts,
+            error,
+        }))
+    } else {
+        None
+    }
+}
+
+/// Escapes an error message into a single tab-free journal field
+/// (watchdog diagnostics are multi-line).
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 /// Runs simulations on demand and memoizes them, so figures sharing the
 /// same (workload × configuration) points do not re-simulate.
 pub struct Campaign {
     pub(crate) specs: Vec<WorkloadSpec>,
     profiles: HashMap<String, Arc<SharingProfile>>,
     cache: HashMap<(String, String), SimResult>,
+    failed: HashMap<(String, String), PointFailure>,
     timings: Vec<PointTiming>,
     base_cfg: ScaledConfig,
     quick: bool,
+    retries: usize,
+    journal: Option<Journal>,
 }
 
 /// The memoization key of a campaign point: every knob that changes the
 /// simulated machine must appear here, or distinct configurations would
-/// alias in the cache.
+/// alias in the cache (and in the journal, which uses the same key).
 fn key_of(spec: &WorkloadSpec, sim: &SimConfig) -> (String, String) {
     (
         spec.name.to_string(),
@@ -61,6 +216,31 @@ fn key_of(spec: &WorkloadSpec, sim: &SimConfig) -> (String, String) {
     )
 }
 
+/// One run attempt cycle: `try_run_with_profile` under `catch_unwind`,
+/// retried up to `retries` more times. Returns the result and its
+/// wall-clock, or (attempts made, last error).
+fn attempt_point(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    profile: &SharingProfile,
+    retries: usize,
+) -> Result<(SimResult, f64), (usize, String)> {
+    let mut last = String::new();
+    let mut attempts = 0;
+    for _ in 0..=retries {
+        attempts += 1;
+        let started = Instant::now();
+        match catch_unwind(AssertUnwindSafe(|| {
+            try_run_with_profile(spec, sim, Some(profile))
+        })) {
+            Ok(Ok(r)) => return Ok((r, started.elapsed().as_secs_f64() * 1e3)),
+            Ok(Err(e)) => last = e.to_string(),
+            Err(payload) => last = format!("panic: {}", par::panic_message(payload.as_ref())),
+        }
+    }
+    Err((attempts, last))
+}
+
 impl Default for Campaign {
     fn default() -> Campaign {
         Campaign::new()
@@ -68,7 +248,8 @@ impl Default for Campaign {
 }
 
 impl Campaign {
-    /// Creates a campaign over all 20 workloads; honours `CARVE_QUICK`.
+    /// Creates a campaign over all 20 workloads; honours `CARVE_QUICK`
+    /// and `CARVE_RETRIES`.
     pub fn new() -> Campaign {
         let quick = std::env::var_os("CARVE_QUICK").is_some();
         let mut specs = workloads::all();
@@ -83,15 +264,41 @@ impl Campaign {
             specs,
             profiles: HashMap::new(),
             cache: HashMap::new(),
+            failed: HashMap::new(),
             timings: Vec::new(),
             base_cfg: ScaledConfig::default(),
             quick,
+            retries: par::retries_from_env(),
+            journal: None,
         }
+    }
+
+    /// [`Campaign::new`] with the checkpoint journal
+    /// `<results_dir>/<name>.journal` attached, resuming any points
+    /// already on disk. A journal that cannot be opened degrades to an
+    /// in-memory campaign with a warning — checkpointing is advisory and
+    /// must never block the science.
+    pub fn with_journal(name: &str) -> Campaign {
+        let mut c = Campaign::new();
+        match c.set_journal(name) {
+            Ok(0) => {}
+            Ok(n) => eprintln!(
+                "resumed {n} campaign point(s) from {}",
+                c.journal_path().expect("journal attached").display()
+            ),
+            Err(e) => eprintln!("warning: running without checkpoint journal: {e}"),
+        }
+        c
     }
 
     /// Whether quick mode is active.
     pub fn is_quick(&self) -> bool {
         self.quick
+    }
+
+    /// Overrides the bounded retry count (default: `CARVE_RETRIES`).
+    pub fn set_retries(&mut self, retries: usize) {
+        self.retries = retries;
     }
 
     /// The workload list in Table II order.
@@ -102,6 +309,108 @@ impl Campaign {
     /// The base machine configuration.
     pub fn base_cfg(&self) -> ScaledConfig {
         self.base_cfg.clone()
+    }
+
+    /// Attaches the checkpoint journal `<results_dir>/<name>.journal`
+    /// (`CARVE_RESULTS_DIR`, default `results/`), resuming from any
+    /// records already on disk. Returns the number of points resumed.
+    pub fn set_journal(&mut self, name: &str) -> Result<usize, SimError> {
+        let dir = std::env::var("CARVE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        self.set_journal_path(&Path::new(&dir).join(format!("{name}.journal")))
+    }
+
+    /// [`Campaign::set_journal`] with an explicit file path.
+    ///
+    /// Loads every well-formed record whose header fingerprint matches
+    /// this campaign (a quick-mode journal must not seed a full run),
+    /// drops malformed lines (crash mid-append) with a warning, then
+    /// rewrites the file clean and keeps it open for streaming appends.
+    pub fn set_journal_path(&mut self, path: &Path) -> Result<usize, SimError> {
+        let io = |e: &std::io::Error| SimError::checkpoint(path.display().to_string(), e);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| io(&e))?;
+        }
+        let header = format!("#carve-journal v1 quick={}", self.quick);
+        let mut records: Vec<LoadedRecord> = Vec::new();
+        let mut malformed = 0usize;
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    None => {}
+                    Some(h) if h == header => {
+                        for line in lines.filter(|l| !l.is_empty()) {
+                            match parse_record(line) {
+                                Some(r) => records.push(r),
+                                None => malformed += 1,
+                            }
+                        }
+                    }
+                    Some(h) => eprintln!(
+                        "warning: journal {} has fingerprint {h:?} but this campaign \
+                         is {header:?}; ignoring its contents",
+                        path.display()
+                    ),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io(&e)),
+        }
+        if malformed > 0 {
+            eprintln!(
+                "warning: dropping {malformed} malformed line(s) from journal {} \
+                 (crash mid-append?)",
+                path.display()
+            );
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io(&e))?;
+        writeln!(file, "{header}").map_err(|e| io(&e))?;
+        let mut resumed = 0usize;
+        for rec in records {
+            let (key, line) = match &rec {
+                LoadedRecord::Done(config, r) => {
+                    ((r.workload.clone(), config.clone()), ok_line(config, r))
+                }
+                LoadedRecord::Failed(f) => ((f.workload.clone(), f.config.clone()), fail_line(f)),
+            };
+            if self.cache.contains_key(&key) || self.failed.contains_key(&key) {
+                continue; // duplicate record: first occurrence wins
+            }
+            writeln!(file, "{line}").map_err(|e| io(&e))?;
+            match rec {
+                LoadedRecord::Done(_, r) => {
+                    self.cache.insert(key, *r);
+                }
+                LoadedRecord::Failed(f) => {
+                    self.failed.insert(key, f);
+                }
+            }
+            resumed += 1;
+        }
+        file.flush().map_err(|e| io(&e))?;
+        self.journal = Some(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        });
+        Ok(resumed)
+    }
+
+    /// Path of the attached journal, if any.
+    pub fn journal_path(&self) -> Option<&Path> {
+        self.journal.as_ref().map(|j| j.path.as_path())
+    }
+
+    /// Every failed point recorded so far, sorted by (workload, config)
+    /// for deterministic reporting.
+    pub fn failures(&self) -> Vec<&PointFailure> {
+        let mut v: Vec<&PointFailure> = self.failed.values().collect();
+        v.sort_by(|a, b| (&a.workload, &a.config).cmp(&(&b.workload, &b.config)));
+        v
     }
 
     /// The 4-GPU sharing profile of a workload (memoized).
@@ -121,79 +430,172 @@ impl Campaign {
     }
 
     /// Simulates `spec` under `sim` (memoized by a derived key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point fails (config rejected, watchdog stall, cycle
+    /// cap, or worker panic) after every retry. Use
+    /// [`Campaign::try_result`] to keep the failure instead.
     pub fn result(&mut self, spec: &WorkloadSpec, sim: &SimConfig) -> SimResult {
+        self.try_result(spec, sim).unwrap_or_else(|f| panic!("{f}"))
+    }
+
+    /// Simulates `spec` under `sim` (memoized), reporting a failed point
+    /// as a [`PointFailure`] cell instead of panicking. Both outcomes are
+    /// journaled, so a resumed campaign reproduces failures verbatim.
+    pub fn try_result(
+        &mut self,
+        spec: &WorkloadSpec,
+        sim: &SimConfig,
+    ) -> Result<SimResult, PointFailure> {
         let key = key_of(spec, sim);
         if let Some(r) = self.cache.get(&key) {
-            return r.clone();
+            return Ok(r.clone());
+        }
+        if let Some(f) = self.failed.get(&key) {
+            return Err(f.clone());
         }
         // Profiles are only valid for the 4-GPU machine; single-GPU runs
         // use no profile-driven policy.
         let profile = self.profile_arc(spec);
-        let started = Instant::now();
-        let r = run_with_profile(spec, sim, Some(&profile));
-        let millis = started.elapsed().as_secs_f64() * 1e3;
-        assert!(
-            r.completed,
-            "{} under {} hit the cycle cap",
-            spec.name,
-            sim.design.label()
-        );
-        self.timings.push(PointTiming {
-            workload: key.0.clone(),
-            config: key.1.clone(),
-            millis,
-            cycles: r.cycles,
-            parallel: false,
-        });
-        self.cache.insert(key, r.clone());
-        r
+        match attempt_point(spec, sim, &profile, self.retries) {
+            Ok((r, millis)) => {
+                if let Some(j) = &self.journal {
+                    j.append(&ok_line(&key.1, &r));
+                }
+                self.timings.push(PointTiming {
+                    workload: key.0.clone(),
+                    config: key.1.clone(),
+                    millis,
+                    cycles: r.cycles,
+                    parallel: false,
+                });
+                self.cache.insert(key, r.clone());
+                Ok(r)
+            }
+            Err((attempts, error)) => {
+                let f = PointFailure {
+                    workload: key.0.clone(),
+                    config: key.1.clone(),
+                    attempts,
+                    error,
+                };
+                if let Some(j) = &self.journal {
+                    j.append(&fail_line(&f));
+                }
+                self.failed.insert(key, f.clone());
+                Err(f)
+            }
+        }
     }
 
     /// Simulates every (workload × configuration) point, fanning uncached
     /// points across worker threads ([`par::thread_count`]), and returns
     /// the results **in input order**. Each point is an independent
-    /// `System`, so concurrency cannot change any result; the memo cache
-    /// is filled in the same deterministic order as a sequential pass.
+    /// `System`, so concurrency cannot change any result.
+    ///
+    /// # Panics
+    ///
+    /// If any point fails, the rest of the grid still completes (and is
+    /// journaled), then this panics with a summary naming every failed
+    /// cell. Use [`Campaign::try_run_parallel`] to keep failed cells.
     pub fn run_parallel(&mut self, points: &[(WorkloadSpec, SimConfig)]) -> Vec<SimResult> {
+        let outcomes = self.try_run_parallel(points);
+        let mut failed: Vec<&PointFailure> = Vec::new();
+        for f in outcomes.iter().filter_map(|r| r.as_ref().err()) {
+            if !failed.contains(&f) {
+                failed.push(f);
+            }
+        }
+        if !failed.is_empty() {
+            let lines: Vec<String> = failed.iter().map(|f| format!("  {f}")).collect();
+            panic!(
+                "{} campaign point(s) failed:\n{}",
+                failed.len(),
+                lines.join("\n")
+            );
+        }
+        outcomes
+            .into_iter()
+            .map(|r| r.expect("no failures recorded"))
+            .collect()
+    }
+
+    /// Panic-isolated [`Campaign::run_parallel`]: one poisoned point is
+    /// reported as an `Err` cell (after `CARVE_RETRIES` retries) while
+    /// every other point completes. Completed and failed points stream to
+    /// the journal as workers finish, so a killed grid resumes with only
+    /// the unfinished points re-run — producing byte-identical tables
+    /// whether run straight through, killed-and-resumed, or run with a
+    /// different thread count.
+    pub fn try_run_parallel(
+        &mut self,
+        points: &[(WorkloadSpec, SimConfig)],
+    ) -> Vec<Result<SimResult, PointFailure>> {
         // Sharing profiles are shared across points; memoize them up front
         // so workers only read them (through `Arc`).
         let mut jobs: Vec<(WorkloadSpec, SimConfig, Arc<SharingProfile>)> = Vec::new();
         let mut claimed: HashSet<(String, String)> = HashSet::new();
         for (spec, sim) in points {
             let key = key_of(spec, sim);
-            if self.cache.contains_key(&key) || !claimed.insert(key) {
+            if self.cache.contains_key(&key)
+                || self.failed.contains_key(&key)
+                || !claimed.insert(key)
+            {
                 continue;
             }
             let profile = self.profile_arc(spec);
             jobs.push((spec.clone(), sim.clone(), profile));
         }
         let parallel = jobs.len() > 1 && par::thread_count() > 1;
-        let outcomes = par::parallel_map(jobs, |(spec, sim, profile)| {
-            let started = Instant::now();
-            let r = run_with_profile(&spec, &sim, Some(&profile));
-            let millis = started.elapsed().as_secs_f64() * 1e3;
-            (spec, sim, r, millis)
+        let journal = self.journal.as_ref();
+        let retries = self.retries;
+        // attempt_point already catches panics, so the harness-level catch
+        // (retries = 0) is only a backstop; no cell can abort the grid.
+        let outcomes = par::parallel_map_catch(&jobs, 0, |(spec, sim, profile)| {
+            let key = key_of(spec, sim);
+            let outcome = attempt_point(spec, sim, profile, retries);
+            // Stream the finished point so a killed campaign resumes here.
+            if let Some(j) = journal {
+                match &outcome {
+                    Ok((r, _)) => j.append(&ok_line(&key.1, r)),
+                    Err((attempts, error)) => j.append(&fail_line(&PointFailure {
+                        workload: key.0.clone(),
+                        config: key.1.clone(),
+                        attempts: *attempts,
+                        error: error.clone(),
+                    })),
+                }
+            }
+            (key, outcome)
         });
-        for (spec, sim, r, millis) in outcomes {
-            assert!(
-                r.completed,
-                "{} under {} hit the cycle cap",
-                spec.name,
-                sim.design.label()
-            );
-            let key = key_of(&spec, &sim);
-            self.timings.push(PointTiming {
-                workload: key.0.clone(),
-                config: key.1.clone(),
-                millis,
-                cycles: r.cycles,
-                parallel,
-            });
-            self.cache.insert(key, r);
+        for cell in outcomes {
+            let (key, outcome) = cell.expect("attempt_point catches its own panics");
+            match outcome {
+                Ok((r, millis)) => {
+                    self.timings.push(PointTiming {
+                        workload: key.0.clone(),
+                        config: key.1.clone(),
+                        millis,
+                        cycles: r.cycles,
+                        parallel,
+                    });
+                    self.cache.insert(key, r);
+                }
+                Err((attempts, error)) => {
+                    let f = PointFailure {
+                        workload: key.0.clone(),
+                        config: key.1.clone(),
+                        attempts,
+                        error,
+                    };
+                    self.failed.insert(key, f);
+                }
+            }
         }
         points
             .iter()
-            .map(|(spec, sim)| self.result(spec, sim))
+            .map(|(spec, sim)| self.try_result(spec, sim))
             .collect()
     }
 
@@ -276,7 +678,27 @@ mod tests {
             spec.shape.ctas = 16;
             spec.shape.instrs_per_warp = 40;
         }
+        c.set_retries(0);
         c
+    }
+
+    /// A grid cell rendering used by the resume tests: byte-identical
+    /// tables are the acceptance bar for checkpoint/resume.
+    fn table_of(cells: &[Result<SimResult, PointFailure>]) -> String {
+        cells
+            .iter()
+            .map(|c| match c {
+                Ok(r) => r.encode_journal_line(),
+                Err(f) => format!("FAILED\t{}\t{}\t{}", f.workload, f.config, f.error),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("carve-campaign-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -342,6 +764,126 @@ mod tests {
         assert_eq!(c.timings().len(), 1);
         assert!(c.timings()[0].millis >= 0.0);
         assert!(!c.timings()[0].parallel);
+    }
+
+    #[test]
+    fn forced_panic_point_is_a_failed_cell_and_the_rest_complete() {
+        let dir = test_dir("poison");
+        let path = dir.join("grid.journal");
+        let mut c = quick_campaign();
+        c.set_journal_path(&path).expect("attach journal");
+        let specs = c.specs();
+        // A CTA wider than the SM's warp slots trips the assert in
+        // GpuCore::new — a deterministic mid-construction panic.
+        let mut poisoned = specs[1].clone();
+        poisoned.shape.warps_per_cta = 10_000;
+        let points = vec![
+            (specs[0].clone(), SimConfig::new(Design::NumaGpu)),
+            (poisoned, SimConfig::new(Design::NumaGpu)),
+            (specs[2].clone(), SimConfig::new(Design::CarveHwc)),
+        ];
+        let cells = c.try_run_parallel(&points);
+        assert!(cells[0].is_ok() && cells[2].is_ok(), "healthy points ran");
+        let fail = cells[1].as_ref().expect_err("poisoned point must fail");
+        assert_eq!(fail.attempts, 1);
+        assert!(
+            fail.error.contains("panic:") && fail.error.contains("SM must fit"),
+            "failure must carry the panic message, got {:?}",
+            fail.error
+        );
+        assert_eq!(c.failures().len(), 1);
+        let table = table_of(&cells);
+
+        // A fresh campaign resuming from the journal reproduces the same
+        // table byte-for-byte — including the failed cell — without
+        // re-running anything.
+        let mut resumed = quick_campaign();
+        let n = resumed.set_journal_path(&path).expect("resume journal");
+        assert_eq!(n, 3, "two ok records and one fail record resumed");
+        let cells2 = resumed.try_run_parallel(&points);
+        assert_eq!(table_of(&cells2), table);
+        assert!(resumed.timings().is_empty(), "no point re-simulated");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_journal_resumes_to_byte_identical_tables() {
+        let dir = test_dir("resume");
+        let path = dir.join("grid.journal");
+        let specs = quick_campaign().specs();
+        let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+        for spec in specs.iter().take(2) {
+            for design in [Design::NumaGpu, Design::CarveHwc] {
+                points.push((spec.clone(), SimConfig::new(design)));
+            }
+        }
+
+        // Straight-through run, journaled.
+        let mut a = quick_campaign();
+        a.set_journal_path(&path).expect("attach journal");
+        let table_a = table_of(&a.try_run_parallel(&points));
+
+        // Simulate a kill mid-grid: keep the header, two complete records,
+        // and a torn half of the third.
+        let text = std::fs::read_to_string(&path).expect("journal written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1 + points.len(),
+            "header plus one line per point"
+        );
+        let torn = &lines[3][..lines[3].len() / 2];
+        std::fs::write(
+            &path,
+            format!("{}\n{}\n{}\n{torn}", lines[0], lines[1], lines[2]),
+        )
+        .expect("truncate journal");
+
+        // Resume: the two intact points load, the torn one and the lost
+        // one re-run, and the final table is byte-identical.
+        let mut b = quick_campaign();
+        let n = b.set_journal_path(&path).expect("resume journal");
+        assert_eq!(n, 2, "only intact records resume");
+        let table_b = table_of(&b.try_run_parallel(&points));
+        assert_eq!(table_b, table_a);
+        assert_eq!(b.timings().len(), 2, "exactly the missing points re-ran");
+
+        // After the resumed run the journal is whole again: a third
+        // campaign resumes all four points without simulating.
+        let mut c = quick_campaign();
+        assert_eq!(c.set_journal_path(&path).expect("reload"), points.len());
+        let table_c = table_of(&c.try_run_parallel(&points));
+        assert_eq!(table_c, table_a);
+        assert!(c.timings().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_with_foreign_fingerprint_is_ignored() {
+        let dir = test_dir("fingerprint");
+        let path = dir.join("grid.journal");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(&path, "#carve-journal v0 quick=maybe\nok\tgarbage\n").expect("seed");
+        let mut c = quick_campaign();
+        assert_eq!(c.set_journal_path(&path).expect("attach"), 0);
+        assert_eq!(c.cached_runs(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_error_text_survives_escaping_round_trip() {
+        let f = PointFailure {
+            workload: "w".into(),
+            config: "cfg|x=1".into(),
+            attempts: 2,
+            error: "line one\n\tline two \\ end".into(),
+        };
+        let line = fail_line(&f);
+        assert!(!line.contains('\n'));
+        match parse_record(&line) {
+            Some(LoadedRecord::Failed(back)) => assert_eq!(back, f),
+            _ => panic!("fail record must parse back"),
+        }
     }
 
     #[test]

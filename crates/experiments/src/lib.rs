@@ -25,5 +25,5 @@ pub mod figures;
 pub mod par;
 pub mod table;
 
-pub use campaign::{Campaign, PointTiming};
+pub use campaign::{Campaign, PointFailure, PointTiming};
 pub use table::Table;

@@ -1,45 +1,111 @@
-//! Deterministic parallel map for fanning independent simulations across
-//! threads.
+//! Deterministic, panic-isolated parallel map for fanning independent
+//! simulations across threads.
 //!
 //! Every `System` is fully self-contained (no globals, no shared RNG), so
 //! campaign points can run concurrently; determinism is preserved because
 //! results are returned in input order regardless of which thread finishes
 //! first. The harness is first-party (`std::thread::scope` + an atomic
 //! work index) since the workspace vendors no external crates.
+//!
+//! [`parallel_map_catch`] is the fault-tolerant core: a panicking point is
+//! caught with `catch_unwind`, optionally retried (`CARVE_RETRIES`), and
+//! reported as an `Err` cell carrying the panic payload — one poisoned
+//! design point no longer kills a multi-hour grid. [`parallel_map`] keeps
+//! the original all-or-nothing contract on top of it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Worker-thread count: `CARVE_THREADS` when set (min 1), otherwise the
-/// machine's available parallelism.
+/// machine's available parallelism. An unparsable `CARVE_THREADS` falls
+/// back to auto-detection with a one-line stderr warning naming the bad
+/// value (warned once per process, not once per campaign).
 pub fn thread_count() -> usize {
-    if let Some(n) = std::env::var("CARVE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
+    match std::env::var("CARVE_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: CARVE_THREADS={v:?} is not a thread count; \
+                         falling back to available parallelism"
+                    );
+                });
+            }
+        },
+        Err(std::env::VarError::NotPresent) => {}
+        Err(e @ std::env::VarError::NotUnicode(_)) => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!("warning: CARVE_THREADS is unreadable ({e}); falling back");
+            });
+        }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// Applies `f` to every item, fanning across [`thread_count`] threads, and
-/// returns the results **in input order** — byte-for-byte the same output
-/// a sequential map would produce, independent of scheduling.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Bounded retry count for failed points: `CARVE_RETRIES` (default 0, i.e.
+/// one attempt and no retries). An unparsable value warns and uses the
+/// default.
+pub fn retries_from_env() -> usize {
+    match std::env::var("CARVE_RETRIES") {
+        Err(_) => 0,
+        Ok(v) => v.trim().parse::<usize>().unwrap_or_else(|_| {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!("warning: CARVE_RETRIES={v:?} is not a retry count; using 0");
+            });
+            0
+        }),
+    }
+}
+
+/// Renders a `catch_unwind` payload as the panic message it carried.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item (by reference, so failed attempts can be
+/// retried), fanning across [`thread_count`] threads. Results come back
+/// **in input order** — byte-for-byte what a sequential map would produce,
+/// independent of scheduling.
+///
+/// A panicking `f` is caught and re-invoked up to `retries` more times;
+/// if every attempt panics, that cell is `Err(message)` carrying the last
+/// panic's payload while every other cell completes normally. No locks are
+/// held across `f`, so a panic cannot poison the harness.
+pub fn parallel_map_catch<T, R, F>(items: &[T], retries: usize, f: F) -> Vec<Result<R, String>>
 where
-    T: Send,
+    T: Sync,
     R: Send,
-    F: Fn(T) -> R + Sync,
+    F: Fn(&T) -> R + Sync,
 {
+    let run_one = |item: &T| -> Result<R, String> {
+        let mut last = String::new();
+        for _attempt in 0..=retries {
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => return Ok(r),
+                Err(payload) => last = panic_message(payload.as_ref()),
+            }
+        }
+        Err(last)
+    };
     let n = items.len();
     let threads = thread_count().min(n);
     if threads <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.iter().map(run_one).collect();
     }
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -48,13 +114,10 @@ where
                 if i >= n {
                     break;
                 }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("each index claimed once");
-                let out = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                // The catch_unwind inside run_one guarantees no panic can
+                // unwind through this lock, so slots never poison.
+                let out = run_one(&items[i]);
+                *results[i].lock().expect("result slot never poisoned") = Some(out);
             });
         }
     });
@@ -62,15 +125,48 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .expect("result slot never poisoned")
                 .expect("worker filled every claimed slot")
         })
+        .collect()
+}
+
+/// Applies `f` to every item, fanning across [`thread_count`] threads, and
+/// returns the results **in input order**.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the rest of the grid still completes, then
+/// this re-panics with the first failing item's message. Use
+/// [`parallel_map_catch`] to keep failed cells instead.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    // Hand out items by moving them through a slot so `f` keeps its
+    // by-value signature; each index is claimed exactly once.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results = parallel_map_catch(&work, 0, |slot| {
+        let item = slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each index claimed once");
+        f(item)
+    });
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|msg| panic!("parallel_map item {i} panicked: {msg}")))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn preserves_input_order() {
@@ -94,5 +190,66 @@ mod tests {
         let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5).collect();
         let par = parallel_map(items, |x| x.wrapping_mul(x) ^ 0xA5);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn one_panicking_item_becomes_a_failed_cell_and_the_rest_complete() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_catch(&items, 0, |&x| {
+            assert!(x != 13, "unlucky point {x}");
+            x * 2
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let msg = r.as_ref().expect_err("item 13 must fail");
+                assert!(msg.contains("unlucky point 13"), "{msg:?}");
+            } else {
+                assert_eq!(*r.as_ref().expect("others succeed"), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_retry_reruns_failed_points() {
+        // Fails on the first attempt for every item, succeeds on retry.
+        let attempts: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map_catch(&items, 1, |&i| {
+            if attempts[i].fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure on {i}");
+            }
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("retry must succeed"), i * 10);
+            assert_eq!(attempts[i].load(Ordering::SeqCst), 2);
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_panic() {
+        let out = parallel_map_catch(&[1u32], 2, |_| -> u32 { panic!("always fails") });
+        let msg = out[0].as_ref().expect_err("must exhaust retries");
+        assert!(msg.contains("always fails"));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom on 3")]
+    fn parallel_map_still_panics_after_grid_completes() {
+        let _ = parallel_map((0..8u32).collect::<Vec<_>>(), |x| {
+            assert!(x != 3, "boom on {x}");
+            x
+        });
+    }
+
+    #[test]
+    fn panic_message_extracts_both_payload_shapes() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
     }
 }

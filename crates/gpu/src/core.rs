@@ -493,6 +493,42 @@ impl GpuCore {
     pub fn gpu_id(&self) -> usize {
         self.gpu_id
     }
+
+    /// Diagnostic lines describing everything still occupied in this core:
+    /// busy SMs (active/memory-waiting warps, queued CTAs), L2 bank queue
+    /// depths, outstanding MSHR fills, outbox backlog, and undelivered
+    /// external completions. Empty when the core is idle.
+    pub fn occupancy_report(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for sm in &self.sms {
+            if !sm.is_idle() || sm.warps_waiting_mem() > 0 {
+                out.push(format!(
+                    "sm{}: active_warps={} waiting_mem={} pending_ctas={}",
+                    sm.id(),
+                    sm.active_warps(),
+                    sm.warps_waiting_mem(),
+                    sm.pending_ctas(),
+                ));
+            }
+        }
+        let queued: usize = self.banks.iter().map(|b| b.queue.len()).sum();
+        if queued > 0 {
+            out.push(format!("l2 bank queues: {queued} queued"));
+        }
+        if !self.mshr.is_empty() {
+            out.push(format!("mshr: {} outstanding fills", self.mshr.len()));
+        }
+        if !self.outbox.is_empty() {
+            out.push(format!("outbox: {} requests backed up", self.outbox.len()));
+        }
+        if !self.external_done.is_empty() {
+            out.push(format!(
+                "external_done: {} completions undelivered",
+                self.external_done.len()
+            ));
+        }
+        out
+    }
 }
 
 impl NextEvent for GpuCore {

@@ -403,6 +403,27 @@ impl Sm {
         self.tlb.shootdown(page);
     }
 
+    /// Occupied (non-vacant) warp slots.
+    pub fn active_warps(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.phase != Phase::Vacant)
+            .count()
+    }
+
+    /// Warps parked waiting for a memory response.
+    pub fn warps_waiting_mem(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.phase == Phase::WaitingMem)
+            .count()
+    }
+
+    /// CTAs queued but not yet resident.
+    pub fn pending_ctas(&self) -> usize {
+        self.pending.len()
+    }
+
     /// No resident or pending work. Warps waiting on memory keep the SM
     /// non-idle until their fills arrive.
     pub fn is_idle(&self) -> bool {

@@ -56,6 +56,7 @@ pub struct Link {
     in_flight: Vec<(u64, u64)>, // (token, arrival cycle)
     bytes_sent: u64,
     messages_sent: u64,
+    messages_delivered: u64,
     busy_until: f64,
 }
 
@@ -75,6 +76,7 @@ impl Link {
             in_flight: Vec::new(),
             bytes_sent: 0,
             messages_sent: 0,
+            messages_delivered: 0,
             busy_until: 0.0,
         }
     }
@@ -101,6 +103,7 @@ impl Link {
         while i < self.in_flight.len() {
             if self.in_flight[i].1 <= now.0 {
                 out.push(self.in_flight.swap_remove(i).0);
+                self.messages_delivered += 1;
             } else {
                 i += 1;
             }
@@ -121,6 +124,21 @@ impl Link {
     /// Total messages accepted.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
+    }
+
+    /// Total messages that have arrived at the far end.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Arrival cycle of the oldest in-flight message, if any.
+    pub fn oldest_in_flight_arrival(&self) -> Option<u64> {
+        self.in_flight.iter().map(|&(_, a)| a).min()
     }
 
     /// Whether messages are still in flight.
@@ -309,6 +327,56 @@ impl LinkNetwork {
             .fold(0.0, f64::max)
     }
 
+    /// Total messages accepted across every link, plus total delivered.
+    /// Both are monotonic, so their sum serves as a progress signature for
+    /// the engine watchdog.
+    pub fn message_counts(&self) -> (u64, u64) {
+        let mut sent = 0;
+        let mut delivered = 0;
+        for l in self.all_links() {
+            sent += l.messages_sent();
+            delivered += l.messages_delivered();
+        }
+        (sent, delivered)
+    }
+
+    fn all_links(&self) -> impl Iterator<Item = &Link> {
+        self.gpu_links
+            .iter()
+            .chain(self.to_cpu.iter())
+            .chain(self.from_cpu.iter())
+    }
+
+    /// One diagnostic line per link with traffic in flight: route, queue
+    /// depth, and the arrival cycle of its oldest message. Empty when the
+    /// network is idle.
+    pub fn occupancy_report(&self) -> Vec<String> {
+        let route = |i: usize| -> String {
+            if i < self.num_gpus * self.num_gpus {
+                format!("gpu{}->gpu{}", i / self.num_gpus, i % self.num_gpus)
+            } else if i < self.num_gpus * self.num_gpus + self.num_gpus {
+                format!("gpu{}->cpu", i - self.num_gpus * self.num_gpus)
+            } else {
+                format!(
+                    "cpu->gpu{}",
+                    i - self.num_gpus * self.num_gpus - self.num_gpus
+                )
+            }
+        };
+        self.all_links()
+            .enumerate()
+            .filter(|(_, l)| l.in_flight() > 0)
+            .map(|(i, l)| {
+                format!(
+                    "link {}: in_flight={} oldest_arrival={}",
+                    route(i),
+                    l.in_flight(),
+                    l.oldest_in_flight_arrival().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
     /// Whether every link is quiescent.
     pub fn is_idle(&self) -> bool {
         self.gpu_links.iter().all(Link::is_idle)
@@ -434,6 +502,23 @@ mod tests {
         net.send(NodeId::Gpu(0), NodeId::Gpu(1), 7, 32, Cycle(0));
         // 32/8 = 4 serialization + 10 latency.
         assert_eq!(net.next_event(Cycle(0)), Some(Cycle(14)));
+    }
+
+    #[test]
+    fn message_counts_and_occupancy_report_track_in_flight_traffic() {
+        let mut net = LinkNetwork::new(2, 8.0, 100, 8.0, 100);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 32, Cycle(0));
+        net.send(NodeId::Gpu(1), NodeId::Cpu, 2, 32, Cycle(0));
+        assert_eq!(net.message_counts(), (2, 0));
+        let report = net.occupancy_report();
+        assert_eq!(report.len(), 2);
+        assert!(report.iter().any(|l| l.contains("gpu0->gpu1")));
+        assert!(report.iter().any(|l| l.contains("gpu1->cpu")));
+        for c in 0..=200u64 {
+            net.tick(Cycle(c));
+        }
+        assert_eq!(net.message_counts(), (2, 2));
+        assert!(net.occupancy_report().is_empty());
     }
 
     #[test]

@@ -36,15 +36,19 @@
 
 pub mod config;
 pub mod cycle;
+pub mod error;
 pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod units;
+pub mod watchdog;
 
 pub use config::{BaselineConfig, ScaledConfig};
 pub use cycle::Cycle;
+pub use error::SimError;
 pub use event::NextEvent;
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};
+pub use watchdog::{Stall, Watchdog, DEFAULT_WATCHDOG_CYCLES};

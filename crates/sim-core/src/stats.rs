@@ -77,7 +77,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(h.count(), 2);
 /// assert!((h.mean() - 200.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,
@@ -170,6 +170,50 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Encodes the full histogram state into a compact single-token string
+    /// (no whitespace, no tabs) so it can ride in one TSV journal field and
+    /// round-trip exactly through [`Histogram::decode`].
+    ///
+    /// Format: `count,sum,min,max` followed by `,i:n` for each non-empty
+    /// bucket `i`. `min` is the raw field (`u64::MAX` when empty) so an
+    /// empty histogram reproduces bit-for-bit.
+    pub fn encode(&self) -> String {
+        use fmt::Write as _;
+        let mut s = format!("{},{},{},{}", self.count, self.sum, self.min, self.max);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b != 0 {
+                let _ = write!(s, ",{i}:{b}");
+            }
+        }
+        s
+    }
+
+    /// Decodes a string produced by [`Histogram::encode`]. Returns `None`
+    /// on any malformed input.
+    pub fn decode(s: &str) -> Option<Histogram> {
+        let mut parts = s.split(',');
+        let count = parts.next()?.parse().ok()?;
+        let sum = parts.next()?.parse().ok()?;
+        let min = parts.next()?.parse().ok()?;
+        let max = parts.next()?.parse().ok()?;
+        let mut buckets = [0u64; 64];
+        for p in parts {
+            let (i, n) = p.split_once(':')?;
+            let i: usize = i.parse().ok()?;
+            if i >= 64 {
+                return None;
+            }
+            buckets[i] = n.parse().ok()?;
+        }
+        Some(Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        })
     }
 }
 
@@ -287,6 +331,30 @@ mod tests {
         assert!((geomean([3.0, 3.0, 3.0].iter().copied()) - 3.0).abs() < 1e-12);
         assert!((mean([1.0, 2.0, 3.0].iter().copied()) - 2.0).abs() < 1e-12);
         assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn histogram_encode_decode_round_trips_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 100, 100, 65_536, u64::MAX >> 1] {
+            h.record(v);
+        }
+        let back = Histogram::decode(&h.encode()).expect("well-formed");
+        assert_eq!(back, h);
+        // Empty histogram keeps its sentinel min (u64::MAX) through the trip.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::decode(&empty.encode()).unwrap(), empty);
+        // Encoded form must be TSV-safe: one token, no whitespace.
+        assert!(!h.encode().chars().any(|c| c.is_whitespace()));
+    }
+
+    #[test]
+    fn histogram_decode_rejects_malformed() {
+        assert!(Histogram::decode("").is_none());
+        assert!(Histogram::decode("1,2,3").is_none());
+        assert!(Histogram::decode("1,2,3,4,99:1").is_none()); // bucket out of range
+        assert!(Histogram::decode("1,2,3,4,x:1").is_none());
+        assert!(Histogram::decode("a,2,3,4").is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use carve_system::{profile_workload, run, workloads, Design, SimConfig};
+use carve_system::{profile_workload, try_run, workloads, Design, SimConfig};
 
 fn parse_design(s: &str) -> Option<Design> {
     Some(match s {
@@ -179,8 +179,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let sim = sim_config_from(&parsed);
-            print_result(&run(&spec, &sim));
-            ExitCode::SUCCESS
+            match try_run(&spec, &sim) {
+                Ok(r) => {
+                    print_result(&r);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some("compare") => {
             let Some(name) = args.get(1) else {
@@ -195,15 +203,17 @@ fn main() -> ExitCode {
                 "design", "cycles", "ipc", "remote", "rdc-hit"
             );
             for design in Design::all() {
-                let r = run(&spec, &SimConfig::new(design));
-                println!(
-                    "{:<18} {:>10} {:>7.2} {:>7.1}% {:>8.1}%",
-                    design.label(),
-                    r.cycles,
-                    r.ipc(),
-                    100.0 * r.remote_fraction(),
-                    100.0 * r.rdc.hit_rate()
-                );
+                match try_run(&spec, &SimConfig::new(design)) {
+                    Ok(r) => println!(
+                        "{:<18} {:>10} {:>7.2} {:>7.1}% {:>8.1}%",
+                        design.label(),
+                        r.cycles,
+                        r.ipc(),
+                        100.0 * r.remote_fraction(),
+                        100.0 * r.rdc.hit_rate()
+                    ),
+                    Err(e) => println!("{:<18} failed: {e}", design.label()),
+                }
             }
             ExitCode::SUCCESS
         }

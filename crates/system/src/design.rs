@@ -2,7 +2,7 @@
 
 use carve::{CoherencePolicy, WritePolicy};
 use carve_runtime::page_table::{PlacementPolicy, Replication};
-use sim_core::ScaledConfig;
+use sim_core::{ScaledConfig, SimError};
 
 /// One of the system designs the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +108,12 @@ impl Design {
             cfg.num_gpus
         }
     }
+
+    /// Inverse of [`Design::label`], used when re-reading campaign
+    /// journals.
+    pub fn from_label(label: &str) -> Option<Design> {
+        Design::all().into_iter().find(|d| d.label() == label)
+    }
 }
 
 /// A complete simulation request: design + machine + experiment knobs.
@@ -143,6 +149,14 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Cycles charged per kernel launch.
     pub kernel_launch_cycles: u64,
+    /// Watchdog no-progress budget override in cycles (`Some(0)` disables).
+    /// `None` defers to `CARVE_WATCHDOG_CYCLES` / the built-in default.
+    pub watchdog_cycles: Option<u64>,
+    /// Test hook: freeze every component (skip all ticks) once the clock
+    /// reaches this cycle, simulating a livelocked engine so watchdog
+    /// detection can be exercised deterministically.
+    #[doc(hidden)]
+    pub stall_inject_at: Option<u64>,
 }
 
 impl SimConfig {
@@ -163,6 +177,8 @@ impl SimConfig {
             // cycles against ~microsecond launch overheads; our scaled
             // kernels run 10^4..10^5 cycles.
             kernel_launch_cycles: 400,
+            watchdog_cycles: None,
+            stall_inject_at: None,
         }
     }
 
@@ -177,6 +193,116 @@ impl SimConfig {
     /// Effective RDC capacity per GPU for this run.
     pub fn rdc_capacity(&self) -> u64 {
         self.rdc_bytes.unwrap_or(self.cfg.rdc_bytes_per_gpu)
+    }
+
+    /// Rejects configurations that cannot describe a real machine, with a
+    /// message naming the offending knob and its value. Called by
+    /// `try_run` and at campaign start, so a bad design point fails in
+    /// microseconds instead of panicking deep inside the simulation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let c = &self.cfg;
+        let fail = |msg: String| Err(SimError::ConfigInvalid { message: msg });
+        if c.num_gpus == 0 {
+            return fail("num_gpus is 0; a system needs at least one GPU".into());
+        }
+        if c.sms_per_gpu == 0 {
+            return fail("sms_per_gpu is 0; each GPU needs at least one SM".into());
+        }
+        if c.warps_per_sm == 0 {
+            return fail("warps_per_sm is 0; each SM needs at least one warp slot".into());
+        }
+        if c.line_size == 0 || !c.line_size.is_power_of_two() {
+            return fail(format!(
+                "line_size is {}; it must be a non-zero power of two",
+                c.line_size
+            ));
+        }
+        if c.page_size < c.line_size {
+            return fail(format!(
+                "page_size {} is smaller than line_size {}",
+                c.page_size, c.line_size
+            ));
+        }
+        if c.l1_bytes_per_sm < c.line_size {
+            return fail(format!(
+                "l1_bytes_per_sm {} cannot hold one {}-byte line",
+                c.l1_bytes_per_sm, c.line_size
+            ));
+        }
+        if c.l2_bytes_per_gpu < c.line_size {
+            return fail(format!(
+                "l2_bytes_per_gpu {} cannot hold one {}-byte line",
+                c.l2_bytes_per_gpu, c.line_size
+            ));
+        }
+        if c.l1_ways == 0 || c.l2_ways == 0 {
+            return fail(format!(
+                "cache associativity is 0 (l1_ways={}, l2_ways={}); use at least 1 way",
+                c.l1_ways, c.l2_ways
+            ));
+        }
+        if c.l2_banks == 0 {
+            return fail("l2_banks is 0; the L2 needs at least one bank".into());
+        }
+        if c.link_bytes_per_cycle <= 0.0 || c.cpu_link_bytes_per_cycle <= 0.0 {
+            return fail(format!(
+                "link bandwidth must be positive (link_bytes_per_cycle={}, \
+                 cpu_link_bytes_per_cycle={})",
+                c.link_bytes_per_cycle, c.cpu_link_bytes_per_cycle
+            ));
+        }
+        if c.dram_channels == 0 || c.dram_banks_per_channel == 0 {
+            return fail(format!(
+                "DRAM geometry is degenerate (dram_channels={}, dram_banks_per_channel={}); \
+                 both must be at least 1",
+                c.dram_channels, c.dram_banks_per_channel
+            ));
+        }
+        if c.dram_channel_bytes_per_cycle <= 0.0 {
+            return fail(format!(
+                "dram_channel_bytes_per_cycle is {}; DRAM bandwidth must be positive",
+                c.dram_channel_bytes_per_cycle
+            ));
+        }
+        if !(c.dram_write_drain_low < c.dram_write_drain_high
+            && c.dram_write_drain_high <= c.dram_queue_depth)
+        {
+            return fail(format!(
+                "DRAM write-drain watermarks out of order: need drain_low < drain_high <= \
+                 queue_depth, got {} / {} / {}",
+                c.dram_write_drain_low, c.dram_write_drain_high, c.dram_queue_depth
+            ));
+        }
+        if c.mem_bytes_per_gpu == 0 {
+            return fail("mem_bytes_per_gpu is 0; each GPU needs memory capacity".into());
+        }
+        if !(0.0..=1.0).contains(&self.spill_fraction) {
+            return fail(format!(
+                "spill_fraction is {}; it is a fraction of the footprint and must be in [0, 1]",
+                self.spill_fraction
+            ));
+        }
+        if self.design.uses_carve() {
+            let rdc = self.rdc_capacity();
+            if rdc == 0 {
+                return fail(format!(
+                    "{} carves an RDC out of GPU memory but the effective RDC capacity is 0; \
+                     set rdc_bytes (or cfg.rdc_bytes_per_gpu) to at least one line",
+                    self.design.label()
+                ));
+            }
+            if rdc >= c.mem_bytes_per_gpu {
+                return fail(format!(
+                    "RDC capacity {} would consume the entire {}-byte GPU memory; \
+                     the carve-out must leave room for local pages",
+                    rdc, c.mem_bytes_per_gpu
+                ));
+            }
+        }
+        if self.max_cycles == 0 {
+            return fail("max_cycles is 0; no simulation can finish in zero cycles".into());
+        }
+        Ok(())
     }
 }
 
@@ -227,5 +353,57 @@ mod tests {
         assert_eq!(sc.rdc_capacity(), sc.cfg.rdc_bytes_per_gpu);
         sc.rdc_bytes = Some(1 << 20);
         assert_eq!(sc.rdc_capacity(), 1 << 20);
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        for d in Design::all() {
+            assert_eq!(Design::from_label(d.label()), Some(d));
+        }
+        assert_eq!(Design::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        for d in Design::all() {
+            SimConfig::new(d)
+                .validate()
+                .expect("defaults must be valid");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs_with_actionable_messages() {
+        let check = |mutate: fn(&mut SimConfig), needle: &str| {
+            let mut sc = SimConfig::new(Design::NumaGpu);
+            mutate(&mut sc);
+            let err = sc.validate().expect_err("must reject");
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        };
+        check(|s| s.cfg.sms_per_gpu = 0, "sms_per_gpu");
+        check(|s| s.cfg.num_gpus = 0, "num_gpus");
+        check(|s| s.cfg.l2_bytes_per_gpu = 0, "l2_bytes_per_gpu");
+        check(|s| s.cfg.l1_bytes_per_sm = 0, "l1_bytes_per_sm");
+        check(|s| s.cfg.link_bytes_per_cycle = 0.0, "link bandwidth");
+        check(|s| s.cfg.dram_channels = 0, "dram_channels");
+        check(|s| s.spill_fraction = 1.5, "spill_fraction");
+        check(|s| s.spill_fraction = -0.1, "spill_fraction");
+        check(|s| s.max_cycles = 0, "max_cycles");
+        check(
+            |s| s.cfg.dram_write_drain_low = s.cfg.dram_write_drain_high,
+            "watermarks",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_rdc_only_for_carve_designs() {
+        let mut sc = SimConfig::new(Design::CarveHwc);
+        sc.rdc_bytes = Some(0);
+        let msg = sc.validate().expect_err("carve needs an RDC").to_string();
+        assert!(msg.contains("RDC"), "{msg:?}");
+        let mut sc = SimConfig::new(Design::NumaGpu);
+        sc.rdc_bytes = Some(0);
+        sc.validate().expect("non-carve designs ignore the RDC");
     }
 }

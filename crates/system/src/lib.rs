@@ -10,7 +10,11 @@
 //! The eight named configurations of the paper's figures are the
 //! [`Design`] enum; [`run`] simulates one workload under one design and
 //! returns a [`SimResult`] with the cycle count and every traffic metric
-//! the figures plot.
+//! the figures plot. The fallible [`try_run`] family returns
+//! [`SimError`](sim_core::SimError) instead of panicking: configurations
+//! are validated up front, a watchdog converts engine livelock into a
+//! diagnosed `WatchdogStall`, and cycle-cap overruns surface as
+//! `ResourceExhausted`.
 //!
 //! # Example
 //!
@@ -32,9 +36,12 @@ pub mod sim;
 
 pub use design::{Design, SimConfig};
 pub use metrics::SimResult;
-pub use sim::{run, run_with_profile, run_with_profile_mode, EngineMode};
+pub use sim::{
+    run, run_with_profile, run_with_profile_mode, try_run, try_run_with_profile,
+    try_run_with_profile_mode, EngineMode,
+};
 
 // Re-exports so experiment binaries need only this crate.
 pub use carve_runtime::sharing::{profile_workload, SharingProfile};
 pub use carve_trace::workloads;
-pub use sim_core::ScaledConfig;
+pub use sim_core::{ScaledConfig, SimError};

@@ -102,6 +102,143 @@ impl SimResult {
     pub fn performance_vs(&self, reference: &SimResult) -> f64 {
         self.speedup_over(reference)
     }
+
+    /// Serializes every field into one tab-separated journal line (no
+    /// trailing newline). [`SimResult::decode_journal_line`] restores the
+    /// exact value, so campaign tables rebuilt from a journal are
+    /// byte-identical to tables from live runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name contains a tab or newline (no real
+    /// workload does; this guards the journal's framing).
+    pub fn encode_journal_line(&self) -> String {
+        assert!(
+            !self.workload.contains(['\t', '\n']),
+            "workload name {:?} would break journal framing",
+            self.workload
+        );
+        let f: Vec<String> = vec![
+            self.workload.clone(),
+            self.design.label().to_string(),
+            self.cycles.to_string(),
+            self.instructions.to_string(),
+            self.kernels.to_string(),
+            self.local_serviced.to_string(),
+            self.remote_serviced.to_string(),
+            self.cpu_serviced.to_string(),
+            self.rdc_hits_serviced.to_string(),
+            self.rdc.hits.to_string(),
+            self.rdc.misses.to_string(),
+            self.rdc.stale_misses.to_string(),
+            self.rdc.insertions.to_string(),
+            self.rdc.store_updates.to_string(),
+            self.rdc.invalidations.to_string(),
+            self.rdc.epoch_bumps.to_string(),
+            self.rdc.rollover_resets.to_string(),
+            self.link_bytes.to_string(),
+            self.cpu_link_bytes.to_string(),
+            self.migrations.to_string(),
+            self.broadcasts.to_string(),
+            self.directory_invalidates.to_string(),
+            self.dram.reads.to_string(),
+            self.dram.writes.to_string(),
+            self.dram.row_hits.to_string(),
+            self.dram.row_misses.to_string(),
+            self.dram.bytes_transferred.to_string(),
+            self.dram.queue_rejections.to_string(),
+            self.l2_hits.to_string(),
+            self.l2_misses.to_string(),
+            self.l1_hits.to_string(),
+            self.l1_misses.to_string(),
+            self.replays.to_string(),
+            self.mshr_merges.to_string(),
+            self.read_latency.encode(),
+            self.completed.to_string(),
+        ];
+        f.join("\t")
+    }
+
+    /// Parses a line produced by [`SimResult::encode_journal_line`].
+    /// Returns `None` on any malformed or truncated input (a partially
+    /// written trailing line after a crash must not poison the resume).
+    pub fn decode_journal_line(line: &str) -> Option<SimResult> {
+        let mut f = line.split('\t');
+        let u = |f: &mut std::str::Split<'_, char>| f.next()?.parse::<u64>().ok();
+        let workload = f.next()?.to_string();
+        let design = Design::from_label(f.next()?)?;
+        let cycles = u(&mut f)?;
+        let instructions = u(&mut f)?;
+        let kernels = f.next()?.parse::<usize>().ok()?;
+        let local_serviced = u(&mut f)?;
+        let remote_serviced = u(&mut f)?;
+        let cpu_serviced = u(&mut f)?;
+        let rdc_hits_serviced = u(&mut f)?;
+        let rdc = RdcStats {
+            hits: u(&mut f)?,
+            misses: u(&mut f)?,
+            stale_misses: u(&mut f)?,
+            insertions: u(&mut f)?,
+            store_updates: u(&mut f)?,
+            invalidations: u(&mut f)?,
+            epoch_bumps: u(&mut f)?,
+            rollover_resets: u(&mut f)?,
+        };
+        let link_bytes = u(&mut f)?;
+        let cpu_link_bytes = u(&mut f)?;
+        let migrations = u(&mut f)?;
+        let broadcasts = u(&mut f)?;
+        let directory_invalidates = u(&mut f)?;
+        let dram = DramStats {
+            reads: u(&mut f)?,
+            writes: u(&mut f)?,
+            row_hits: u(&mut f)?,
+            row_misses: u(&mut f)?,
+            bytes_transferred: u(&mut f)?,
+            queue_rejections: u(&mut f)?,
+        };
+        let l2_hits = u(&mut f)?;
+        let l2_misses = u(&mut f)?;
+        let l1_hits = u(&mut f)?;
+        let l1_misses = u(&mut f)?;
+        let replays = u(&mut f)?;
+        let mshr_merges = u(&mut f)?;
+        let read_latency = Histogram::decode(f.next()?)?;
+        let completed = match f.next()? {
+            "true" => true,
+            "false" => false,
+            _ => return None,
+        };
+        if f.next().is_some() {
+            return None; // trailing garbage: treat as corrupt
+        }
+        Some(SimResult {
+            workload,
+            design,
+            cycles,
+            instructions,
+            kernels,
+            local_serviced,
+            remote_serviced,
+            cpu_serviced,
+            rdc_hits_serviced,
+            rdc,
+            link_bytes,
+            cpu_link_bytes,
+            migrations,
+            broadcasts,
+            directory_invalidates,
+            dram,
+            l2_hits,
+            l2_misses,
+            l1_hits,
+            l1_misses,
+            replays,
+            mshr_merges,
+            read_latency,
+            completed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +295,56 @@ mod tests {
         let a = result("a", 100);
         let b = result("b", 100);
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn journal_line_round_trips_every_field() {
+        let mut r = result("Lulesh", 12345);
+        r.design = Design::CarveHwc;
+        r.rdc = RdcStats {
+            hits: 1,
+            misses: 2,
+            stale_misses: 3,
+            insertions: 4,
+            store_updates: 5,
+            invalidations: 6,
+            epoch_bumps: 7,
+            rollover_resets: 8,
+        };
+        r.dram = DramStats {
+            reads: 11,
+            writes: 12,
+            row_hits: 13,
+            row_misses: 14,
+            bytes_transferred: 15,
+            queue_rejections: 16,
+        };
+        r.read_latency.record(100);
+        r.read_latency.record(9000);
+        let line = r.encode_journal_line();
+        assert!(!line.contains('\n'));
+        let back = SimResult::decode_journal_line(&line).expect("well-formed");
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.design, r.design);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.rdc, r.rdc);
+        assert_eq!(back.dram, r.dram);
+        assert_eq!(back.read_latency, r.read_latency);
+        assert_eq!(back.completed, r.completed);
+        // And the re-encoding is byte-identical (resume determinism).
+        assert_eq!(back.encode_journal_line(), line);
+    }
+
+    #[test]
+    fn truncated_journal_line_is_rejected_not_misparsed() {
+        let line = result("w", 10).encode_journal_line();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(
+                SimResult::decode_journal_line(&line[..cut]).is_none(),
+                "accepted a truncated line cut at {cut}"
+            );
+        }
+        assert!(SimResult::decode_journal_line(&format!("{line}\textra")).is_none());
+        assert!(SimResult::decode_journal_line("").is_none());
     }
 }

@@ -32,7 +32,7 @@ use carve_runtime::sched::cta_range_of_gpu;
 use carve_runtime::sharing::{profile_workload, SharingProfile};
 use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
-use sim_core::{Cycle, ScaledConfig};
+use sim_core::{Cycle, ScaledConfig, SimError, Watchdog};
 
 use crate::design::{Design, SimConfig};
 use crate::metrics::SimResult;
@@ -855,6 +855,78 @@ impl System {
         horizon
     }
 
+    /// Monotonic count of progress events: retired warp instructions,
+    /// serviced DRAM accesses, link messages sent and delivered, and CPU
+    /// memory accesses. The watchdog compares this across a budget window;
+    /// a window with an unchanged signature had zero progress events.
+    /// Queue rejections are deliberately excluded — a retry loop bouncing
+    /// off a full queue forever must still read as a stall.
+    fn progress_signature(&self) -> u64 {
+        let mut sig = 0u64;
+        for core in &self.cores {
+            sig = sig.wrapping_add(core.stats().instructions);
+        }
+        for d in &self.drams {
+            let s = d.stats();
+            sig = sig.wrapping_add(s.reads).wrapping_add(s.writes);
+        }
+        let (sent, delivered) = self.net.message_counts();
+        let cpu = self.cpu_mem.stats();
+        sig.wrapping_add(sent)
+            .wrapping_add(delivered)
+            .wrapping_add(cpu.reads)
+            .wrapping_add(cpu.writes)
+    }
+
+    /// Names every occupied component for a watchdog report: per-SM warp
+    /// occupancy, per-DRAM-channel queue depths, per-link backlogs, retry
+    /// queues, and the age of the oldest in-flight read.
+    fn stall_diagnostic(&self, now: Cycle) -> String {
+        let mut lines = Vec::new();
+        if let Some(&t0) = self.issue_time.values().min() {
+            lines.push(format!(
+                "oldest in-flight read: issued at cycle {t0}, {} cycles ago",
+                now.0.saturating_sub(t0)
+            ));
+        }
+        lines.push(format!(
+            "pending tokens: {}, delayed home responses: {}",
+            self.pending.len(),
+            self.delayed.len()
+        ));
+        for (g, q) in self.ext_retry.iter().enumerate() {
+            if !q.is_empty() {
+                lines.push(format!("gpu{g} external-read retry backlog: {}", q.len()));
+            }
+        }
+        for (g, q) in self.dram_retry.iter().enumerate() {
+            if !q.is_empty() {
+                lines.push(format!("gpu{g} dram-write retry backlog: {}", q.len()));
+            }
+        }
+        for (g, core) in self.cores.iter().enumerate() {
+            for l in core.occupancy_report() {
+                lines.push(format!("gpu{g} {l}"));
+            }
+        }
+        for (g, d) in self.drams.iter().enumerate() {
+            for l in d.occupancy_report() {
+                lines.push(format!("gpu{g} dram {l}"));
+            }
+        }
+        lines.extend(self.net.occupancy_report());
+        if self.cpu_mem.in_flight() > 0 {
+            lines.push(format!(
+                "cpu memory: {} accesses in service",
+                self.cpu_mem.in_flight()
+            ));
+        }
+        if lines.is_empty() {
+            lines.push("no component reports occupancy (engine spinning while idle)".into());
+        }
+        lines.join("\n")
+    }
+
     fn kernel_boundary(&mut self, now: Cycle) {
         for g in 0..self.num_gpus {
             if self.design.flushes_llc_at_boundary() {
@@ -928,8 +1000,18 @@ impl EngineMode {
 /// Simulates `spec` under `sim`, computing any needed sharing profile
 /// internally. Prefer [`run_with_profile`] when sweeping many designs over
 /// one workload, so the profile is computed once.
+///
+/// # Panics
+///
+/// Panics on any [`SimError`] — invalid configuration, watchdog stall, or
+/// cycle-cap exhaustion. Use [`try_run`] for a recoverable error instead.
 pub fn run(spec: &WorkloadSpec, sim: &SimConfig) -> SimResult {
     run_with_profile(spec, sim, None)
+}
+
+/// Fallible variant of [`run`].
+pub fn try_run(spec: &WorkloadSpec, sim: &SimConfig) -> Result<SimResult, SimError> {
+    try_run_with_profile(spec, sim, None)
 }
 
 /// Simulates `spec` under `sim`, reusing `profile` when provided.
@@ -939,28 +1021,55 @@ pub fn run(spec: &WorkloadSpec, sim: &SimConfig) -> SimResult {
 ///
 /// # Panics
 ///
-/// Panics on degenerate configurations (e.g. a CARVE design with a zero
-/// RDC capacity).
+/// Panics on any [`SimError`]; use [`try_run_with_profile`] to recover.
 pub fn run_with_profile(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     profile: Option<&SharingProfile>,
 ) -> SimResult {
-    run_with_profile_mode(spec, sim, profile, EngineMode::from_env())
+    try_run_with_profile(spec, sim, profile).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Fallible variant of [`run_with_profile`].
+pub fn try_run_with_profile(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    profile: Option<&SharingProfile>,
+) -> Result<SimResult, SimError> {
+    try_run_with_profile_mode(spec, sim, profile, EngineMode::from_env())
 }
 
 /// [`run_with_profile`] with an explicit [`EngineMode`], primarily for
 /// verifying that the two engines agree.
+///
+/// # Panics
+///
+/// Panics on any [`SimError`]; use [`try_run_with_profile_mode`] to
+/// recover.
 pub fn run_with_profile_mode(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     profile: Option<&SharingProfile>,
     mode: EngineMode,
 ) -> SimResult {
+    try_run_with_profile_mode(spec, sim, profile, mode)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Runs one simulation to completion, or fails fast with a structured
+/// [`SimError`]: the configuration is validated before the machine is
+/// built, a [`Watchdog`] converts engine livelock into
+/// [`SimError::WatchdogStall`] with a component-occupancy dump, and
+/// exceeding `max_cycles` reports [`SimError::ResourceExhausted`] instead
+/// of a partially-filled result.
+pub fn try_run_with_profile_mode(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    profile: Option<&SharingProfile>,
+    mode: EngineMode,
+) -> Result<SimResult, SimError> {
+    sim.validate()?;
     let num_gpus = sim.design.num_gpus(&sim.cfg);
-    if sim.design.uses_carve() {
-        assert!(sim.rdc_capacity() > 0, "CARVE needs a non-zero RDC");
-    }
     let needs_profile = sim.spill_fraction > 0.0
         || matches!(
             sim.design,
@@ -979,12 +1088,15 @@ pub fn run_with_profile_mode(
     };
     let mut sys = System::build(spec, sim, profile);
     let mut now = 0u64;
-    let mut completed = true;
+    let mut watchdog = match sim.watchdog_cycles {
+        Some(n) => Watchdog::with_budget((n != 0).then_some(n)),
+        None => Watchdog::from_env(),
+    };
     // Hoisted out of the cycle loop: `env::var_os` walks the whole
     // environment on every call.
     let trace_tail = std::env::var_os("CARVE_TRACE_TAIL").is_some();
     let trace_progress = std::env::var_os("CARVE_TRACE_PROGRESS").is_some();
-    'kernels: for kernel in 0..spec.shape.kernels {
+    for kernel in 0..spec.shape.kernels {
         if kernel > 0 {
             sys.kernel_boundary(Cycle(now));
         }
@@ -993,15 +1105,32 @@ pub fn run_with_profile_mode(
             sys.cores[g].launch_kernel(kernel, start..end);
         }
         now += sim.kernel_launch_cycles;
+        // The launch jump crosses cycles no component could act in; reset
+        // the no-progress baseline so it is not counted against the budget.
+        watchdog.rebase(Cycle(now), sys.progress_signature());
         let kstart = now;
         let mut sms_done_at = 0u64;
         loop {
-            sys.tick(Cycle(now));
-            if sms_done_at == 0 && sys.cores.iter().all(|c| c.sms_done()) {
-                sms_done_at = now;
+            // Stall-injection hook: once the clock reaches the requested
+            // cycle every component is frozen (ticks skipped, time still
+            // advancing) — indistinguishable from a livelocked engine.
+            let frozen = sim.stall_inject_at.is_some_and(|at| now >= at);
+            if !frozen {
+                sys.tick(Cycle(now));
+                if sms_done_at == 0 && sys.cores.iter().all(|c| c.sms_done()) {
+                    sms_done_at = now;
+                }
+                if sys.quiescent() {
+                    break;
+                }
             }
-            if sys.quiescent() {
-                break;
+            if let Err(stall) = watchdog.check(Cycle(now), || sys.progress_signature()) {
+                return Err(SimError::WatchdogStall {
+                    cycle: stall.cycle,
+                    stalled_since: stall.stalled_since,
+                    budget: stall.budget,
+                    diagnostic: sys.stall_diagnostic(Cycle(now)),
+                });
             }
             if trace_tail && sms_done_at > 0 && (now - sms_done_at) % 2000 == 1999 {
                 eprintln!(
@@ -1039,28 +1168,21 @@ pub fn run_with_profile_mode(
                 // cycle count the stepping engine would.
                 now = sim.max_cycles;
                 if std::env::var_os("CARVE_TRACE_PROGRESS").is_some() {
-                    for (tok, p) in &sys.pending {
-                        eprintln!("    stuck pending {tok}: {p:?}");
-                    }
-                    for (g, q) in sys.ext_retry.iter().enumerate() {
-                        if !q.is_empty() {
-                            eprintln!("    ext_retry[{g}]: {q:?}");
-                        }
-                    }
-                    for (g, q) in sys.dram_retry.iter().enumerate() {
-                        if !q.is_empty() {
-                            eprintln!("    dram_retry[{g}]: {} writes", q.len());
-                        }
-                    }
-                    for (g, d) in sys.drams.iter().enumerate() {
-                        if !d.is_idle() {
-                            eprintln!("    dram[{g}] not idle");
-                        }
-                    }
-                    eprintln!("    delayed: {:?}", sys.delayed);
+                    eprintln!(
+                        "    cycle cap hit at {now}; occupancy:\n{}",
+                        sys.stall_diagnostic(Cycle(now))
+                    );
                 }
-                completed = false;
-                break 'kernels;
+                return Err(SimError::ResourceExhausted {
+                    what: format!(
+                        "simulated cycles for {} on {} (kernel {} of {} still running)",
+                        spec.name,
+                        sim.design.label(),
+                        kernel + 1,
+                        spec.shape.kernels
+                    ),
+                    limit: sim.max_cycles,
+                });
             }
         }
         if std::env::var_os("CARVE_TRACE_KERNELS").is_some() {
@@ -1117,7 +1239,7 @@ pub fn run_with_profile_mode(
         dram.bytes_transferred += s.bytes_transferred;
         dram.queue_rejections += s.queue_rejections;
     }
-    SimResult {
+    let result = SimResult {
         workload: spec.name.to_string(),
         design: sim.design,
         cycles: now,
@@ -1141,8 +1263,9 @@ pub fn run_with_profile_mode(
         replays,
         mshr_merges,
         read_latency: sys.read_latency.clone(),
-        completed,
-    }
+        completed: true,
+    };
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -1329,6 +1452,73 @@ mod tests {
         assert!(r.read_latency.count() > 0);
         // Local DRAM floor: fixed latency + timing.
         assert!(r.read_latency.min().unwrap() >= 200);
+    }
+
+    #[test]
+    fn injected_stall_trips_watchdog_with_component_diagnostic() {
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.watchdog_cycles = Some(20_000);
+        sim.stall_inject_at = Some(2_000); // freeze mid-kernel
+        let err = try_run(&spec, &sim).expect_err("frozen engine must trip the watchdog");
+        match err {
+            SimError::WatchdogStall {
+                cycle,
+                stalled_since,
+                budget,
+                diagnostic,
+            } => {
+                assert_eq!(budget, 20_000);
+                assert!(stalled_since <= cycle);
+                // Detection within two budget windows of the freeze.
+                assert!(
+                    cycle <= 2_000 + 2 * 20_000,
+                    "detected at {cycle}, too far past the freeze"
+                );
+                // The dump must name concrete stuck components: mid-kernel
+                // at cycle 2000 some SM holds warps and reads are in
+                // flight.
+                assert!(
+                    diagnostic.contains("sm") || diagnostic.contains("in-flight"),
+                    "diagnostic lacks component detail:\n{diagnostic}"
+                );
+            }
+            other => panic!("expected WatchdogStall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_does_not_false_positive_on_a_tight_budget() {
+        // A budget far below the default but far above any modeled blocking
+        // interval: a healthy run must never trip it.
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+        sim.watchdog_cycles = Some(50_000);
+        let r = try_run(&spec, &sim).expect("healthy run must not trip the watchdog");
+        assert_eq!(r.instructions, spec.shape.total_instrs());
+    }
+
+    #[test]
+    fn watchdog_can_be_disabled_per_run() {
+        let spec = quick_spec("stream-triad");
+        let mut sim = SimConfig::with_cfg(Design::SingleGpu, quick_cfg());
+        sim.watchdog_cycles = Some(0); // disabled: stall rides to the cap
+        sim.stall_inject_at = Some(1_000);
+        sim.max_cycles = 40_000;
+        let err = try_run(&spec, &sim).expect_err("frozen run must hit the cap");
+        assert!(
+            matches!(err, SimError::ResourceExhausted { limit: 40_000, .. }),
+            "expected ResourceExhausted, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_the_machine_is_built() {
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.cfg.sms_per_gpu = 0;
+        let err = try_run(&spec, &sim).expect_err("zero SMs must be rejected");
+        assert!(matches!(err, SimError::ConfigInvalid { .. }));
     }
 
     #[test]

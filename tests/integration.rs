@@ -327,3 +327,41 @@ fn broadcast_always_sends_more_invalidates() {
         "IMST filter must not increase invalidations"
     );
 }
+
+#[test]
+fn watchdog_never_false_positives_across_all_workloads() {
+    // Budget far below each run's total length but far above any
+    // legitimate progress gap (horizon jumps, drain windows, kernel
+    // launches): a dead window anywhere in the engine would trip it.
+    for spec in workloads::all() {
+        let mut spec = spec;
+        spec.shape.kernels = 2;
+        spec.shape.ctas = 16;
+        spec.shape.instrs_per_warp = 40;
+        let mut sim = tiny_sim(Design::CarveHwc);
+        sim.watchdog_cycles = Some(50_000);
+        let r = carve_system::try_run(&spec, &sim);
+        assert!(
+            r.is_ok(),
+            "{} tripped the watchdog: {}",
+            spec.name,
+            r.unwrap_err()
+        );
+    }
+}
+
+#[test]
+fn invalid_config_surfaces_as_structured_error() {
+    let spec = tiny("Lulesh");
+    let mut sim = tiny_sim(Design::CarveHwc);
+    sim.rdc_bytes = Some(0);
+    match carve_system::try_run(&spec, &sim) {
+        Err(carve_system::SimError::ConfigInvalid { message }) => {
+            assert!(
+                message.contains("rdc"),
+                "message should name the knob: {message}"
+            );
+        }
+        other => panic!("zero RDC must be ConfigInvalid, got {other:?}"),
+    }
+}
