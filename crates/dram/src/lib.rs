@@ -395,27 +395,81 @@ impl DramModel {
     /// queue depths, drain state, and the oldest queued request's arrival
     /// cycle. Empty when the subsystem is idle.
     pub fn occupancy_report(&self) -> Vec<String> {
+        self.snapshot().occupancy_report()
+    }
+
+    /// Point-in-time occupancy of every channel. Read-only; the single
+    /// source behind [`DramModel::occupancy_report`] and the telemetry
+    /// sampler.
+    pub fn snapshot(&self) -> DramSnapshot {
+        DramSnapshot {
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| ChannelSnapshot {
+                    read_q: ch.read_q.len(),
+                    write_q: ch.write_q.len(),
+                    in_service: ch.in_service.len(),
+                    draining: ch.draining,
+                    oldest_arrival: ch
+                        .read_q
+                        .iter()
+                        .chain(ch.write_q.iter())
+                        .map(|r| r.arrival.0)
+                        .min(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time occupancy of one DRAM channel (see [`DramSnapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelSnapshot {
+    /// Queued reads.
+    pub read_q: usize,
+    /// Queued writes.
+    pub write_q: usize,
+    /// Requests past arbitration, waiting on bank/bus timing.
+    pub in_service: usize,
+    /// Whether the channel is in a write-drain batch.
+    pub draining: bool,
+    /// Arrival cycle of the oldest queued request, if any.
+    pub oldest_arrival: Option<u64>,
+}
+
+impl ChannelSnapshot {
+    /// Whether the channel has any queued or in-service work.
+    pub fn is_busy(&self) -> bool {
+        self.read_q > 0 || self.write_q > 0 || self.in_service > 0
+    }
+}
+
+/// Point-in-time occupancy snapshot of a whole DRAM subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DramSnapshot {
+    /// Per-channel occupancy, in channel order.
+    pub channels: Vec<ChannelSnapshot>,
+}
+
+impl DramSnapshot {
+    /// Human-readable lines naming every busy channel (empty when idle).
+    /// Used verbatim in watchdog stall reports.
+    pub fn occupancy_report(&self) -> Vec<String> {
         self.channels
             .iter()
             .enumerate()
-            .filter(|(_, ch)| {
-                !ch.read_q.is_empty() || !ch.write_q.is_empty() || !ch.in_service.is_empty()
-            })
+            .filter(|(_, ch)| ch.is_busy())
             .map(|(i, ch)| {
-                let oldest = ch
-                    .read_q
-                    .iter()
-                    .chain(ch.write_q.iter())
-                    .map(|r| r.arrival.0)
-                    .min();
                 format!(
                     "channel {}: read_q={} write_q={} in_service={} draining={}{}",
                     i,
-                    ch.read_q.len(),
-                    ch.write_q.len(),
-                    ch.in_service.len(),
+                    ch.read_q,
+                    ch.write_q,
+                    ch.in_service,
                     ch.draining,
-                    oldest.map_or(String::new(), |a| format!(" oldest_arrival={a}")),
+                    ch.oldest_arrival
+                        .map_or(String::new(), |a| format!(" oldest_arrival={a}")),
                 )
             })
             .collect()

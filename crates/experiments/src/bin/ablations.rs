@@ -58,6 +58,7 @@ fn prefetch(c: &mut Campaign) {
 
 fn main() {
     let mut c = Campaign::with_journal("ablations");
+    c.enable_timeline_from_args();
     prefetch(&mut c);
     write_policy_ablation(&mut c).emit();
     imst_ablation(&mut c).emit();
@@ -66,6 +67,7 @@ fn main() {
     sysmem_rdc_ablation(&mut c).emit();
     launch_overhead_ablation(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
+    c.report_timeline("ablations");
 }
 
 /// Section V-E: broadcast GPU-VI vs a sharer directory at the default

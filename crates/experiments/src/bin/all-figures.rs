@@ -5,7 +5,9 @@
 //! sweep and the Table V RDC-size/spill sweeps — is fanned across worker
 //! threads up front via [`Campaign::run_parallel`]; the figure functions
 //! then slice the warm cache. Pass `--bench-json` to also write
-//! `results/BENCH_engine.json` with per-point wall-clock timings.
+//! `results/BENCH_engine.json` with per-point wall-clock timings, and
+//! `--timeline` to journal interval telemetry for every freshly simulated
+//! point to `results/all-figures.timeline.csv`.
 
 use std::path::Path;
 
@@ -58,6 +60,7 @@ fn main() {
     let bench_json = std::env::args().skip(1).any(|a| a == "--bench-json");
     let t0 = std::time::Instant::now();
     let mut c = Campaign::with_journal("all-figures");
+    c.enable_timeline_from_args();
     if c.is_quick() {
         eprintln!("CARVE_QUICK set: running shrunken workloads");
     }
@@ -84,6 +87,7 @@ fn main() {
         c.write_bench_json(&path).expect("write BENCH_engine.json");
         eprintln!("wrote {}", path.display());
     }
+    c.report_timeline("all-figures");
     eprintln!(
         "campaign complete: {} simulation runs in {:.0}s",
         c.cached_runs(),

@@ -54,10 +54,12 @@ fn prefetch(c: &mut Campaign) {
 
 fn main() {
     let mut c = Campaign::with_journal("scaling");
+    c.enable_timeline_from_args();
     prefetch(&mut c);
     speedup_scaling(&mut c).emit();
     coherence_scaling(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
+    c.report_timeline("scaling");
 }
 
 fn speedup_scaling(c: &mut Campaign) -> Table {

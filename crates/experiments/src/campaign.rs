@@ -29,11 +29,15 @@ use std::time::Instant;
 
 use carve_system::{
     profile_workload, try_run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig,
-    SimError, SimResult,
+    SimError, SimResult, Timeline,
 };
 use carve_trace::{workloads, WorkloadSpec};
 
 use crate::par;
+
+/// Sampling interval used by [`Campaign::enable_timeline`] when
+/// `CARVE_TELEMETRY_INTERVAL` is unset.
+const DEFAULT_TIMELINE_INTERVAL: u64 = 5_000;
 
 /// Wall-clock record for one simulated campaign point.
 #[derive(Debug, Clone)]
@@ -192,6 +196,17 @@ pub struct Campaign {
     quick: bool,
     retries: usize,
     journal: Option<Journal>,
+    /// When set, every subsequently *simulated* point samples interval
+    /// telemetry at this many cycles. Deliberately absent from
+    /// [`key_of`]: sampling is read-only and cannot change a result, so
+    /// it must not split the cache or the journal.
+    telemetry_interval: Option<u64>,
+    /// Timelines collected this process, in point-commit order (which is
+    /// the deduplicated input order of the grids — deterministic across
+    /// `CARVE_THREADS`). Journal-resumed and cache-hit points contribute
+    /// nothing here: only points actually simulated this run carry a
+    /// timeline.
+    timelines: Vec<(String, String, Timeline)>,
 }
 
 /// The memoization key of a campaign point: every knob that changes the
@@ -270,6 +285,8 @@ impl Campaign {
             quick,
             retries: par::retries_from_env(),
             journal: None,
+            telemetry_interval: None,
+            timelines: Vec::new(),
         }
     }
 
@@ -299,6 +316,101 @@ impl Campaign {
     /// Overrides the bounded retry count (default: `CARVE_RETRIES`).
     pub fn set_retries(&mut self, retries: usize) {
         self.retries = retries;
+    }
+
+    /// Turns on interval telemetry for every point simulated from now on
+    /// (interval from `CARVE_TELEMETRY_INTERVAL`, else 5000 cycles).
+    /// Sampling is read-only, so results, journal lines, and tables are
+    /// bit-identical to a run without it; only points simulated in this
+    /// process carry a timeline (journal-resumed points do not).
+    pub fn enable_timeline(&mut self) {
+        self.telemetry_interval =
+            Some(sim_core::telemetry::interval_from_env().unwrap_or(DEFAULT_TIMELINE_INTERVAL));
+    }
+
+    /// Wires the campaign binaries' `--timeline` CLI flag: enables
+    /// timeline collection iff the flag is present, and reports whether
+    /// it was.
+    pub fn enable_timeline_from_args(&mut self) -> bool {
+        let on = std::env::args().skip(1).any(|a| a == "--timeline");
+        if on {
+            self.enable_timeline();
+        }
+        on
+    }
+
+    /// Sampling interval of an enabled timeline.
+    pub fn timeline_interval(&self) -> Option<u64> {
+        self.telemetry_interval
+    }
+
+    /// The configuration a point actually runs with: the caller's `sim`
+    /// plus this campaign's telemetry interval (unless the point pins
+    /// its own). Never consulted by [`key_of`].
+    fn sim_for_attempt(&self, sim: &SimConfig) -> SimConfig {
+        let mut run = sim.clone();
+        if run.telemetry_interval.is_none() {
+            if let Some(i) = self.telemetry_interval {
+                run.telemetry_interval = Some(i);
+            }
+        }
+        run
+    }
+
+    /// Records a freshly simulated point's timeline, if it produced one.
+    fn collect_timeline(&mut self, key: &(String, String), r: &SimResult) {
+        if let Some(tl) = &r.timeline {
+            self.timelines
+                .push((key.0.clone(), key.1.clone(), tl.clone()));
+        }
+    }
+
+    /// Writes every timeline collected this process to
+    /// `<results_dir>/<name>.timeline.csv` (`CARVE_RESULTS_DIR`, default
+    /// `results/`): one row per (point, interval, GPU), prefixed with the
+    /// workload and config-key columns so rows from different points
+    /// stay distinguishable. Rows appear in point-commit order, which is
+    /// deterministic across thread counts. Returns the path written, or
+    /// `None` when no timelines were collected.
+    pub fn write_timeline_csv(&self, name: &str) -> std::io::Result<Option<PathBuf>> {
+        if self.timelines.is_empty() {
+            return Ok(None);
+        }
+        let dir = std::env::var("CARVE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        std::fs::create_dir_all(&dir)?;
+        let path = Path::new(&dir).join(format!("{name}.timeline.csv"));
+        self.write_timeline_csv_to(&path)?;
+        Ok(Some(path))
+    }
+
+    /// [`Campaign::write_timeline_csv`] with an explicit file path
+    /// (writes a header-only file when no timelines were collected).
+    pub fn write_timeline_csv_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "workload,config,{}", Timeline::CSV_HEADER)?;
+        for (workload, config, tl) in &self.timelines {
+            for rec in &tl.records {
+                writeln!(out, "{workload},{config},{}", rec.csv_line())?;
+            }
+        }
+        out.flush()
+    }
+
+    /// [`Campaign::write_timeline_csv`] for binaries: reports the path
+    /// (or the error) on stderr and never fails the campaign.
+    pub fn report_timeline(&self, name: &str) {
+        match self.write_timeline_csv(name) {
+            Ok(Some(path)) => eprintln!("timeline: {}", path.display()),
+            Ok(None) => {
+                if self.telemetry_interval.is_some() {
+                    eprintln!(
+                        "timeline: no points simulated this run (journal-resumed \
+                         points carry no timeline)"
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not write timeline csv: {e}"),
+        }
     }
 
     /// The workload list in Table II order.
@@ -458,11 +570,13 @@ impl Campaign {
         // Profiles are only valid for the 4-GPU machine; single-GPU runs
         // use no profile-driven policy.
         let profile = self.profile_arc(spec);
-        match attempt_point(spec, sim, &profile, self.retries) {
+        let run_sim = self.sim_for_attempt(sim);
+        match attempt_point(spec, &run_sim, &profile, self.retries) {
             Ok((r, millis)) => {
                 if let Some(j) = &self.journal {
                     j.append(&ok_line(&key.1, &r));
                 }
+                self.collect_timeline(&key, &r);
                 self.timings.push(PointTiming {
                     workload: key.0.clone(),
                     config: key.1.clone(),
@@ -545,7 +659,7 @@ impl Campaign {
                 continue;
             }
             let profile = self.profile_arc(spec);
-            jobs.push((spec.clone(), sim.clone(), profile));
+            jobs.push((spec.clone(), self.sim_for_attempt(sim), profile));
         }
         let parallel = jobs.len() > 1 && par::thread_count() > 1;
         let journal = self.journal.as_ref();
@@ -573,6 +687,7 @@ impl Campaign {
             let (key, outcome) = cell.expect("attempt_point catches its own panics");
             match outcome {
                 Ok((r, millis)) => {
+                    self.collect_timeline(&key, &r);
                     self.timings.push(PointTiming {
                         workload: key.0.clone(),
                         config: key.1.clone(),
@@ -884,6 +999,85 @@ mod tests {
             Some(LoadedRecord::Failed(back)) => assert_eq!(back, f),
             _ => panic!("fail record must parse back"),
         }
+    }
+
+    #[test]
+    fn timelines_collect_in_input_order_without_perturbing_results() {
+        let mut plain = quick_campaign();
+        let mut seq = quick_campaign();
+        seq.telemetry_interval = Some(700);
+        let mut par_c = quick_campaign();
+        par_c.telemetry_interval = Some(700);
+        let specs = plain.specs();
+        let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+        for spec in specs.iter().take(2) {
+            for design in [Design::NumaGpu, Design::CarveHwc] {
+                points.push((spec.clone(), SimConfig::new(design)));
+            }
+        }
+        let fanned = par_c.try_run_parallel(&points);
+        for (i, (spec, sim)) in points.iter().enumerate() {
+            let expect = plain.result(spec, sim);
+            let sampled = seq.result(spec, sim);
+            let got = fanned[i].as_ref().expect("point ran");
+            // Sampling must be invisible to every journaled aggregate.
+            assert_eq!(got.encode_journal_line(), expect.encode_journal_line());
+            assert_eq!(sampled.encode_journal_line(), expect.encode_journal_line());
+        }
+        // Fan-out and sequential execution collect the same rows in the
+        // same order — the timeline CSV is thread-count-independent.
+        assert_eq!(par_c.timelines, seq.timelines);
+        assert_eq!(par_c.timelines.len(), points.len());
+        for ((w, _cfg, tl), (spec, sim)) in par_c.timelines.iter().zip(&points) {
+            assert_eq!(w.as_str(), spec.name);
+            assert_eq!(tl.interval, 700);
+            assert_eq!(
+                tl.total_instructions(),
+                plain.result(spec, sim).instructions,
+                "interval instruction sums must equal the aggregate exactly"
+            );
+        }
+        // The CSV renders one row per record plus the header.
+        let dir = test_dir("timeline-csv");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("grid.timeline.csv");
+        par_c.write_timeline_csv_to(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let rows: usize = par_c
+            .timelines
+            .iter()
+            .map(|(_, _, tl)| tl.records.len())
+            .sum();
+        assert_eq!(text.lines().count(), 1 + rows);
+        assert!(text.starts_with(&format!("workload,config,{}", Timeline::CSV_HEADER)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_resumed_points_carry_no_timeline() {
+        let dir = test_dir("timeline-resume");
+        let path = dir.join("grid.journal");
+        let mut a = quick_campaign();
+        a.telemetry_interval = Some(900);
+        a.set_journal_path(&path).expect("attach journal");
+        let specs = a.specs();
+        let points = vec![
+            (specs[0].clone(), SimConfig::new(Design::NumaGpu)),
+            (specs[1].clone(), SimConfig::new(Design::CarveHwc)),
+        ];
+        let table_a = table_of(&a.try_run_parallel(&points));
+        assert_eq!(a.timelines.len(), 2);
+
+        // A fresh campaign resuming from the journal reproduces the same
+        // table but simulates nothing, so it collects no timelines.
+        let mut b = quick_campaign();
+        b.telemetry_interval = Some(900);
+        b.set_journal_path(&path).expect("resume journal");
+        let table_b = table_of(&b.try_run_parallel(&points));
+        assert_eq!(table_b, table_a);
+        assert!(b.timelines.is_empty());
+        assert_eq!(b.write_timeline_csv("never-used").expect("no-op"), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

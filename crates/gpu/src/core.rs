@@ -56,6 +56,83 @@ pub struct CoreStats {
     pub mshr_merges: u64,
 }
 
+/// Point-in-time warp occupancy of one SM (see [`CoreSnapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmOccupancy {
+    /// SM index within its GPU.
+    pub id: usize,
+    /// Occupied (non-vacant) warp slots.
+    pub active_warps: usize,
+    /// Warps parked waiting for a memory response.
+    pub waiting_mem: usize,
+    /// CTAs queued but not yet resident.
+    pub pending_ctas: usize,
+    /// No resident or pending work.
+    pub is_idle: bool,
+}
+
+/// Point-in-time occupancy snapshot of a whole GPU core: the single
+/// source of truth behind both the watchdog's stall diagnostics and the
+/// telemetry sampler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Per-SM warp occupancy, in SM order.
+    pub sms: Vec<SmOccupancy>,
+    /// Requests queued across all L2 bank queues.
+    pub bank_queued: usize,
+    /// Outstanding MSHR fills.
+    pub mshr_outstanding: usize,
+    /// Requests backed up in the outbox.
+    pub outbox_backlog: usize,
+    /// External-read completions not yet delivered to the system.
+    pub undelivered_completions: usize,
+}
+
+impl CoreSnapshot {
+    /// Occupied warp slots across all SMs.
+    pub fn active_warps(&self) -> usize {
+        self.sms.iter().map(|s| s.active_warps).sum()
+    }
+
+    /// Warps waiting on memory across all SMs.
+    pub fn waiting_mem_warps(&self) -> usize {
+        self.sms.iter().map(|s| s.waiting_mem).sum()
+    }
+
+    /// Human-readable lines naming every occupied structure (empty when
+    /// the core is fully idle). Used verbatim in watchdog stall reports.
+    pub fn occupancy_report(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for sm in &self.sms {
+            if !sm.is_idle || sm.waiting_mem > 0 {
+                out.push(format!(
+                    "sm{}: active_warps={} waiting_mem={} pending_ctas={}",
+                    sm.id, sm.active_warps, sm.waiting_mem, sm.pending_ctas,
+                ));
+            }
+        }
+        if self.bank_queued > 0 {
+            out.push(format!("l2 bank queues: {} queued", self.bank_queued));
+        }
+        if self.mshr_outstanding > 0 {
+            out.push(format!("mshr: {} outstanding fills", self.mshr_outstanding));
+        }
+        if self.outbox_backlog > 0 {
+            out.push(format!(
+                "outbox: {} requests backed up",
+                self.outbox_backlog
+            ));
+        }
+        if self.undelivered_completions > 0 {
+            out.push(format!(
+                "external_done: {} completions undelivered",
+                self.undelivered_completions
+            ));
+        }
+        out
+    }
+}
+
 /// One GPU node's compute and cache hierarchy.
 ///
 /// See the crate docs for the system boundary. Construction fixes the
@@ -499,35 +576,31 @@ impl GpuCore {
     /// depths, outstanding MSHR fills, outbox backlog, and undelivered
     /// external completions. Empty when the core is idle.
     pub fn occupancy_report(&self) -> Vec<String> {
-        let mut out = Vec::new();
-        for sm in &self.sms {
-            if !sm.is_idle() || sm.warps_waiting_mem() > 0 {
-                out.push(format!(
-                    "sm{}: active_warps={} waiting_mem={} pending_ctas={}",
-                    sm.id(),
-                    sm.active_warps(),
-                    sm.warps_waiting_mem(),
-                    sm.pending_ctas(),
-                ));
-            }
+        self.snapshot().occupancy_report()
+    }
+
+    /// Point-in-time occupancy of every structure in the core: per-SM
+    /// warp states, L2 bank queues, MSHRs, outbox, undelivered external
+    /// completions. Read-only; shared by the watchdog diagnostics and the
+    /// telemetry sampler.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            sms: self
+                .sms
+                .iter()
+                .map(|sm| SmOccupancy {
+                    id: sm.id(),
+                    active_warps: sm.active_warps(),
+                    waiting_mem: sm.warps_waiting_mem(),
+                    pending_ctas: sm.pending_ctas(),
+                    is_idle: sm.is_idle(),
+                })
+                .collect(),
+            bank_queued: self.banks.iter().map(|b| b.queue.len()).sum(),
+            mshr_outstanding: self.mshr.len(),
+            outbox_backlog: self.outbox.len(),
+            undelivered_completions: self.external_done.len(),
         }
-        let queued: usize = self.banks.iter().map(|b| b.queue.len()).sum();
-        if queued > 0 {
-            out.push(format!("l2 bank queues: {queued} queued"));
-        }
-        if !self.mshr.is_empty() {
-            out.push(format!("mshr: {} outstanding fills", self.mshr.len()));
-        }
-        if !self.outbox.is_empty() {
-            out.push(format!("outbox: {} requests backed up", self.outbox.len()));
-        }
-        if !self.external_done.is_empty() {
-            out.push(format!(
-                "external_done: {} completions undelivered",
-                self.external_done.len()
-            ));
-        }
-        out
     }
 }
 

@@ -24,7 +24,7 @@ pub mod sm;
 pub mod tlb;
 pub mod types;
 
-pub use crate::core::{CoreStats, GpuCore};
+pub use crate::core::{CoreSnapshot, CoreStats, GpuCore, SmOccupancy};
 pub use sm::Sm;
 pub use tlb::Tlb;
 pub use types::{

@@ -351,6 +351,12 @@ impl LinkNetwork {
     /// depth, and the arrival cycle of its oldest message. Empty when the
     /// network is idle.
     pub fn occupancy_report(&self) -> Vec<String> {
+        self.snapshot().occupancy_report()
+    }
+
+    /// Point-in-time per-link occupancy. Read-only; the single source
+    /// behind [`LinkNetwork::occupancy_report`] and the telemetry sampler.
+    pub fn snapshot(&self) -> NetSnapshot {
         let route = |i: usize| -> String {
             if i < self.num_gpus * self.num_gpus {
                 format!("gpu{}->gpu{}", i / self.num_gpus, i % self.num_gpus)
@@ -363,18 +369,41 @@ impl LinkNetwork {
                 )
             }
         };
-        self.all_links()
-            .enumerate()
-            .filter(|(_, l)| l.in_flight() > 0)
-            .map(|(i, l)| {
-                format!(
-                    "link {}: in_flight={} oldest_arrival={}",
-                    route(i),
-                    l.in_flight(),
-                    l.oldest_in_flight_arrival().unwrap_or(0),
-                )
-            })
-            .collect()
+        NetSnapshot {
+            links: self
+                .all_links()
+                .enumerate()
+                .map(|(i, l)| LinkSnapshot {
+                    route: route(i),
+                    in_flight: l.in_flight(),
+                    oldest_arrival: l.oldest_in_flight_arrival(),
+                    bytes_sent: l.bytes_sent(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Cumulative bytes sent on GPU `g`'s outbound links: the links to
+    /// every peer GPU plus the link to the CPU. Monotonic; the telemetry
+    /// sampler differences it per interval for outbound bandwidth.
+    pub fn gpu_outbound_bytes(&self, g: usize) -> u64 {
+        assert!(g < self.num_gpus);
+        let peers: u64 = (0..self.num_gpus)
+            .filter(|&d| d != g)
+            .map(|d| self.gpu_links[g * self.num_gpus + d].bytes_sent())
+            .sum();
+        peers + self.to_cpu[g].bytes_sent()
+    }
+
+    /// Messages currently in flight on GPU `g`'s outbound links (peers +
+    /// CPU). Point-in-time occupancy, not monotonic.
+    pub fn gpu_outbound_in_flight(&self, g: usize) -> usize {
+        assert!(g < self.num_gpus);
+        let peers: usize = (0..self.num_gpus)
+            .filter(|&d| d != g)
+            .map(|d| self.gpu_links[g * self.num_gpus + d].in_flight())
+            .sum();
+        peers + self.to_cpu[g].in_flight()
     }
 
     /// Whether every link is quiescent.
@@ -387,6 +416,49 @@ impl LinkNetwork {
     /// Number of GPU nodes.
     pub fn num_gpus(&self) -> usize {
         self.num_gpus
+    }
+}
+
+/// Point-in-time occupancy of one link (see [`NetSnapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Human-readable route, e.g. `"gpu0->gpu1"`, `"gpu2->cpu"`,
+    /// `"cpu->gpu3"`.
+    pub route: String,
+    /// Messages in flight on the link.
+    pub in_flight: usize,
+    /// Arrival cycle of the oldest in-flight message, if any.
+    pub oldest_arrival: Option<u64>,
+    /// Cumulative bytes accepted by the link.
+    pub bytes_sent: u64,
+}
+
+/// Point-in-time occupancy snapshot of the whole interconnect, links in
+/// [`LinkNetwork`] iteration order (GPU-GPU row-major, then GPU→CPU, then
+/// CPU→GPU).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Per-link occupancy.
+    pub links: Vec<LinkSnapshot>,
+}
+
+impl NetSnapshot {
+    /// Human-readable lines naming every link with traffic in flight
+    /// (empty when the network is idle). Used verbatim in watchdog stall
+    /// reports.
+    pub fn occupancy_report(&self) -> Vec<String> {
+        self.links
+            .iter()
+            .filter(|l| l.in_flight > 0)
+            .map(|l| {
+                format!(
+                    "link {}: in_flight={} oldest_arrival={}",
+                    l.route,
+                    l.in_flight,
+                    l.oldest_arrival.unwrap_or(0),
+                )
+            })
+            .collect()
     }
 }
 

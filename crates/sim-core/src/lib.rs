@@ -8,7 +8,9 @@
 //! * [`stats`] — counters, histograms and summary math (geometric mean),
 //! * [`queue`] — bounded FIFO queues used to connect pipeline stages,
 //! * [`config`] — the scaled system configuration shared by all components,
-//! * [`units`] — byte-size / bandwidth formatting helpers.
+//! * [`units`] — byte-size / bandwidth formatting helpers,
+//! * [`telemetry`] — interval sampling ([`Timeline`]) and structured event
+//!   tracing ([`TraceSink`]) for the observability layer.
 //!
 //! The simulator advances an event-horizon engine over a cycle-accurate
 //! model: components implement [`NextEvent`] so the engine can jump `now`
@@ -41,6 +43,7 @@ pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod units;
 pub mod watchdog;
 
@@ -51,4 +54,7 @@ pub use event::NextEvent;
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};
+pub use telemetry::{
+    IntervalRecord, JsonTraceSink, NullTraceSink, Timeline, TraceEvent, TracePhase, TraceSink,
+};
 pub use watchdog::{Stall, Watchdog, DEFAULT_WATCHDOG_CYCLES};

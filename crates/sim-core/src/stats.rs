@@ -27,16 +27,18 @@ impl Counter {
         Counter(0)
     }
 
-    /// Increments by one.
+    /// Increments by one. Saturates at `u64::MAX` instead of wrapping (a
+    /// pinned counter is a visible anomaly; a wrapped one silently
+    /// corrupts every derived rate).
     #[inline]
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Increments by `n`.
+    /// Increments by `n`, saturating at `u64::MAX`.
     #[inline]
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -270,6 +272,42 @@ mod tests {
         assert_eq!(c.get(), 10);
         assert!((c.fraction_of(40) - 0.25).abs() < 1e-12);
         assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc(); // would wrap to 0 (or panic in debug) with plain +=
+        assert_eq!(c.get(), u64::MAX);
+        c.add(12345);
+        assert_eq!(c.get(), u64::MAX);
+        let mut d = Counter::new();
+        d.add(u64::MAX);
+        d.add(u64::MAX);
+        assert_eq!(d.get(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_fraction_of_zero_total_is_zero_even_when_nonzero() {
+        let mut c = Counter::new();
+        c.add(7);
+        assert_eq!(c.fraction_of(0), 0.0);
+        assert_eq!(Counter::new().fraction_of(0), 0.0);
+        assert!((c.fraction_of(u64::MAX) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_edges_on_single_value() {
+        let mut h = Histogram::new();
+        h.record(42);
+        // Every percentile of a single observation lands in its bucket.
+        let p0 = h.percentile(0.0).unwrap();
+        let p100 = h.percentile(100.0).unwrap();
+        assert_eq!(p0, p100);
+        assert!(h.percentile(50.0).is_some());
     }
 
     #[test]

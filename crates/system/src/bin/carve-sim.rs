@@ -3,10 +3,11 @@
 //! ```text
 //! carve-sim list                          # the 20 workload models
 //! carve-sim run <workload> [options]      # simulate one configuration
+//! carve-sim trace <workload> [options]    # run with telemetry + event trace
 //! carve-sim compare <workload>            # all designs side by side
 //! carve-sim profile <workload>            # Figure-4 style sharing profile
 //!
-//! options for `run`:
+//! options for `run` and `trace`:
 //!   --design <1-gpu|numa|numa-migrate|numa-repl|ideal|carve-nc|carve-swc|carve-hwc>
 //!   --rdc <bytes-per-gpu>        RDC carve-out override (scaled bytes)
 //!   --spill <fraction>           UM cold-page spill fraction (0..1)
@@ -14,11 +15,28 @@
 //!   --gpus <n>                   GPU count (default 4)
 //!   --predictor                  enable the RDC hit predictor
 //!   --directory                  directory coherence instead of broadcast
+//!
+//! options for `trace` only:
+//!   --out <dir>                  output directory (default results/trace/<workload>)
+//!   --interval <cycles>          sampling interval (default 5000)
+//!
+//! `trace` writes <dir>/timeline.csv (per-GPU interval records) and
+//! <dir>/trace.json (Chrome chrome://tracing / Perfetto format; open with
+//! https://ui.perfetto.dev or chrome://tracing).
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use carve_system::{profile_workload, try_run, workloads, Design, SimConfig};
+use carve_system::{
+    profile_workload, try_run, try_run_observed, workloads, Design, EngineMode, JsonTraceSink,
+    SimConfig, SimResult,
+};
+
+/// Default `trace` sampling interval: fine enough to resolve kernel-scale
+/// dynamics on scaled workloads (10^4..10^5-cycle kernels) without
+/// ballooning the CSV.
+const DEFAULT_TRACE_INTERVAL: u64 = 5_000;
 
 fn parse_design(s: &str) -> Option<Design> {
     Some(match s {
@@ -34,7 +52,7 @@ fn parse_design(s: &str) -> Option<Design> {
     })
 }
 
-/// Parsed `run` options (exposed for unit testing).
+/// Parsed `run`/`trace` options (exposed for unit testing).
 #[derive(Debug, Clone, PartialEq)]
 struct RunArgs {
     workload: String,
@@ -45,6 +63,10 @@ struct RunArgs {
     gpus: Option<usize>,
     predictor: bool,
     directory: bool,
+    /// `trace` only: output directory for timeline.csv + trace.json.
+    out: Option<String>,
+    /// `trace` only: telemetry sampling interval in cycles.
+    interval: Option<u64>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -62,6 +84,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         gpus: None,
         predictor: false,
         directory: false,
+        out: None,
+        interval: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -94,6 +118,18 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--predictor" => out.predictor = true,
             "--directory" => out.directory = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out.out = Some(v.clone());
+            }
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs a value")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --interval '{v}'"))?;
+                if n == 0 {
+                    return Err("--interval must be > 0".to_string());
+                }
+                out.interval = Some(n);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -138,8 +174,31 @@ fn print_result(r: &carve_system::SimResult) {
     println!("completed:          {}", r.completed);
 }
 
+/// One-line end-of-run summary for stderr: the numbers someone watching a
+/// terminal actually wants, without scraping the full report.
+fn summary_line(r: &SimResult, wall: std::time::Duration) -> String {
+    let secs = wall.as_secs_f64();
+    let cyc_per_sec = if secs > 0.0 {
+        r.cycles as f64 / secs
+    } else {
+        0.0
+    };
+    format!(
+        "summary: {} on {}: ipc={:.2} remote={:.1}% rdc_hit={:.1}% wall={:.2}s sim={:.2}Mcyc/s",
+        r.workload,
+        r.design.label(),
+        r.ipc(),
+        100.0 * r.remote_fraction(),
+        100.0 * r.rdc.hit_rate(),
+        secs,
+        cyc_per_sec / 1e6
+    )
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: carve-sim <list|run|compare|profile> [args]  (see --help in source header)");
+    eprintln!(
+        "usage: carve-sim <list|run|trace|compare|profile> [args]  (see --help in source header)"
+    );
     ExitCode::FAILURE
 }
 
@@ -179,9 +238,74 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             };
             let sim = sim_config_from(&parsed);
+            let started = Instant::now();
             match try_run(&spec, &sim) {
                 Ok(r) => {
+                    let wall = started.elapsed();
                     print_result(&r);
+                    eprintln!("{}", summary_line(&r, wall));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace") => {
+            let parsed = match parse_run_args(&args[1..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(spec) = workloads::by_name(&parsed.workload) else {
+                eprintln!(
+                    "error: unknown workload '{}' (try `carve-sim list`)",
+                    parsed.workload
+                );
+                return ExitCode::FAILURE;
+            };
+            let mut sim = sim_config_from(&parsed);
+            sim.telemetry_interval = Some(parsed.interval.unwrap_or(DEFAULT_TRACE_INTERVAL));
+            let out_dir = parsed
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("results/trace/{}", parsed.workload));
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("error: cannot create '{out_dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+            let mut sink = JsonTraceSink::new();
+            let started = Instant::now();
+            match try_run_observed(&spec, &sim, None, EngineMode::from_env(), &mut sink) {
+                Ok(r) => {
+                    let wall = started.elapsed();
+                    let csv_path = format!("{out_dir}/timeline.csv");
+                    let json_path = format!("{out_dir}/trace.json");
+                    let timeline = r
+                        .timeline
+                        .as_ref()
+                        .expect("trace always enables telemetry sampling");
+                    if let Err(e) = std::fs::write(&csv_path, timeline.to_csv_string()) {
+                        eprintln!("error: cannot write '{csv_path}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    if let Err(e) = std::fs::write(&json_path, sink.to_json_string()) {
+                        eprintln!("error: cannot write '{json_path}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    print_result(&r);
+                    println!(
+                        "timeline:           {csv_path} ({} intervals)",
+                        timeline.num_intervals()
+                    );
+                    println!(
+                        "trace:              {json_path} ({} events; open in ui.perfetto.dev)",
+                        sink.events().len()
+                    );
+                    eprintln!("{}", summary_line(&r, wall));
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -306,6 +430,31 @@ mod tests {
         assert!(parse_run_args(&strs(&["w", "--spill", "1.5"])).is_err());
         assert!(parse_run_args(&strs(&["w", "--gpus", "0"])).is_err());
         assert!(parse_run_args(&strs(&["w", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace_options() {
+        let a = parse_run_args(&strs(&[
+            "Lulesh",
+            "--out",
+            "results/trace/lulesh",
+            "--interval",
+            "2500",
+        ]))
+        .unwrap();
+        assert_eq!(a.out.as_deref(), Some("results/trace/lulesh"));
+        assert_eq!(a.interval, Some(2500));
+        // Both default to None for plain `run`.
+        let b = parse_run_args(&strs(&["Lulesh"])).unwrap();
+        assert_eq!(b.out, None);
+        assert_eq!(b.interval, None);
+    }
+
+    #[test]
+    fn rejects_zero_interval() {
+        assert!(parse_run_args(&strs(&["w", "--interval", "0"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--interval", "abc"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--out"])).is_err());
     }
 
     #[test]

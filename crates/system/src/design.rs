@@ -152,6 +152,12 @@ pub struct SimConfig {
     /// Watchdog no-progress budget override in cycles (`Some(0)` disables).
     /// `None` defers to `CARVE_WATCHDOG_CYCLES` / the built-in default.
     pub watchdog_cycles: Option<u64>,
+    /// Telemetry sampling interval override in cycles (`Some(0)` disables).
+    /// `None` defers to `CARVE_TELEMETRY_INTERVAL` (default: off). When
+    /// enabled, the run's [`crate::SimResult`] carries a
+    /// [`sim_core::telemetry::Timeline`] of per-GPU interval records.
+    /// Sampling is read-only: aggregates are bit-identical either way.
+    pub telemetry_interval: Option<u64>,
     /// Test hook: freeze every component (skip all ticks) once the clock
     /// reaches this cycle, simulating a livelocked engine so watchdog
     /// detection can be exercised deterministically.
@@ -178,6 +184,7 @@ impl SimConfig {
             // kernels run 10^4..10^5 cycles.
             kernel_launch_cycles: 400,
             watchdog_cycles: None,
+            telemetry_interval: None,
             stall_inject_at: None,
         }
     }

@@ -37,11 +37,14 @@ pub mod sim;
 pub use design::{Design, SimConfig};
 pub use metrics::SimResult;
 pub use sim::{
-    run, run_with_profile, run_with_profile_mode, try_run, try_run_with_profile,
+    run, run_with_profile, run_with_profile_mode, try_run, try_run_observed, try_run_with_profile,
     try_run_with_profile_mode, EngineMode,
 };
 
 // Re-exports so experiment binaries need only this crate.
 pub use carve_runtime::sharing::{profile_workload, SharingProfile};
 pub use carve_trace::workloads;
+pub use sim_core::telemetry::{
+    IntervalRecord, JsonTraceSink, NullTraceSink, Timeline, TraceEvent, TracePhase, TraceSink,
+};
 pub use sim_core::{ScaledConfig, SimError};

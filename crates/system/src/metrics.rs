@@ -3,6 +3,7 @@
 use crate::design::Design;
 use carve::RdcStats;
 use carve_dram::DramStats;
+use sim_core::telemetry::Timeline;
 use sim_core::Histogram;
 
 /// Everything measured by one [`crate::run`] invocation.
@@ -58,6 +59,12 @@ pub struct SimResult {
     pub read_latency: Histogram,
     /// Whether the run drained before `max_cycles`.
     pub completed: bool,
+    /// Interval telemetry samples, present when sampling was enabled
+    /// (`SimConfig::telemetry_interval` / `CARVE_TELEMETRY_INTERVAL`).
+    /// Deliberately excluded from the campaign journal: the journal's
+    /// 36-field line format is a stable resume contract, and timelines can
+    /// be arbitrarily large. Results decoded from a journal carry `None`.
+    pub timeline: Option<Timeline>,
 }
 
 impl SimResult {
@@ -85,16 +92,30 @@ impl SimResult {
     ///
     /// # Panics
     ///
-    /// Panics if the runs simulate different workloads.
+    /// Debug builds panic if the runs simulate different workloads (a
+    /// cross-workload cycle ratio is always a harness bug); release
+    /// builds fall back to 0.0 so one malformed grid cell cannot take
+    /// down a whole campaign. Use [`SimResult::try_speedup_over`] to
+    /// handle the mismatch explicitly.
     pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
-        assert_eq!(
+        debug_assert_eq!(
             self.workload, baseline.workload,
             "speedup comparisons must share a workload"
         );
-        if self.cycles == 0 {
-            return 0.0;
+        self.try_speedup_over(baseline).unwrap_or(0.0)
+    }
+
+    /// Speedup of this run relative to `baseline`, or `None` when the
+    /// runs simulate different workloads (the non-panicking form of
+    /// [`SimResult::speedup_over`]).
+    pub fn try_speedup_over(&self, baseline: &SimResult) -> Option<f64> {
+        if self.workload != baseline.workload {
+            return None;
         }
-        baseline.cycles as f64 / self.cycles as f64
+        if self.cycles == 0 {
+            return Some(0.0);
+        }
+        Some(baseline.cycles as f64 / self.cycles as f64)
     }
 
     /// Performance relative to `reference` expressed as reference-cycles /
@@ -237,6 +258,7 @@ impl SimResult {
             mshr_merges,
             read_latency,
             completed,
+            timeline: None,
         })
     }
 }
@@ -271,6 +293,7 @@ mod tests {
             mshr_merges: 0,
             read_latency: Histogram::new(),
             completed: true,
+            timeline: None,
         }
     }
 
@@ -295,6 +318,29 @@ mod tests {
         let a = result("a", 100);
         let b = result("b", 100);
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn try_speedup_over_reports_mismatch_without_panicking() {
+        let a = result("a", 100);
+        let b = result("b", 100);
+        assert_eq!(a.try_speedup_over(&b), None);
+        let c = result("a", 400);
+        assert_eq!(a.try_speedup_over(&c), Some(4.0));
+        let idle = result("a", 0);
+        assert_eq!(idle.try_speedup_over(&c), Some(0.0));
+    }
+
+    #[test]
+    fn journal_line_excludes_timeline_and_decodes_to_none() {
+        let mut r = result("w", 10);
+        let without = r.encode_journal_line();
+        r.timeline = Some(Timeline::new(100));
+        let with = r.encode_journal_line();
+        // The timeline must not leak into the stable journal format.
+        assert_eq!(with, without);
+        let back = SimResult::decode_journal_line(&with).expect("well-formed");
+        assert!(back.timeline.is_none());
     }
 
     #[test]

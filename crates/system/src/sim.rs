@@ -23,15 +23,18 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use carve::{Carve, HitPredictor, RdcConfig, RdcStats};
-use carve_dram::{DramConfig, DramModel, FlatMemory};
-use carve_gpu::{CoreReqKind, CoreRequest, Fabric, GpuCore, TranslationOutcome, Translator};
+use carve::{Carve, CoherencePolicy, HitPredictor, RdcConfig, RdcStats};
+use carve_dram::{DramConfig, DramModel, DramStats, FlatMemory};
+use carve_gpu::{
+    CoreReqKind, CoreRequest, CoreStats, Fabric, GpuCore, TranslationOutcome, Translator,
+};
 use carve_noc::{msg, LinkNetwork, NodeId};
 use carve_runtime::page_table::{PageMigration, PageTable};
 use carve_runtime::sched::cta_range_of_gpu;
 use carve_runtime::sharing::{profile_workload, SharingProfile};
 use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
+use sim_core::telemetry::{self, IntervalRecord, NullTraceSink, Timeline, TraceEvent, TraceSink};
 use sim_core::{Cycle, ScaledConfig, SimError, Watchdog};
 
 use crate::design::{Design, SimConfig};
@@ -904,17 +907,19 @@ impl System {
                 lines.push(format!("gpu{g} dram-write retry backlog: {}", q.len()));
             }
         }
+        // One source of truth for occupancy: the same read-only component
+        // snapshots the telemetry sampler consumes.
         for (g, core) in self.cores.iter().enumerate() {
-            for l in core.occupancy_report() {
+            for l in core.snapshot().occupancy_report() {
                 lines.push(format!("gpu{g} {l}"));
             }
         }
         for (g, d) in self.drams.iter().enumerate() {
-            for l in d.occupancy_report() {
+            for l in d.snapshot().occupancy_report() {
                 lines.push(format!("gpu{g} dram {l}"));
             }
         }
-        lines.extend(self.net.occupancy_report());
+        lines.extend(self.net.snapshot().occupancy_report());
         if self.cpu_mem.in_flight() > 0 {
             lines.push(format!(
                 "cpu memory: {} accesses in service",
@@ -997,6 +1002,131 @@ impl EngineMode {
     }
 }
 
+/// Per-GPU cumulative counters captured at the previous sample boundary;
+/// interval records are the difference between two of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct GpuCum {
+    core: CoreStats,
+    dram: DramStats,
+    link_bytes: u64,
+    rdc_hits: u64,
+    rdc_misses: u64,
+    rdc_insertions: u64,
+    rdc_invalidations: u64,
+}
+
+/// The interval telemetry sampler. Read-only over the [`System`]: it
+/// differences cumulative component counters at interval boundaries and
+/// snapshots point-in-time occupancy, never mutating model state — so a
+/// sampled run's aggregates are bit-identical to an unsampled run's.
+///
+/// Correct under event skipping: [`Sampler::advance_to`] runs before the
+/// tick at `now`, and every cycle between the previous tick and `now` was
+/// provably quiescent, so cumulative counters at each crossed boundary
+/// equal the counters observed now.
+struct Sampler {
+    interval: u64,
+    next_at: u64,
+    last_boundary: u64,
+    prev: Vec<GpuCum>,
+    timeline: Timeline,
+}
+
+impl Sampler {
+    fn new(interval: u64, num_gpus: usize) -> Sampler {
+        Sampler {
+            interval,
+            next_at: interval,
+            last_boundary: 0,
+            prev: vec![GpuCum::default(); num_gpus],
+            timeline: Timeline::new(interval),
+        }
+    }
+
+    fn cum_of(sys: &System, g: usize) -> GpuCum {
+        let (rdc_hits, rdc_misses, rdc_insertions, rdc_invalidations) = match &sys.carve {
+            Some(c) => {
+                let s = c.rdc(g).stats();
+                (
+                    s.hits,
+                    s.misses + s.stale_misses,
+                    s.insertions,
+                    s.invalidations,
+                )
+            }
+            None => (0, 0, 0, 0),
+        };
+        GpuCum {
+            core: sys.cores[g].stats(),
+            dram: sys.drams[g].stats(),
+            link_bytes: sys.net.gpu_outbound_bytes(g),
+            rdc_hits,
+            rdc_misses,
+            rdc_insertions,
+            rdc_invalidations,
+        }
+    }
+
+    /// Emits one record per GPU for the interval `[start, end)` and rolls
+    /// the cumulative baseline forward.
+    fn emit(&mut self, sys: &System, start: u64, end: u64) {
+        for g in 0..sys.num_gpus {
+            let cum = Self::cum_of(sys, g);
+            let prev = self.prev[g];
+            let snap = sys.cores[g].snapshot();
+            self.timeline.records.push(IntervalRecord {
+                start,
+                end,
+                gpu: g as u32,
+                instructions: cum.core.instructions - prev.core.instructions,
+                active_warps: snap.active_warps() as u64,
+                waiting_mem_warps: snap.waiting_mem_warps() as u64,
+                l1_hits: cum.core.l1_hits - prev.core.l1_hits,
+                l1_misses: cum.core.l1_misses - prev.core.l1_misses,
+                l2_hits: cum.core.l2_hits - prev.core.l2_hits,
+                l2_misses: cum.core.l2_misses - prev.core.l2_misses,
+                mshr_outstanding: snap.mshr_outstanding as u64,
+                outbox_backlog: snap.outbox_backlog as u64,
+                dram_reads: cum.dram.reads - prev.dram.reads,
+                dram_writes: cum.dram.writes - prev.dram.writes,
+                dram_row_hits: cum.dram.row_hits - prev.dram.row_hits,
+                dram_row_misses: cum.dram.row_misses - prev.dram.row_misses,
+                dram_bytes: cum.dram.bytes_transferred - prev.dram.bytes_transferred,
+                link_bytes_out: cum.link_bytes - prev.link_bytes,
+                link_in_flight: sys.net.gpu_outbound_in_flight(g) as u64,
+                rdc_hits: cum.rdc_hits - prev.rdc_hits,
+                rdc_misses: cum.rdc_misses - prev.rdc_misses,
+                rdc_insertions: cum.rdc_insertions - prev.rdc_insertions,
+                rdc_invalidations: cum.rdc_invalidations - prev.rdc_invalidations,
+            });
+            self.prev[g] = cum;
+        }
+        self.last_boundary = end;
+    }
+
+    /// Samples every interval boundary at or before `now`. Must be called
+    /// before the tick at `now` executes.
+    fn advance_to(&mut self, now: u64, sys: &System) {
+        while self.next_at <= now {
+            let (start, end) = (self.last_boundary, self.next_at);
+            self.emit(sys, start, end);
+            self.next_at += self.interval;
+        }
+    }
+
+    /// Closes the final (possibly partial) interval at the run's last
+    /// cycle, so per-interval instruction counts sum to the run total
+    /// exactly.
+    fn finish(mut self, sys: &System, end_cycle: u64) -> Timeline {
+        let residual = (0..sys.num_gpus).any(|g| Self::cum_of(sys, g) != self.prev[g]);
+        if end_cycle > self.last_boundary || residual {
+            let start = self.last_boundary;
+            self.emit(sys, start, end_cycle);
+        }
+        self.timeline
+    }
+}
+
 /// Simulates `spec` under `sim`, computing any needed sharing profile
 /// internally. Prefer [`run_with_profile`] when sweeping many designs over
 /// one workload, so the profile is computed once.
@@ -1068,6 +1198,23 @@ pub fn try_run_with_profile_mode(
     profile: Option<&SharingProfile>,
     mode: EngineMode,
 ) -> Result<SimResult, SimError> {
+    try_run_observed(spec, sim, profile, mode, &mut NullTraceSink)
+}
+
+/// [`try_run_with_profile_mode`] plus structured event tracing: engine
+/// events (kernel launch/drain spans per GPU, coherence broadcasts, epoch
+/// invalidations, page migrations, watchdog trips) are delivered to
+/// `sink`. With a disabled sink ([`NullTraceSink`]) no event is ever
+/// constructed, so tracing is free when off. Interval telemetry is
+/// controlled independently via `SimConfig::telemetry_interval` /
+/// `CARVE_TELEMETRY_INTERVAL` and lands in `SimResult::timeline`.
+pub fn try_run_observed(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    profile: Option<&SharingProfile>,
+    mode: EngineMode,
+    sink: &mut dyn TraceSink,
+) -> Result<SimResult, SimError> {
     sim.validate()?;
     let num_gpus = sim.design.num_gpus(&sim.cfg);
     let needs_profile = sim.spill_fraction > 0.0
@@ -1092,6 +1239,20 @@ pub fn try_run_with_profile_mode(
         Some(n) => Watchdog::with_budget((n != 0).then_some(n)),
         None => Watchdog::from_env(),
     };
+    // Telemetry: `Some(0)` disables, explicit `Some(n)` samples every `n`
+    // cycles, `None` defers to CARVE_TELEMETRY_INTERVAL (default off).
+    let telemetry_interval = match sim.telemetry_interval {
+        Some(0) => None,
+        Some(n) => Some(n),
+        None => telemetry::interval_from_env(),
+    };
+    let mut sampler = telemetry_interval.map(|i| Sampler::new(i, num_gpus));
+    // Event tracing is free when the sink is disabled: no TraceEvent is
+    // ever constructed, and the per-tick diff checks are skipped.
+    let tracing = sink.enabled();
+    let mut traced_broadcasts = 0u64;
+    let mut traced_dir_invals = 0u64;
+    let mut traced_migrations = 0u64;
     // Hoisted out of the cycle loop: `env::var_os` walks the whole
     // environment on every call.
     let trace_tail = std::env::var_os("CARVE_TRACE_TAIL").is_some();
@@ -1099,6 +1260,23 @@ pub fn try_run_with_profile_mode(
     for kernel in 0..spec.shape.kernels {
         if kernel > 0 {
             sys.kernel_boundary(Cycle(now));
+            if tracing {
+                sink.record(
+                    TraceEvent::instant("kernel boundary", TraceEvent::SYSTEM_TRACK, now)
+                        .arg("kernel", kernel as u64),
+                );
+                if sys
+                    .carve
+                    .as_ref()
+                    .is_some_and(|c| c.policy() == CoherencePolicy::Software)
+                {
+                    sink.record(TraceEvent::instant(
+                        "epoch invalidation",
+                        TraceEvent::SYSTEM_TRACK,
+                        now,
+                    ));
+                }
+            }
         }
         for g in 0..num_gpus {
             let (start, end) = cta_range_of_gpu(g, spec.shape.ctas, num_gpus);
@@ -1110,7 +1288,19 @@ pub fn try_run_with_profile_mode(
         watchdog.rebase(Cycle(now), sys.progress_signature());
         let kstart = now;
         let mut sms_done_at = 0u64;
+        let mut gpu_drained = vec![false; if tracing { num_gpus } else { 0 }];
+        if tracing {
+            for g in 0..num_gpus {
+                sink.record(TraceEvent::begin(format!("kernel {kernel}"), g as u32, now));
+            }
+        }
         loop {
+            // Sample crossed interval boundaries *before* ticking at
+            // `now`: counters cover exactly the cycles below each
+            // boundary, and the skipped cycles in between were quiescent.
+            if let Some(s) = sampler.as_mut() {
+                s.advance_to(now, &sys);
+            }
             // Stall-injection hook: once the clock reaches the requested
             // cycle every component is frozen (ticks skipped, time still
             // advancing) — indistinguishable from a livelocked engine.
@@ -1120,11 +1310,64 @@ pub fn try_run_with_profile_mode(
                 if sms_done_at == 0 && sys.cores.iter().all(|c| c.sms_done()) {
                     sms_done_at = now;
                 }
+                if tracing {
+                    for (g, drained) in gpu_drained.iter_mut().enumerate() {
+                        if !*drained && sys.cores[g].sms_done() {
+                            *drained = true;
+                            sink.record(TraceEvent::end(format!("kernel {kernel}"), g as u32, now));
+                            sink.record(TraceEvent::begin(
+                                format!("drain {kernel}"),
+                                g as u32,
+                                now,
+                            ));
+                        }
+                    }
+                    if let Some(c) = &sys.carve {
+                        let b = c.total_broadcasts();
+                        if b > traced_broadcasts {
+                            sink.record(
+                                TraceEvent::instant(
+                                    "coherence broadcast",
+                                    TraceEvent::SYSTEM_TRACK,
+                                    now,
+                                )
+                                .arg("count", b - traced_broadcasts),
+                            );
+                            traced_broadcasts = b;
+                        }
+                        let d = c.total_directory_invalidates();
+                        if d > traced_dir_invals {
+                            sink.record(
+                                TraceEvent::instant(
+                                    "directory invalidate",
+                                    TraceEvent::SYSTEM_TRACK,
+                                    now,
+                                )
+                                .arg("count", d - traced_dir_invals),
+                            );
+                            traced_dir_invals = d;
+                        }
+                    }
+                    if sys.traffic.migrations > traced_migrations {
+                        sink.record(
+                            TraceEvent::instant("page migration", TraceEvent::SYSTEM_TRACK, now)
+                                .arg("count", sys.traffic.migrations - traced_migrations),
+                        );
+                        traced_migrations = sys.traffic.migrations;
+                    }
+                }
                 if sys.quiescent() {
                     break;
                 }
             }
             if let Err(stall) = watchdog.check(Cycle(now), || sys.progress_signature()) {
+                if tracing {
+                    sink.record(
+                        TraceEvent::instant("watchdog trip", TraceEvent::SYSTEM_TRACK, now)
+                            .arg("stalled_since", stall.stalled_since)
+                            .arg("budget", stall.budget),
+                    );
+                }
                 return Err(SimError::WatchdogStall {
                     cycle: stall.cycle,
                     stalled_since: stall.stalled_since,
@@ -1185,6 +1428,18 @@ pub fn try_run_with_profile_mode(
                 });
             }
         }
+        if tracing {
+            // Close this kernel's spans: `drain` for GPUs that finished
+            // their SM work earlier, `kernel` for any that ran to the end.
+            for (g, drained) in gpu_drained.iter().enumerate() {
+                let name = if *drained {
+                    format!("drain {kernel}")
+                } else {
+                    format!("kernel {kernel}")
+                };
+                sink.record(TraceEvent::end(name, g as u32, now));
+            }
+        }
         if std::env::var_os("CARVE_TRACE_KERNELS").is_some() {
             eprintln!(
                 "    kernel {kernel}: {} cycles (drain tail {})",
@@ -1193,6 +1448,7 @@ pub fn try_run_with_profile_mode(
             );
         }
     }
+    let timeline = sampler.map(|s| s.finish(&sys, now));
 
     let mut rdc = RdcStats::default();
     let mut broadcasts = 0;
@@ -1264,6 +1520,7 @@ pub fn try_run_with_profile_mode(
         mshr_merges,
         read_latency: sys.read_latency.clone(),
         completed: true,
+        timeline,
     };
     Ok(result)
 }
@@ -1294,6 +1551,82 @@ mod tests {
         let spec = quick_spec(name);
         let sim = SimConfig::with_cfg(design, quick_cfg());
         run(&spec, &sim)
+    }
+
+    #[test]
+    fn telemetry_sampling_is_invisible_to_aggregates() {
+        let spec = quick_spec("Lulesh");
+        let mut plain = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+        plain.telemetry_interval = Some(0); // force off regardless of env
+        let base = try_run_with_profile_mode(&spec, &plain, None, EngineMode::EventSkip)
+            .expect("baseline run");
+        assert!(base.timeline.is_none());
+        let mut sampled_cfg = plain.clone();
+        sampled_cfg.telemetry_interval = Some(500);
+        let sampled = try_run_with_profile_mode(&spec, &sampled_cfg, None, EngineMode::EventSkip)
+            .expect("sampled run");
+        // Bit-identical aggregates: the sampler is read-only.
+        assert_eq!(base.encode_journal_line(), sampled.encode_journal_line());
+        let tl = sampled.timeline.expect("sampling was enabled");
+        assert_eq!(tl.interval, 500);
+        assert!(!tl.records.is_empty());
+        // The acceptance contract: per-interval instruction counts sum to
+        // the run total exactly (final partial interval included).
+        assert_eq!(tl.total_instructions(), sampled.instructions);
+        // Records are well-formed: ordered boundaries, all GPUs present.
+        let num_gpus = sampled_cfg.design.num_gpus(&sampled_cfg.cfg);
+        assert_eq!(tl.records.len() % num_gpus, 0);
+        for r in &tl.records {
+            assert!(r.start <= r.end);
+            assert!((r.gpu as usize) < num_gpus);
+        }
+    }
+
+    #[test]
+    fn timeline_is_identical_across_engine_modes() {
+        let spec = quick_spec("XSBench");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.telemetry_interval = Some(700);
+        let skip = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip).unwrap();
+        let step = try_run_with_profile_mode(&spec, &sim, None, EngineMode::Step).unwrap();
+        assert_eq!(skip.encode_journal_line(), step.encode_journal_line());
+        let csv_skip = skip.timeline.expect("sampled").to_csv_string();
+        let csv_step = step.timeline.expect("sampled").to_csv_string();
+        assert_eq!(csv_skip, csv_step, "event skipping changed the timeline");
+    }
+
+    #[test]
+    fn trace_sink_gets_balanced_spans_without_changing_results() {
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::CarveSwc, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        let untraced = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip).unwrap();
+        let mut sink = sim_core::JsonTraceSink::new();
+        let traced = try_run_observed(&spec, &sim, None, EngineMode::EventSkip, &mut sink).unwrap();
+        assert_eq!(untraced.encode_journal_line(), traced.encode_journal_line());
+        let events = sink.events();
+        assert!(!events.is_empty());
+        let begins = events
+            .iter()
+            .filter(|e| e.phase == sim_core::TracePhase::Begin)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.phase == sim_core::TracePhase::End)
+            .count();
+        assert_eq!(begins, ends, "unbalanced spans break Chrome tracing");
+        // Every kernel opens one span per GPU.
+        let num_gpus = sim.design.num_gpus(&sim.cfg);
+        assert!(begins >= spec.shape.kernels * num_gpus);
+        // SWC with multiple kernels must log epoch invalidations.
+        assert!(
+            spec.shape.kernels < 2 || events.iter().any(|e| e.name == "epoch invalidation"),
+            "software coherence must trace epoch invalidations"
+        );
+        // Timestamps are monotone non-decreasing in record order.
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let json = sink.to_json_string();
+        assert!(json.contains("\"traceEvents\""));
     }
 
     #[test]
