@@ -6,7 +6,7 @@
 //! waiter. Generic over the waiter token `W` (the GPU model uses warp ids;
 //! tests use plain integers).
 
-use std::collections::HashMap;
+use sim_core::fast::FastMap;
 
 /// Outcome of [`MshrFile::allocate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub enum MshrAllocate {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
-    entries: HashMap<u64, Vec<W>>,
+    entries: FastMap<Vec<W>>,
     capacity: usize,
     max_waiters: usize,
     merged: u64,
@@ -50,7 +50,7 @@ impl<W> MshrFile<W> {
     pub fn new(capacity: usize, max_waiters: usize) -> MshrFile<W> {
         assert!(capacity > 0 && max_waiters > 0);
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries: FastMap::with_capacity(capacity),
             capacity,
             max_waiters,
             merged: 0,
@@ -60,7 +60,7 @@ impl<W> MshrFile<W> {
 
     /// Registers a miss on `line_addr` for `waiter`.
     pub fn allocate(&mut self, line_addr: u64, waiter: W) -> MshrAllocate {
-        if let Some(waiters) = self.entries.get_mut(&line_addr) {
+        if let Some(waiters) = self.entries.get_mut(line_addr) {
             if waiters.len() >= self.max_waiters {
                 self.stalls += 1;
                 return MshrAllocate::Full;
@@ -80,12 +80,12 @@ impl<W> MshrFile<W> {
     /// Completes the fill for `line_addr`, returning every merged waiter
     /// (empty if the line had no entry).
     pub fn complete(&mut self, line_addr: u64) -> Vec<W> {
-        self.entries.remove(&line_addr).unwrap_or_default()
+        self.entries.remove(line_addr).unwrap_or_default()
     }
 
     /// Whether a fill for `line_addr` is outstanding.
     pub fn contains(&self, line_addr: u64) -> bool {
-        self.entries.contains_key(&line_addr)
+        self.entries.contains_key(line_addr)
     }
 
     /// Number of occupied entries.

@@ -14,12 +14,12 @@
 //! precise (untold evictions cost spurious invalidates, not correctness —
 //! invalidating an absent line is a no-op).
 
-use std::collections::HashMap;
+use sim_core::fast::FastMap;
 
 /// Sharer bitmask per line at one home node.
 #[derive(Debug, Default)]
 pub struct Directory {
-    sharers: HashMap<u64, u16>,
+    sharers: FastMap<u16>,
     invalidates_sent: u64,
     spurious_avoided: u64,
 }
@@ -37,15 +37,15 @@ impl Directory {
     /// Panics if `gpu >= 16`.
     pub fn record_sharer(&mut self, line_addr: u64, gpu: usize) {
         assert!(gpu < 16, "directory tracks at most 16 nodes");
-        *self.sharers.entry(line_addr).or_default() |= 1 << gpu;
+        *self.sharers.get_or_insert_with(line_addr, u16::default) |= 1 << gpu;
     }
 
     /// Records that `gpu` dropped its copy (eviction notification).
     pub fn drop_sharer(&mut self, line_addr: u64, gpu: usize) {
-        if let Some(mask) = self.sharers.get_mut(&line_addr) {
+        if let Some(mask) = self.sharers.get_mut(line_addr) {
             *mask &= !(1 << gpu);
             if *mask == 0 {
-                self.sharers.remove(&line_addr);
+                self.sharers.remove(line_addr);
             }
         }
     }
@@ -53,7 +53,7 @@ impl Directory {
     /// A write by `writer`: returns the exact set of other GPUs holding a
     /// copy (to invalidate) and clears them from the directory.
     pub fn on_write(&mut self, line_addr: u64, writer: usize) -> Vec<usize> {
-        let Some(mask) = self.sharers.get_mut(&line_addr) else {
+        let Some(mask) = self.sharers.get_mut(line_addr) else {
             self.spurious_avoided += 1;
             return Vec::new();
         };
@@ -66,7 +66,7 @@ impl Directory {
         // Only the writer's copy (if any) survives.
         *mask &= 1 << writer;
         if *mask == 0 {
-            self.sharers.remove(&line_addr);
+            self.sharers.remove(line_addr);
         }
         self.invalidates_sent += targets.len() as u64;
         targets
@@ -75,7 +75,7 @@ impl Directory {
     /// Number of sharers currently recorded for a line.
     pub fn sharer_count(&self, line_addr: u64) -> u32 {
         self.sharers
-            .get(&line_addr)
+            .get(line_addr)
             .map(|m| m.count_ones())
             .unwrap_or(0)
     }

@@ -13,9 +13,23 @@
 //! the paper probabilistically (1%) downgrades to private on local writes
 //! (after broadcasting) so phase changes are eventually re-learned.
 
-use std::collections::HashMap;
-
 use sim_core::rng::Stream;
+
+/// Fixed 128-byte line granularity (`ScaledConfig` never scales
+/// `line_size`; the IMST matches the paper's per-128B-line ECC storage).
+const LINE_SHIFT: u32 = 7;
+/// Lines per allocation chunk: 4096 lines = 512 KiB of address space per
+/// 4 KiB chunk, so sparse footprints stay cheap while dense ones index
+/// directly.
+const CHUNK_LINES: usize = 4096;
+
+/// Out-of-line so the 4 KiB array literal stays off the hot path's stack
+/// frame (large frames cost a stack probe on every call).
+#[cold]
+#[inline(never)]
+fn new_chunk() -> Box<[SharingState; CHUNK_LINES]> {
+    Box::new([SharingState::Uncached; CHUNK_LINES])
+}
 
 /// Global sharing state of a cache line (2 bits at the home node).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -42,12 +56,14 @@ pub struct ImstDecision {
 
 /// Per-home-node sharing tracker.
 ///
-/// Modelled as a map because the simulator tracks only touched lines; in
-/// hardware the two state bits live in each line's spare ECC bits, so the
-/// structure costs no dedicated storage.
+/// Stored as a flat array keyed by cache-line index (`line_addr / 128`),
+/// chunked so untouched address ranges cost nothing — mirroring the
+/// hardware, where the two state bits live in each line's spare ECC bits
+/// and are indexed directly by line. Line addresses must be line-aligned
+/// (every producer in the pipeline aligns them).
 #[derive(Debug)]
 pub struct Imst {
-    states: HashMap<u64, SharingState>,
+    chunks: Vec<Option<Box<[SharingState; CHUNK_LINES]>>>,
     downgrade_prob: f64,
     rng: Stream,
     broadcasts: u64,
@@ -68,7 +84,7 @@ impl Imst {
     pub fn with_downgrade(seed: u64, downgrade_prob: f64) -> Imst {
         assert!((0.0..=1.0).contains(&downgrade_prob));
         Imst {
-            states: HashMap::new(),
+            chunks: Vec::new(),
             downgrade_prob,
             rng: Stream::from_parts(&[0x1357, seed]),
             broadcasts: 0,
@@ -76,11 +92,23 @@ impl Imst {
         }
     }
 
+    /// Mutable state slot for a line, materializing its chunk on first
+    /// touch.
+    #[inline]
+    fn slot_mut(&mut self, line_addr: u64) -> &mut SharingState {
+        let idx = (line_addr >> LINE_SHIFT) as usize;
+        let (chunk, off) = (idx / CHUNK_LINES, idx % CHUNK_LINES);
+        if chunk >= self.chunks.len() {
+            self.chunks.resize_with(chunk + 1, || None);
+        }
+        let c = self.chunks[chunk].get_or_insert_with(new_chunk);
+        &mut c[off]
+    }
+
     /// Applies one access at the home node. `local` is true when the
     /// accessor is the home GPU itself.
     pub fn on_access(&mut self, line_addr: u64, local: bool, is_write: bool) -> ImstDecision {
-        let state = self.states.entry(line_addr).or_default();
-        let before = *state;
+        let before = *self.slot_mut(line_addr);
         // A write to a (potentially) remotely cached line must invalidate.
         let broadcast = is_write
             && matches!(
@@ -111,7 +139,7 @@ impl Imst {
                 self.downgrades += 1;
             }
         }
-        *state = final_state;
+        *self.slot_mut(line_addr) = final_state;
         ImstDecision {
             broadcast,
             state: final_state,
@@ -120,7 +148,11 @@ impl Imst {
 
     /// Current state of a line.
     pub fn state(&self, line_addr: u64) -> SharingState {
-        self.states.get(&line_addr).copied().unwrap_or_default()
+        let idx = (line_addr >> LINE_SHIFT) as usize;
+        match self.chunks.get(idx / CHUNK_LINES) {
+            Some(Some(c)) => c[idx % CHUNK_LINES],
+            _ => SharingState::Uncached,
+        }
     }
 
     /// Total write-invalidate broadcasts decided.
@@ -139,7 +171,7 @@ impl Imst {
         let mut p = 0;
         let mut rs = 0;
         let mut rw = 0;
-        for s in self.states.values() {
+        for s in self.chunks.iter().flatten().flat_map(|c| c.iter()) {
             match s {
                 SharingState::Uncached => {}
                 SharingState::Private => p += 1,

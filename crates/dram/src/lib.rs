@@ -126,8 +126,52 @@ struct Channel {
     read_q: BoundedQueue<DramRequest>,
     write_q: BoundedQueue<DramRequest>,
     in_service: Vec<(Completion, u64)>, // (completion, finish cycle)
+    /// Earliest in-service finish cycle (`u64::MAX` when none): lets the
+    /// per-tick delivery scan and the event horizon skip the list
+    /// entirely until something is actually due.
+    min_finish: u64,
+    /// Underestimate of the earliest cycle an issue can succeed
+    /// (`u64::MAX` when both queues are empty): `max(bus ready, min bank
+    /// ready over queued requests)`, kept exact at every mutation so the
+    /// FR-FCFS scan is skipped on the many ticks where it would find
+    /// nothing.
+    issue_floor: u64,
     bus_free_at: f64,
     draining: bool,
+}
+
+impl Channel {
+    /// Recomputes [`Channel::issue_floor`] from scratch (both queues).
+    fn recompute_issue_floor(&mut self, cfg: &DramConfig) {
+        if self.read_q.is_empty() && self.write_q.is_empty() {
+            self.issue_floor = u64::MAX;
+            return;
+        }
+        let bus_ready = (self.bus_free_at - 1.0).ceil().max(0.0) as u64;
+        let line = cfg.line_size;
+        let chn = cfg.channels as u64;
+        let nb = cfg.banks_per_channel as u64;
+        let lpr = (cfg.row_bytes / line).max(1);
+        let min_bank_ready = self
+            .read_q
+            .iter()
+            .chain(self.write_q.iter())
+            .map(|req| self.banks[((req.addr / line / chn / lpr) % nb) as usize].ready_at)
+            .min()
+            .unwrap_or(0);
+        self.issue_floor = bus_ready.max(min_bank_ready);
+    }
+
+    /// Lowers [`Channel::issue_floor`] for one newly queued request.
+    fn note_enqueue(&mut self, addr: u64, cfg: &DramConfig) {
+        let bus_ready = (self.bus_free_at - 1.0).ceil().max(0.0) as u64;
+        let line = cfg.line_size;
+        let chn = cfg.channels as u64;
+        let nb = cfg.banks_per_channel as u64;
+        let lpr = (cfg.row_bytes / line).max(1);
+        let bank_ready = self.banks[((addr / line / chn / lpr) % nb) as usize].ready_at;
+        self.issue_floor = self.issue_floor.min(bus_ready.max(bank_ready));
+    }
 }
 
 /// Per-GPU DRAM statistics.
@@ -184,6 +228,8 @@ impl DramModel {
                 read_q: BoundedQueue::new(cfg.queue_depth),
                 write_q: BoundedQueue::new(cfg.queue_depth),
                 in_service: Vec::new(),
+                min_finish: u64::MAX,
+                issue_floor: u64::MAX,
                 bus_free_at: 0.0,
                 draining: false,
             })
@@ -210,7 +256,10 @@ impl DramModel {
             arrival: now,
         };
         match self.channels[ch].read_q.try_push(req) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.channels[ch].note_enqueue(addr, &self.cfg);
+                Ok(())
+            }
             Err(r) => {
                 self.stats.queue_rejections += 1;
                 Err(r.token)
@@ -227,7 +276,10 @@ impl DramModel {
             arrival: now,
         };
         match self.channels[ch].write_q.try_push(req) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.channels[ch].note_enqueue(addr, &self.cfg);
+                Ok(())
+            }
             Err(r) => {
                 self.stats.queue_rejections += 1;
                 Err(r.token)
@@ -249,17 +301,31 @@ impl DramModel {
     /// before `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advances every channel one cycle, appending completions due at or
+    /// before `now` to `done` (allocation-free variant of
+    /// [`DramModel::tick`]; `done` is NOT cleared).
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<Completion>) {
         let cfg = self.cfg.clone();
         let banks_per_channel = cfg.banks_per_channel;
         for ch in &mut self.channels {
-            // 1. Deliver finished accesses.
-            let mut i = 0;
-            while i < ch.in_service.len() {
-                if ch.in_service[i].1 <= now.0 {
-                    done.push(ch.in_service.swap_remove(i).0);
-                } else {
-                    i += 1;
+            // 1. Deliver finished accesses (skip the scan until something
+            // is due).
+            if ch.min_finish <= now.0 {
+                let mut i = 0;
+                let mut min = u64::MAX;
+                while i < ch.in_service.len() {
+                    if ch.in_service[i].1 <= now.0 {
+                        done.push(ch.in_service.swap_remove(i).0);
+                    } else {
+                        min = min.min(ch.in_service[i].1);
+                        i += 1;
+                    }
                 }
+                ch.min_finish = min;
             }
             // 2. Write-drain hysteresis.
             if ch.write_q.len() >= cfg.drain_high {
@@ -267,7 +333,13 @@ impl DramModel {
             } else if ch.write_q.len() <= cfg.drain_low {
                 ch.draining = false;
             }
-            // 3. Issue while the data bus has room this cycle.
+            // 3. Issue while the data bus has room this cycle. Skipped
+            // outright while `issue_floor` (an underestimate of the
+            // earliest successful issue) is in the future: the scan below
+            // is read-only when nothing can issue, so this is exact.
+            if now.0 < ch.issue_floor {
+                continue;
+            }
             while ch.bus_free_at <= now.0 as f64 + 1.0 {
                 // FR-FCFS with read priority: prefer row-hit reads, then
                 // oldest read; during a drain (or when no reads) serve
@@ -360,18 +432,20 @@ impl DramModel {
                 } else {
                     self.stats.reads += 1;
                 }
+                let finish = finish.ceil() as u64;
                 ch.in_service.push((
                     Completion {
                         token: req.token,
-                        at: Cycle(finish.ceil() as u64),
+                        at: Cycle(finish),
                         is_write,
                     },
-                    finish.ceil() as u64,
+                    finish,
                 ));
+                ch.min_finish = ch.min_finish.min(finish);
                 let _ = req.arrival; // latency accounting happens at the caller
             }
+            ch.recompute_issue_floor(&cfg);
         }
-        done
     }
 
     /// Whether any queue or bank still has work in flight.
@@ -485,33 +559,18 @@ impl NextEvent for DramModel {
             if horizon == Some(Cycle(floor)) {
                 return horizon;
             }
-            // Deliveries: earliest in-service finish.
-            for &(_, finish) in &ch.in_service {
-                horizon = earliest(horizon, Some(Cycle(finish.max(floor))));
+            // Deliveries: earliest in-service finish (cached).
+            if ch.min_finish != u64::MAX {
+                horizon = earliest(horizon, Some(Cycle(ch.min_finish.max(floor))));
             }
             // Issues: the bus must have room (`bus_free_at <= t + 1`) and
-            // some queued request's bank must be ready. Using the minimum
-            // bank-ready over *both* queues under-estimates (the scheduler
-            // may be serving the other queue), which is safe: the engine
-            // just performs a no-op tick there.
-            if ch.read_q.is_empty() && ch.write_q.is_empty() {
-                continue;
+            // some queued request's bank must be ready. `issue_floor`
+            // caches exactly that (an underestimate — the scheduler may be
+            // serving the other queue — which is safe: the engine just
+            // performs a no-op tick there).
+            if ch.issue_floor != u64::MAX {
+                horizon = earliest(horizon, Some(Cycle(ch.issue_floor.max(floor))));
             }
-            let bus_ready = (ch.bus_free_at - 1.0).ceil().max(0.0) as u64;
-            let line = self.cfg.line_size;
-            let chn = self.cfg.channels as u64;
-            let nb = self.cfg.banks_per_channel as u64;
-            let lpr = (self.cfg.row_bytes / line).max(1);
-            let bank_of = |addr: u64| ((addr / line / chn / lpr) % nb) as usize;
-            let min_bank_ready = ch
-                .read_q
-                .iter()
-                .chain(ch.write_q.iter())
-                .map(|req| ch.banks[bank_of(req.addr)].ready_at)
-                .min()
-                .unwrap_or(0);
-            let t = bus_ready.max(min_bank_ready).max(floor);
-            horizon = earliest(horizon, Some(Cycle(t)));
         }
         horizon
     }
@@ -570,6 +629,13 @@ impl FlatMemory {
     /// Returns completions due at or before `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Appends completions due at or before `now` to `done`
+    /// (allocation-free variant of [`FlatMemory::tick`]).
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<Completion>) {
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].1 <= now.0 {
@@ -578,7 +644,6 @@ impl FlatMemory {
                 i += 1;
             }
         }
-        done
     }
 
     /// Accumulated statistics.

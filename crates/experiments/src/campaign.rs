@@ -20,6 +20,7 @@
 //! parsed truncation-tolerantly — a partially written trailing line is
 //! dropped with a warning — and rewritten clean before appending resumes.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -346,15 +347,18 @@ impl Campaign {
 
     /// The configuration a point actually runs with: the caller's `sim`
     /// plus this campaign's telemetry interval (unless the point pins
-    /// its own). Never consulted by [`key_of`].
-    fn sim_for_attempt(&self, sim: &SimConfig) -> SimConfig {
-        let mut run = sim.clone();
-        if run.telemetry_interval.is_none() {
+    /// its own). Never consulted by [`key_of`]. Borrows the caller's
+    /// config unchanged in the common case — a clone happens only when
+    /// the campaign has to impose its interval on the point.
+    fn sim_for_attempt<'a>(&self, sim: &'a SimConfig) -> Cow<'a, SimConfig> {
+        if sim.telemetry_interval.is_none() {
             if let Some(i) = self.telemetry_interval {
+                let mut run = sim.clone();
                 run.telemetry_interval = Some(i);
+                return Cow::Owned(run);
             }
         }
-        run
+        Cow::Borrowed(sim)
     }
 
     /// Records a freshly simulated point's timeline, if it produced one.
@@ -532,13 +536,16 @@ impl Campaign {
     }
 
     fn profile_arc(&mut self, spec: &WorkloadSpec) -> Arc<SharingProfile> {
-        let num_gpus = self.base_cfg.num_gpus;
-        let cfg = self.base_cfg.clone();
-        Arc::clone(
-            self.profiles
-                .entry(spec.name.to_string())
-                .or_insert_with(|| Arc::new(profile_workload(spec, &cfg, num_gpus))),
-        )
+        if let Some(p) = self.profiles.get(spec.name) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(profile_workload(
+            spec,
+            &self.base_cfg,
+            self.base_cfg.num_gpus,
+        ));
+        self.profiles.insert(spec.name.to_string(), Arc::clone(&p));
+        p
     }
 
     /// Simulates `spec` under `sim` (memoized by a derived key).
@@ -647,8 +654,10 @@ impl Campaign {
         points: &[(WorkloadSpec, SimConfig)],
     ) -> Vec<Result<SimResult, PointFailure>> {
         // Sharing profiles are shared across points; memoize them up front
-        // so workers only read them (through `Arc`).
-        let mut jobs: Vec<(WorkloadSpec, SimConfig, Arc<SharingProfile>)> = Vec::new();
+        // so workers only read them (through `Arc`). Specs and configs are
+        // borrowed from `points` — the scoped-thread map never needs owned
+        // copies.
+        let mut jobs: Vec<(&WorkloadSpec, Cow<'_, SimConfig>, Arc<SharingProfile>)> = Vec::new();
         let mut claimed: HashSet<(String, String)> = HashSet::new();
         for (spec, sim) in points {
             let key = key_of(spec, sim);
@@ -659,7 +668,7 @@ impl Campaign {
                 continue;
             }
             let profile = self.profile_arc(spec);
-            jobs.push((spec.clone(), self.sim_for_attempt(sim), profile));
+            jobs.push((spec, self.sim_for_attempt(sim), profile));
         }
         let parallel = jobs.len() > 1 && par::thread_count() > 1;
         let journal = self.journal.as_ref();

@@ -1,6 +1,6 @@
 //! The GPU core: SM cluster + shared TLB + banked memory-side L2.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use carve_cache::mshr::{MshrAllocate, MshrFile};
@@ -8,6 +8,7 @@ use carve_cache::sram::{AccessKind, SetAssocCache};
 use carve_noc::NodeId;
 use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
+use sim_core::fast::{FastSet, Slab};
 use sim_core::{BoundedQueue, Cycle, ScaledConfig};
 
 use crate::sm::{L2Req, Sm, SmParams, SmStats};
@@ -146,14 +147,16 @@ pub struct GpuCore {
     l2: SetAssocCache,
     banks: Vec<Bank>,
     mshr: MshrFile<Waiter>,
-    miss_meta: HashMap<u64, MissMeta>,
-    next_tag: u64,
+    /// In-flight ReadMiss state. The slab token *is* the request tag: the
+    /// GPU id rides in the top byte (disjoint tag ranges across cores) and
+    /// the slot bits make `complete_miss` a direct index — no hashing.
+    miss_meta: Slab<MissMeta>,
     outbox: VecDeque<CoreRequest>,
     outbox_cap: usize,
     external_done: Vec<(u64, Cycle)>,
     l2_tlb: Tlb,
     line_size: u64,
-    store_watch: Option<Arc<HashSet<u64>>>,
+    store_watch: Option<Arc<FastSet>>,
 }
 
 impl GpuCore {
@@ -188,8 +191,7 @@ impl GpuCore {
             l2: SetAssocCache::new(cfg.l2_bytes_per_gpu, cfg.l2_ways, cfg.line_size),
             banks,
             mshr: MshrFile::new(cfg.l2_mshrs_per_bank * cfg.l2_banks, 32),
-            miss_meta: HashMap::new(),
-            next_tag: (gpu_id as u64) << 56,
+            miss_meta: Slab::with_base((gpu_id as u64) << 56),
             outbox: VecDeque::new(),
             outbox_cap: 64,
             external_done: Vec::new(),
@@ -202,7 +204,7 @@ impl GpuCore {
     /// Installs the coherence watch list: line addresses whose *local*
     /// stores must be announced via [`CoreReqKind::SharedStoreNotice`]
     /// (hardware coherence only — lines that may be cached remotely).
-    pub fn set_store_watch(&mut self, watch: Arc<HashSet<u64>>) {
+    pub fn set_store_watch(&mut self, watch: Arc<FastSet>) {
         self.store_watch = Some(watch);
     }
 
@@ -275,7 +277,7 @@ impl GpuCore {
                 // Announce local writes to potentially-shared lines so the
                 // system's IMST can invalidate remote copies.
                 if let Some(watch) = &self.store_watch {
-                    if watch.contains(&req.line_addr) {
+                    if watch.contains(req.line_addr) {
                         self.outbox.push_back(CoreRequest {
                             tag: 0,
                             line_addr: req.line_addr,
@@ -329,16 +331,11 @@ impl GpuCore {
             if self.outbox.len() >= self.outbox_cap {
                 return;
             }
-            self.next_tag += 1;
-            let tag = self.next_tag;
-            self.miss_meta.insert(
-                tag,
-                MissMeta {
-                    line: req.line_addr,
-                    home: me,
-                    external_bypass: Some(token),
-                },
-            );
+            let tag = self.miss_meta.insert(MissMeta {
+                line: req.line_addr,
+                home: me,
+                external_bypass: Some(token),
+            });
             self.outbox.push_back(CoreRequest {
                 tag,
                 line_addr: req.line_addr,
@@ -373,16 +370,11 @@ impl GpuCore {
             MshrAllocate::Full => {} // no MSHR: stall
             MshrAllocate::Secondary => unreachable!("checked not in flight"),
             MshrAllocate::Primary => {
-                self.next_tag += 1;
-                let tag = self.next_tag;
-                self.miss_meta.insert(
-                    tag,
-                    MissMeta {
-                        line: req.line_addr,
-                        home: req.home,
-                        external_bypass: None,
-                    },
-                );
+                let tag = self.miss_meta.insert(MissMeta {
+                    line: req.line_addr,
+                    home: req.home,
+                    external_bypass: None,
+                });
                 self.outbox.push_back(CoreRequest {
                     tag,
                     line_addr: req.line_addr,
@@ -409,7 +401,7 @@ impl GpuCore {
             external_bypass,
         } = self
             .miss_meta
-            .remove(&tag)
+            .remove(tag)
             .expect("complete_miss: unknown tag");
         let me = NodeId::Gpu(self.gpu_id);
         let remote = home != me;
@@ -524,6 +516,12 @@ impl GpuCore {
     /// Takes all completed external reads `(token, ready_at)`.
     pub fn drain_external_done(&mut self) -> Vec<(u64, Cycle)> {
         std::mem::take(&mut self.external_done)
+    }
+
+    /// Moves all completed external reads into `out`, preserving both
+    /// vectors' capacity (hot-path variant of [`Self::drain_external_done`]).
+    pub fn drain_external_done_into(&mut self, out: &mut Vec<(u64, Cycle)>) {
+        out.append(&mut self.external_done);
     }
 
     /// True when every SM is drained, no fills are outstanding and the

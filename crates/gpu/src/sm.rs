@@ -14,7 +14,6 @@ use std::collections::VecDeque;
 use carve_cache::sram::{AccessKind, SetAssocCache};
 use carve_noc::NodeId;
 use carve_trace::{Op, WarpGen, WorkloadSpec};
-use sim_core::event::earliest;
 use sim_core::{Cycle, ScaledConfig};
 
 use crate::tlb::Tlb;
@@ -123,6 +122,17 @@ pub struct SmStats {
     pub replays: u64,
 }
 
+/// Cached result of the event-minimum scan (see [`Sm::event_min`]).
+#[derive(Debug, Clone, Copy)]
+enum EventCache {
+    /// Slots or the CTA queue changed since the last scan.
+    Dirty,
+    /// `min` over every slot's contribution: `Ready` and a fillable CTA
+    /// queue contribute 0, `Blocked(t)` contributes `t`; `None` when no
+    /// slot can ever act without outside input.
+    Clean(Option<u64>),
+}
+
 /// One Streaming Multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -134,6 +144,13 @@ pub struct Sm {
     pending: VecDeque<(usize, usize)>,
     rr: usize,
     stats: SmStats,
+    /// Interior-mutable so [`Sm::next_event`] (`&self`, called every tick
+    /// by the event-horizon engine) can reuse one scan across the many
+    /// ticks where this SM's state does not change.
+    event_cache: std::cell::Cell<EventCache>,
+    /// Non-vacant slot count, so the per-tick [`Sm::is_idle`] checks cost
+    /// O(1) instead of a slot scan.
+    occupied: usize,
 }
 
 impl Sm {
@@ -155,21 +172,46 @@ impl Sm {
             rr: 0,
             params,
             stats: SmStats::default(),
+            event_cache: std::cell::Cell::new(EventCache::Dirty),
+            occupied: 0,
         }
     }
 
     /// Queues a CTA of the given kernel for execution on this SM.
     pub fn enqueue_cta(&mut self, kernel: usize, cta: usize) {
         self.pending.push_back((kernel, cta));
+        self.event_cache.set(EventCache::Dirty);
+    }
+
+    /// The cached event minimum: the earliest absolute cycle at which this
+    /// SM can act on its own, with "immediately" represented as 0 (the
+    /// caller clamps to `now + 1`). Recomputed only after a mutation.
+    fn event_min(&self) -> Option<u64> {
+        if let EventCache::Clean(m) = self.event_cache.get() {
+            return m;
+        }
+        let mut min: Option<u64> = None;
+        for slot in &self.slots {
+            match slot.phase {
+                Phase::Ready => {
+                    self.event_cache.set(EventCache::Clean(Some(0)));
+                    return Some(0);
+                }
+                Phase::Blocked(t) => min = Some(min.map_or(t, |m: u64| m.min(t))),
+                Phase::Vacant | Phase::WaitingMem => {}
+            }
+        }
+        if !self.pending.is_empty() && self.slots.len() - self.occupied >= self.params.warps_per_cta
+        {
+            min = Some(0);
+        }
+        self.event_cache.set(EventCache::Clean(min));
+        min
     }
 
     fn try_fill_slots(&mut self, spec: &WorkloadSpec, cfg: &ScaledConfig) {
         loop {
-            let vacant = self
-                .slots
-                .iter()
-                .filter(|s| s.phase == Phase::Vacant)
-                .count();
+            let vacant = self.slots.len() - self.occupied;
             if vacant < self.params.warps_per_cta || self.pending.is_empty() {
                 return;
             }
@@ -186,6 +228,7 @@ impl Sm {
                     warp += 1;
                 }
             }
+            self.occupied += warp;
         }
     }
 
@@ -202,23 +245,36 @@ impl Sm {
         xl: &mut T,
         l2_tlb: &mut Tlb,
     ) -> Option<L2Req> {
-        self.try_fill_slots(spec, cfg);
-        // Wake expired warps.
-        for slot in &mut self.slots {
-            if let Phase::Blocked(t) = slot.phase {
-                if t <= now.0 {
-                    slot.phase = Phase::Ready;
-                }
-            }
+        // Fast path: nothing can act at `now` — no ready warp, no
+        // expired block, no fillable CTA. The full body below would be a
+        // pure no-op (it only reads state), so skipping it is
+        // bit-identical; most SMs sit here on any given tick.
+        match self.event_min() {
+            Some(m) if m <= now.0 => {}
+            _ => return None,
         }
-        // Round-robin pick of a ready warp.
+        self.event_cache.set(EventCache::Dirty);
+        self.try_fill_slots(spec, cfg);
+        // Round-robin pick of a ready warp, waking lazily: a warp whose
+        // block has expired is indistinguishable from `Ready` to every
+        // observer (the event horizon clamps expired times to the floor),
+        // so only the picked warp's phase is rewritten — one slot pass
+        // instead of a wake pass plus a pick pass.
         let n = self.slots.len();
         let mut pick = None;
         for k in 0..n {
             let idx = (self.rr + k) % n;
-            if self.slots[idx].phase == Phase::Ready {
-                pick = Some(idx);
-                break;
+            match self.slots[idx].phase {
+                Phase::Ready => {
+                    pick = Some(idx);
+                    break;
+                }
+                Phase::Blocked(t) if t <= now.0 => {
+                    self.slots[idx].phase = Phase::Ready;
+                    pick = Some(idx);
+                    break;
+                }
+                _ => {}
             }
         }
         let idx = pick?;
@@ -272,6 +328,7 @@ impl Sm {
             None => {
                 self.slots[idx].gen = None;
                 self.slots[idx].phase = Phase::Vacant;
+                self.occupied -= 1;
                 None
             }
             Some(Op::Compute(k)) => {
@@ -374,12 +431,14 @@ impl Sm {
             stage: ReplayStage::PostL1,
         });
         self.slots[warp].phase = Phase::Ready;
+        self.event_cache.set(EventCache::Dirty);
     }
 
     /// Wakes a memory-blocked warp at `at` (its data has been filled).
     pub fn wake_warp(&mut self, warp: usize, at: Cycle) {
         debug_assert_eq!(self.slots[warp].phase, Phase::WaitingMem);
         self.slots[warp].phase = Phase::Blocked(at.0);
+        self.event_cache.set(EventCache::Dirty);
     }
 
     /// Installs a line in the L1 (L2/memory fill on the return path).
@@ -405,10 +464,7 @@ impl Sm {
 
     /// Occupied (non-vacant) warp slots.
     pub fn active_warps(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.phase != Phase::Vacant)
-            .count()
+        self.occupied
     }
 
     /// Warps parked waiting for a memory response.
@@ -427,30 +483,16 @@ impl Sm {
     /// No resident or pending work. Warps waiting on memory keep the SM
     /// non-idle until their fills arrive.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.slots.iter().all(|s| s.phase == Phase::Vacant)
+        self.pending.is_empty() && self.occupied == 0
     }
 
     /// Earliest future cycle this SM could issue or change state on its
     /// own (see [`sim_core::NextEvent`]). `None` when every warp is vacant
     /// or waiting on a memory fill — only outside input can wake it then.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        let floor = now.0 + 1;
-        let mut horizon: Option<Cycle> = None;
-        let mut vacant = 0usize;
-        for slot in &self.slots {
-            match slot.phase {
-                Phase::Ready => return Some(Cycle(floor)),
-                Phase::Blocked(t) => {
-                    horizon = earliest(horizon, Some(Cycle(t.max(floor))));
-                }
-                Phase::Vacant => vacant += 1,
-                Phase::WaitingMem => {}
-            }
-        }
-        if !self.pending.is_empty() && vacant >= self.params.warps_per_cta {
-            return Some(Cycle(floor));
-        }
-        horizon
+        // `min(t_i.max(floor)) == min(t_i).max(floor)`, so the cached
+        // minimum reproduces the slot scan exactly for any `now`.
+        self.event_min().map(|m| Cycle(m.max(now.0 + 1)))
     }
 
     /// Activity counters.

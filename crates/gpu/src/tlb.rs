@@ -6,7 +6,8 @@
 //! from the runtime page table — so a FIFO replacement TLB tracking page
 //! numbers is sufficient.
 
-use std::collections::{HashMap, VecDeque};
+use sim_core::fast::FastSet;
+use std::collections::VecDeque;
 
 /// A FIFO-replacement TLB over page numbers.
 ///
@@ -20,7 +21,7 @@ use std::collections::{HashMap, VecDeque};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    entries: HashMap<u64, ()>,
+    entries: FastSet,
     order: VecDeque<u64>,
     capacity: usize,
     hits: u64,
@@ -36,7 +37,7 @@ impl Tlb {
     pub fn new(capacity: usize) -> Tlb {
         assert!(capacity > 0);
         Tlb {
-            entries: HashMap::with_capacity(capacity),
+            entries: FastSet::with_capacity(capacity),
             order: VecDeque::with_capacity(capacity),
             capacity,
             hits: 0,
@@ -47,17 +48,17 @@ impl Tlb {
     /// Looks up `page`, inserting it on a miss (evicting FIFO if full).
     /// Returns `true` on hit.
     pub fn lookup(&mut self, page: u64) -> bool {
-        if self.entries.contains_key(&page) {
+        if self.entries.contains(page) {
             self.hits += 1;
             return true;
         }
         self.misses += 1;
         if self.order.len() >= self.capacity {
             if let Some(old) = self.order.pop_front() {
-                self.entries.remove(&old);
+                self.entries.remove(old);
             }
         }
-        self.entries.insert(page, ());
+        self.entries.insert(page);
         self.order.push_back(page);
         false
     }
@@ -70,7 +71,7 @@ impl Tlb {
 
     /// Drops one page (migration shootdown).
     pub fn shootdown(&mut self, page: u64) {
-        if self.entries.remove(&page).is_some() {
+        if self.entries.remove(page) {
             self.order.retain(|&p| p != page);
         }
     }

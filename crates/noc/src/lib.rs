@@ -54,6 +54,9 @@ pub struct Link {
     latency: u64,
     next_slot: f64,
     in_flight: Vec<(u64, u64)>, // (token, arrival cycle)
+    /// Earliest in-flight arrival (`u64::MAX` when empty): the per-tick
+    /// delivery scan and the event horizon skip the list until then.
+    min_arrival: u64,
     bytes_sent: u64,
     messages_sent: u64,
     messages_delivered: u64,
@@ -74,6 +77,7 @@ impl Link {
             latency,
             next_slot: 0.0,
             in_flight: Vec::new(),
+            min_arrival: u64::MAX,
             bytes_sent: 0,
             messages_sent: 0,
             messages_delivered: 0,
@@ -94,21 +98,34 @@ impl Link {
         self.bytes_sent += bytes;
         self.messages_sent += 1;
         self.in_flight.push((token, arrival));
+        self.min_arrival = self.min_arrival.min(arrival);
     }
 
     /// Returns tokens of messages that have arrived by `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Appends tokens of messages that have arrived by `now` to `out`
+    /// (allocation-free variant of [`Link::tick`]).
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<u64>) {
+        if self.min_arrival > now.0 {
+            return;
+        }
+        let mut min = u64::MAX;
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].1 <= now.0 {
                 out.push(self.in_flight.swap_remove(i).0);
                 self.messages_delivered += 1;
             } else {
+                min = min.min(self.in_flight[i].1);
                 i += 1;
             }
         }
-        out
+        self.min_arrival = min;
     }
 
     /// Earliest cycle a new message could start serializing.
@@ -138,7 +155,7 @@ impl Link {
 
     /// Arrival cycle of the oldest in-flight message, if any.
     pub fn oldest_in_flight_arrival(&self) -> Option<u64> {
-        self.in_flight.iter().map(|&(_, a)| a).min()
+        (self.min_arrival != u64::MAX).then_some(self.min_arrival)
     }
 
     /// Whether messages are still in flight.
@@ -162,11 +179,7 @@ impl Link {
 
 impl NextEvent for Link {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.in_flight
-            .iter()
-            .map(|&(_, arrival)| arrival.max(now.0 + 1))
-            .min()
-            .map(Cycle)
+        (self.min_arrival != u64::MAX).then(|| Cycle(self.min_arrival.max(now.0 + 1)))
     }
 }
 
@@ -198,6 +211,8 @@ pub struct LinkNetwork {
     gpu_links: Vec<Link>,
     to_cpu: Vec<Link>,
     from_cpu: Vec<Link>,
+    // Reused per-link drain buffer for `tick_into`.
+    drain_scratch: Vec<u64>,
 }
 
 impl LinkNetwork {
@@ -227,6 +242,7 @@ impl LinkNetwork {
             from_cpu: (0..num_gpus)
                 .map(|_| Link::new(cpu_bpc, cpu_latency))
                 .collect(),
+            drain_scratch: Vec::new(),
         }
     }
 
@@ -275,12 +291,28 @@ impl LinkNetwork {
     /// Advances all links, returning every delivery due by `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Advances all links, appending every delivery due by `now` to `out`
+    /// (allocation-free variant of [`LinkNetwork::tick`]; `out` is NOT
+    /// cleared). Per-link `min_arrival` caches make a link with nothing
+    /// due cost one compare.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
+        let mut scratch = std::mem::take(&mut self.drain_scratch);
         for s in 0..self.num_gpus {
             for d in 0..self.num_gpus {
                 if s == d {
                     continue;
                 }
-                for token in self.gpu_links[s * self.num_gpus + d].tick(now) {
+                let link = &mut self.gpu_links[s * self.num_gpus + d];
+                if link.min_arrival > now.0 {
+                    continue;
+                }
+                scratch.clear();
+                link.tick_into(now, &mut scratch);
+                for &token in &scratch {
                     out.push(Delivery {
                         token,
                         src: NodeId::Gpu(s),
@@ -290,22 +322,30 @@ impl LinkNetwork {
             }
         }
         for g in 0..self.num_gpus {
-            for token in self.to_cpu[g].tick(now) {
-                out.push(Delivery {
-                    token,
-                    src: NodeId::Gpu(g),
-                    dst: NodeId::Cpu,
-                });
+            if self.to_cpu[g].min_arrival <= now.0 {
+                scratch.clear();
+                self.to_cpu[g].tick_into(now, &mut scratch);
+                for &token in &scratch {
+                    out.push(Delivery {
+                        token,
+                        src: NodeId::Gpu(g),
+                        dst: NodeId::Cpu,
+                    });
+                }
             }
-            for token in self.from_cpu[g].tick(now) {
-                out.push(Delivery {
-                    token,
-                    src: NodeId::Cpu,
-                    dst: NodeId::Gpu(g),
-                });
+            if self.from_cpu[g].min_arrival <= now.0 {
+                scratch.clear();
+                self.from_cpu[g].tick_into(now, &mut scratch);
+                for &token in &scratch {
+                    out.push(Delivery {
+                        token,
+                        src: NodeId::Cpu,
+                        dst: NodeId::Gpu(g),
+                    });
+                }
             }
         }
-        out
+        self.drain_scratch = scratch;
     }
 
     /// Total bytes sent over GPU-GPU links.

@@ -18,11 +18,27 @@
 //! * **UM spill** — a designated cold-page set lives in system memory
 //!   (Table V(b)'s capacity-loss experiment).
 
-use std::collections::{HashMap, HashSet};
-
 use crate::sharing::GpuMask;
 use carve_noc::NodeId;
+use sim_core::fast::FastSet;
 use sim_core::Cycle;
+
+/// Pages per leaf of the two-level entry array. Workload layouts place
+/// regions contiguously from VA 0 (see `carve_trace::spec`), so page
+/// numbers are dense and direct indexing beats hashing; leaves keep the
+/// table cheap for sparse tails (one 40 KiB leaf covers 8 MiB of VA at
+/// the default 8 KiB pages).
+const LEAF_PAGES: usize = 1024;
+
+type Leaf = [Option<Entry>; LEAF_PAGES];
+
+/// Out-of-line so the ~56 KiB array literal never lands in a hot caller's
+/// stack frame (a frame that size costs a stack probe on every call).
+#[cold]
+#[inline(never)]
+fn new_leaf() -> Box<Leaf> {
+    Box::new([None; LEAF_PAGES])
+}
 
 /// Software page-replication flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,9 +137,10 @@ pub struct PageTable {
     num_gpus: usize,
     page_size: u64,
     policy: PlacementPolicy,
-    entries: HashMap<u64, Entry>,
-    spill: HashSet<u64>,
-    replicated: HashSet<u64>,
+    leaves: Vec<Option<Box<Leaf>>>,
+    touched: usize,
+    spill: FastSet,
+    replicated: FastSet,
     pages_per_gpu: Vec<u64>,
     stats: PageTableStats,
 }
@@ -141,25 +158,42 @@ impl PageTable {
             num_gpus,
             page_size,
             policy,
-            entries: HashMap::new(),
-            spill: HashSet::new(),
-            replicated: HashSet::new(),
+            leaves: Vec::new(),
+            touched: 0,
+            spill: FastSet::new(),
+            replicated: FastSet::new(),
             pages_per_gpu: vec![0; num_gpus],
             stats: PageTableStats::default(),
         }
     }
 
+    #[inline]
+    fn entry(&self, page: u64) -> Option<&Entry> {
+        let page = page as usize;
+        self.leaves.get(page / LEAF_PAGES)?.as_ref()?[page % LEAF_PAGES].as_ref()
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, page: u64) -> Option<&mut Entry> {
+        let page = page as usize;
+        self.leaves.get_mut(page / LEAF_PAGES)?.as_mut()?[page % LEAF_PAGES].as_mut()
+    }
+
     /// Designates pages that live in system memory (UM cold-page spill).
     /// Must be called before the pages are first touched.
     pub fn set_spill_pages<I: IntoIterator<Item = u64>>(&mut self, pages: I) {
-        self.spill.extend(pages);
+        for p in pages {
+            self.spill.insert(p);
+        }
     }
 
     /// Designates pages serviced from local replicas, per the configured
     /// [`Replication`] flavour. The caller derives the set from a
     /// [`crate::sharing::SharingProfile`].
     pub fn set_replicated_pages<I: IntoIterator<Item = u64>>(&mut self, pages: I) {
-        self.replicated.extend(pages);
+        for p in pages {
+            self.replicated.insert(p);
+        }
     }
 
     /// Resolves one access from `gpu` to `va` at time `now`.
@@ -170,29 +204,33 @@ impl PageTable {
     pub fn access(&mut self, gpu: usize, va: u64, is_write: bool, now: Cycle) -> AccessOutcome {
         assert!(gpu < self.num_gpus, "gpu {gpu} out of range");
         let page = va / self.page_size;
-        let entry = match self.entries.get_mut(&page) {
-            Some(e) => e,
-            None => {
-                // First touch.
-                let home = if self.spill.contains(&page) {
-                    self.stats.cpu_homed_pages += 1;
-                    NodeId::Cpu
-                } else {
-                    self.stats.first_touches += 1;
-                    self.pages_per_gpu[gpu] += 1;
-                    NodeId::Gpu(gpu)
-                };
-                self.entries.entry(page).or_insert(Entry {
-                    home,
-                    readers: GpuMask::default(),
-                    writers: GpuMask::default(),
-                    remote_streak: 0,
-                    last_remote_gpu: 0,
-                    blocked_until: 0,
-                    last_migration: 0,
-                })
-            }
-        };
+        let (li, off) = (page as usize / LEAF_PAGES, page as usize % LEAF_PAGES);
+        if li >= self.leaves.len() {
+            self.leaves.resize_with(li + 1, || None);
+        }
+        let leaf = self.leaves[li].get_or_insert_with(new_leaf);
+        if leaf[off].is_none() {
+            // First touch.
+            let home = if self.spill.contains(page) {
+                self.stats.cpu_homed_pages += 1;
+                NodeId::Cpu
+            } else {
+                self.stats.first_touches += 1;
+                self.pages_per_gpu[gpu] += 1;
+                NodeId::Gpu(gpu)
+            };
+            leaf[off] = Some(Entry {
+                home,
+                readers: GpuMask::default(),
+                writers: GpuMask::default(),
+                remote_streak: 0,
+                last_remote_gpu: 0,
+                blocked_until: 0,
+                last_migration: 0,
+            });
+            self.touched += 1;
+        }
+        let entry = leaf[off].as_mut().expect("entry materialized");
         if is_write {
             entry.writers.set(gpu);
         } else {
@@ -200,7 +238,7 @@ impl PageTable {
         }
 
         // Replica service path.
-        if self.replicated.contains(&page) {
+        if self.replicated.contains(page) {
             match self.policy.replication {
                 Replication::AllShared => {
                     self.stats.replica_hits += 1;
@@ -275,14 +313,14 @@ impl PageTable {
     /// Marks `page` unusable until `until` (migration in progress). The
     /// system model calls this after costing a migration transfer.
     pub fn block_page_until(&mut self, page: u64, until: Cycle) {
-        if let Some(e) = self.entries.get_mut(&page) {
+        if let Some(e) = self.entry_mut(page) {
             e.blocked_until = e.blocked_until.max(until.0);
         }
     }
 
     /// Current home of `page`, if touched.
     pub fn home_of(&self, page: u64) -> Option<NodeId> {
-        self.entries.get(&page).map(|e| e.home)
+        self.entry(page).map(|e| e.home)
     }
 
     /// Pages first-touch allocated on each GPU.
@@ -302,7 +340,7 @@ impl PageTable {
 
     /// Number of distinct pages touched.
     pub fn touched_pages(&self) -> usize {
-        self.entries.len()
+        self.touched
     }
 
     /// The policy this table enforces.

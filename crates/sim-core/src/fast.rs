@@ -1,0 +1,777 @@
+//! Allocation-lean lookup structures for the simulator hot path.
+//!
+//! The per-cycle datapath used to route every request through
+//! `std::collections::HashMap`, paying SipHash plus a heap allocation per
+//! in-flight request. This module replaces those with three first-party
+//! structures (no external deps — the build is offline):
+//!
+//! * [`FastMap`] / [`FastSet`] — open-addressed tables over `u64` keys
+//!   with a Fibonacci multiply hash and backward-shift deletion (no
+//!   tombstones). Used by the MSHR file, TLBs, the sharer directory and
+//!   the page-table spill/replica sets.
+//! * [`Slab`] — a generational slab with a freelist for in-flight request
+//!   state. `insert` hands back a *token* that encodes the slot in its
+//!   low [`SLOT_BITS`] bits, so later lookups are a bounds check plus an
+//!   equality compare — zero hashing on the fill path. A monotonically
+//!   increasing sequence number in the high bits makes tokens unique
+//!   across slot reuse (stale tokens miss) and **strictly increasing** in
+//!   allocation order, which the engine's delayed-response heap relies on
+//!   for deterministic tie-breaking.
+//! * [`TagTable`] — a sidecar table mapping tokens issued by *some other*
+//!   slab to per-token values (e.g. issue timestamps keyed by an MSHR
+//!   tag), indexed directly by the token's slot bits with a full-token
+//!   generation check.
+//!
+//! # Determinism rules
+//!
+//! Open-addressed tables have no meaningful iteration order, and this
+//! module deliberately exposes **no key/value iterators** on [`FastMap`] /
+//! [`FastSet`]: every result-visible traversal in the simulator must
+//! derive its order from something deterministic (GPU id, slot scan,
+//! sorted keys) rather than hash layout. Slot-order traversal of
+//! [`Slab`] / [`TagTable`] (via [`Slab::retain_keys`] or
+//! [`TagTable::values`]) is deterministic but *allocation-order*-shaped;
+//! only order-insensitive reductions (min, count) may use it.
+
+use std::fmt;
+
+/// Number of low token bits that encode the slab slot.
+pub const SLOT_BITS: u32 = 20;
+/// Mask extracting the slot from a token.
+pub const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+/// Reserved slot value marking tokens that carry no slab entry
+/// (fire-and-forget requests that still need a unique, ordered id).
+pub const UNTRACKED_SLOT: u64 = SLOT_MASK;
+
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+// ---------------------------------------------------------------------
+// FastMap / FastSet
+
+/// Open-addressed hash map from `u64` keys to `V`.
+///
+/// Linear probing, power-of-two capacity, Fibonacci multiply hash taking
+/// the *top* bits of the product (good diffusion for line addresses and
+/// page numbers, which share low zero bits). Deletion backward-shifts the
+/// probe chain, so there are no tombstones and probes never degrade.
+///
+/// ```
+/// use sim_core::fast::FastMap;
+/// let mut m: FastMap<u32> = FastMap::new();
+/// m.insert(0x1000, 7);
+/// assert_eq!(m.get(0x1000), Some(&7));
+/// assert_eq!(m.remove(0x1000), Some(7));
+/// assert!(m.is_empty());
+/// ```
+pub struct FastMap<V> {
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+    shift: u32,
+}
+
+impl<V> Default for FastMap<V> {
+    fn default() -> Self {
+        FastMap::new()
+    }
+}
+
+impl<V: Clone> Clone for FastMap<V> {
+    fn clone(&self) -> Self {
+        FastMap {
+            slots: self.slots.clone(),
+            len: self.len,
+            shift: self.shift,
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for FastMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FastMap {{ len: {} }}", self.len)
+    }
+}
+
+impl<V> FastMap<V> {
+    /// Creates an empty map (capacity 8).
+    pub fn new() -> FastMap<V> {
+        FastMap::with_capacity(8)
+    }
+
+    /// Creates a map sized to hold `cap` entries without growing.
+    pub fn with_capacity(cap: usize) -> FastMap<V> {
+        // Keep load factor under 3/4.
+        let mut n = 8usize;
+        while n * 3 < cap * 4 {
+            n *= 2;
+        }
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        FastMap {
+            slots,
+            len: 0,
+            shift: 64 - n.trailing_zeros(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Index of `key`'s slot, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Returns a reference to the value for `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).map(|i| &self.slots[i].as_ref().unwrap().1)
+    }
+
+    /// Returns a mutable reference to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key)
+            .map(|i| &mut self.slots[i].as_mut().unwrap().1)
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts `key -> val`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        if let Some(i) = self.find(key) {
+            return Some(std::mem::replace(
+                &mut self.slots[i].as_mut().unwrap().1,
+                val,
+            ));
+        }
+        self.grow_if_needed();
+        let mask = self.mask();
+        let mut i = self.home(key);
+        while self.slots[i].is_some() {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Some((key, val));
+        self.len += 1;
+        None
+    }
+
+    /// Returns a mutable reference to the value for `key`, inserting
+    /// `default()` first if absent.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, key: u64, default: F) -> &mut V {
+        if self.find(key).is_none() {
+            self.insert(key, default());
+        }
+        let i = self.find(key).expect("just inserted");
+        &mut self.slots[i].as_mut().unwrap().1
+    }
+
+    /// Removes `key`, returning its value if present. Backward-shifts the
+    /// probe chain so lookups stay tombstone-free.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let (_, val) = self.slots[hole].take().expect("found slot occupied");
+        self.len -= 1;
+        let mask = self.mask();
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let Some((k, _)) = &self.slots[j] else { break };
+            let home = self.home(*k);
+            // The entry at `j` may fill the hole iff its probe distance
+            // reaches back to (or past) the hole.
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+        }
+        Some(val)
+    }
+
+    /// Drops every entry, keeping capacity.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    fn grow_if_needed(&mut self) {
+        if (self.len + 1) * 4 <= self.slots.len() * 3 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let mut bigger = Vec::with_capacity(new_cap);
+        bigger.resize_with(new_cap, || None);
+        let old = std::mem::replace(&mut self.slots, bigger);
+        self.shift = 64 - new_cap.trailing_zeros();
+        let mask = self.mask();
+        for slot in old.into_iter().flatten() {
+            let mut i = self.home(slot.0);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+}
+
+/// Open-addressed hash set of `u64` keys (a [`FastMap`] without values).
+///
+/// ```
+/// use sim_core::fast::FastSet;
+/// let mut s = FastSet::new();
+/// assert!(s.insert(42));
+/// assert!(!s.insert(42));
+/// assert!(s.contains(42));
+/// assert!(s.remove(42));
+/// ```
+#[derive(Default, Debug, Clone)]
+pub struct FastSet {
+    map: FastMap<()>,
+}
+
+impl FastSet {
+    /// Creates an empty set.
+    pub fn new() -> FastSet {
+        FastSet::default()
+    }
+
+    /// Creates a set sized to hold `cap` keys without growing.
+    pub fn with_capacity(cap: usize) -> FastSet {
+        FastSet {
+            map: FastMap::with_capacity(cap),
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was newly added.
+    pub fn insert(&mut self, key: u64) -> bool {
+        self.map.insert(key, ()).is_none()
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every key, keeping capacity.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl FromIterator<u64> for FastSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> FastSet {
+        let mut s = FastSet::new();
+        for k in iter {
+            s.insert(k);
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slab
+
+/// Generational slab with a freelist for in-flight request state.
+///
+/// [`Slab::insert`] returns a token laid out as
+/// `base | (seq << SLOT_BITS) | slot`:
+///
+/// * `slot` (low [`SLOT_BITS`] bits) indexes the backing vector directly,
+///   so [`Slab::get`] is a bounds check plus one equality compare;
+/// * `seq` increments on every token handed out, which (a) makes reused
+///   slots yield distinct tokens so stale lookups miss, and (b) keeps
+///   tokens **strictly increasing** in allocation order — the property
+///   the engine's `BinaryHeap<Reverse<(due, token)>>` tie-break depends
+///   on for bit-identical results;
+/// * `base` is a caller constant OR-ed into every token (e.g.
+///   `gpu_id << 56`) so several slabs can mint ids in disjoint ranges.
+///
+/// [`Slab::untracked_token`] mints an ordered, unique token with the
+/// reserved [`UNTRACKED_SLOT`] and no entry, for fire-and-forget traffic.
+///
+/// ```
+/// use sim_core::fast::Slab;
+/// let mut slab: Slab<&str> = Slab::new();
+/// let t = slab.insert("read");
+/// assert_eq!(slab.get(t), Some(&"read"));
+/// assert_eq!(slab.remove(t), Some("read"));
+/// assert_eq!(slab.get(t), None); // stale token misses
+/// ```
+pub struct Slab<T> {
+    slots: Vec<Option<(u64, T)>>,
+    free: Vec<u32>,
+    next_seq: u64,
+    base: u64,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T: Clone> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        Slab {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            next_seq: self.next_seq,
+            base: self.base,
+            len: self.len,
+        }
+    }
+}
+
+impl<T> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Slab {{ len: {}, next_seq: {} }}",
+            self.len, self.next_seq
+        )
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab whose tokens start at `1 << SLOT_BITS`.
+    pub fn new() -> Slab<T> {
+        Slab::with_base(0)
+    }
+
+    /// Creates an empty slab OR-ing `base` into every token. `base` must
+    /// not overlap the slot or sequence bits actually used; callers keep
+    /// it in the top byte (e.g. `gpu_id << 56`).
+    pub fn with_base(base: u64) -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 1, // seq 0 never issued: tokens are always nonzero
+            base,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mint(&mut self, slot: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.base | (seq << SLOT_BITS) | slot
+    }
+
+    /// Stores `value`, returning its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                let s = self.slots.len();
+                assert!(
+                    s < UNTRACKED_SLOT as usize,
+                    "slab overflow: > {} concurrent in-flight entries",
+                    UNTRACKED_SLOT
+                );
+                self.slots.push(None);
+                s
+            }
+        };
+        let token = self.mint(slot as u64);
+        self.slots[slot] = Some((token, value));
+        self.len += 1;
+        token
+    }
+
+    /// Mints a unique, ordered token with no backing entry.
+    pub fn untracked_token(&mut self) -> u64 {
+        self.mint(UNTRACKED_SLOT)
+    }
+
+    #[inline]
+    fn slot_of(&self, token: u64) -> Option<usize> {
+        let slot = (token & SLOT_MASK) as usize;
+        if slot == UNTRACKED_SLOT as usize || slot >= self.slots.len() {
+            return None;
+        }
+        match &self.slots[slot] {
+            Some((t, _)) if *t == token => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Returns the entry for `token`, if it is still live.
+    #[inline]
+    pub fn get(&self, token: u64) -> Option<&T> {
+        self.slot_of(token)
+            .map(|s| &self.slots[s].as_ref().unwrap().1)
+    }
+
+    /// Returns the entry for `token` mutably, if it is still live.
+    #[inline]
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        self.slot_of(token)
+            .map(|s| &mut self.slots[s].as_mut().unwrap().1)
+    }
+
+    /// Whether `token` is live.
+    #[inline]
+    pub fn contains(&self, token: u64) -> bool {
+        self.slot_of(token).is_some()
+    }
+
+    /// Removes and returns the entry for `token`, freeing its slot.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let slot = self.slot_of(token)?;
+        let (_, value) = self.slots[slot].take().expect("live slot occupied");
+        self.free.push(slot as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `f(token, &entry)` for every live entry in **slot order**
+    /// (deterministic, but allocation-shaped — use only for
+    /// order-insensitive reductions such as min or count).
+    pub fn for_each<F: FnMut(u64, &T)>(&self, mut f: F) {
+        for slot in self.slots.iter().flatten() {
+            f(slot.0, &slot.1);
+        }
+    }
+
+    /// Keeps only entries whose token satisfies `keep`, in slot order.
+    pub fn retain_keys<F: FnMut(u64) -> bool>(&mut self, mut keep: F) {
+        for i in 0..self.slots.len() {
+            if let Some((t, _)) = &self.slots[i] {
+                if !keep(*t) {
+                    self.slots[i] = None;
+                    self.free.push(i as u32);
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TagTable
+
+/// Sidecar table keyed by tokens minted from some *other* [`Slab`].
+///
+/// Indexes directly by the token's slot bits with a full-token
+/// generation check, so attaching metadata to an in-flight request (e.g.
+/// the issue timestamp of an MSHR tag) costs one bounds check — no
+/// hashing. A slot holds at most one generation: inserting a new token
+/// whose slot is occupied by a *stale* token replaces the stale entry
+/// (its request already retired; see `debug_assert` in
+/// [`TagTable::insert_if_absent`]).
+///
+/// ```
+/// use sim_core::fast::{Slab, TagTable};
+/// let mut slab: Slab<u8> = Slab::new();
+/// let mut meta: TagTable<u64> = TagTable::new();
+/// let t = slab.insert(0);
+/// meta.insert_if_absent(t, 99);
+/// assert_eq!(meta.get(t), Some(&99));
+/// assert_eq!(meta.remove(t), Some(99));
+/// ```
+pub struct TagTable<T> {
+    slots: Vec<Option<(u64, T)>>,
+    len: usize,
+}
+
+impl<T> Default for TagTable<T> {
+    fn default() -> Self {
+        TagTable::new()
+    }
+}
+
+impl<T: Clone> Clone for TagTable<T> {
+    fn clone(&self) -> Self {
+        TagTable {
+            slots: self.slots.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> fmt::Debug for TagTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagTable {{ len: {} }}", self.len)
+    }
+}
+
+impl<T> TagTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> TagTable<T> {
+        TagTable {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(token: u64) -> usize {
+        (token & SLOT_MASK) as usize
+    }
+
+    #[inline]
+    fn find(&self, token: u64) -> Option<usize> {
+        let s = Self::slot(token);
+        match self.slots.get(s) {
+            Some(Some((t, _))) if *t == token => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Inserts `token -> value` unless `token` already has an entry
+    /// (matching `HashMap::entry().or_insert()` semantics). A stale
+    /// same-slot entry from a retired generation is replaced.
+    pub fn insert_if_absent(&mut self, token: u64, value: T) {
+        let s = Self::slot(token);
+        debug_assert_ne!(s, UNTRACKED_SLOT as usize, "untracked token in TagTable");
+        if s >= self.slots.len() {
+            self.slots.resize_with(s + 1, || None);
+        }
+        match &self.slots[s] {
+            Some((t, _)) if *t == token => {}
+            Some(_) => {
+                // Same slot, different generation: the old request retired
+                // without cleaning up. The simulator removes sidecar state
+                // before slots recycle, so flag any violation in debug.
+                debug_assert!(false, "stale TagTable entry overwritten");
+                self.slots[s] = Some((token, value));
+            }
+            None => {
+                self.slots[s] = Some((token, value));
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Returns the value for `token`, if present.
+    #[inline]
+    pub fn get(&self, token: u64) -> Option<&T> {
+        self.find(token).map(|s| &self.slots[s].as_ref().unwrap().1)
+    }
+
+    /// Removes and returns the value for `token`, if present.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let s = self.find(token)?;
+        let (_, v) = self.slots[s].take().expect("found slot occupied");
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates values in **slot order** (deterministic but
+    /// allocation-shaped; order-insensitive reductions only).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().flatten().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_remove_roundtrip() {
+        let mut m: FastMap<u64> = FastMap::new();
+        for k in 0..1000u64 {
+            assert_eq!(m.insert(k * 128, k), None);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k * 128), Some(&k));
+        }
+        for k in (0..1000u64).step_by(2) {
+            assert_eq!(m.remove(k * 128), Some(k));
+        }
+        assert_eq!(m.len(), 500);
+        for k in 0..1000u64 {
+            if k % 2 == 0 {
+                assert_eq!(m.get(k * 128), None);
+            } else {
+                assert_eq!(m.get(k * 128), Some(&k), "odd key {k} survives");
+            }
+        }
+    }
+
+    #[test]
+    fn map_backward_shift_keeps_chains_reachable() {
+        // Mirror every operation against std::HashMap under a keyed
+        // pseudo-random churn; any probe-chain break shows up as a
+        // membership mismatch.
+        use std::collections::HashMap;
+        let mut m: FastMap<u64> = FastMap::with_capacity(8);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 384; // small key space => dense chains
+            if x & 4 == 0 {
+                assert_eq!(m.remove(key), reference.remove(&key), "step {step}");
+            } else {
+                assert_eq!(m.insert(key, step), reference.insert(key, step));
+            }
+        }
+        assert_eq!(m.len(), reference.len());
+        for (k, v) in &reference {
+            assert_eq!(m.get(*k), Some(v));
+        }
+    }
+
+    #[test]
+    fn map_replaces_existing_value() {
+        let mut m: FastMap<&str> = FastMap::new();
+        assert_eq!(m.insert(5, "a"), None);
+        assert_eq!(m.insert(5, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(5), Some(&"b"));
+    }
+
+    #[test]
+    fn map_get_or_insert_with() {
+        let mut m: FastMap<Vec<u32>> = FastMap::new();
+        m.get_or_insert_with(9, Vec::new).push(1);
+        m.get_or_insert_with(9, Vec::new).push(2);
+        assert_eq!(m.get(9), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn set_basics() {
+        let mut s = FastSet::with_capacity(4);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(s.is_empty());
+        let from: FastSet = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(from.len(), 3);
+    }
+
+    #[test]
+    fn slab_tokens_strictly_increase_and_stale_misses() {
+        let mut slab: Slab<u32> = Slab::new();
+        let a = slab.insert(10);
+        let u = slab.untracked_token();
+        let b = slab.insert(20);
+        assert!(a < u && u < b, "tokens strictly increase in mint order");
+        assert!(a >= 1 << SLOT_BITS, "tokens are nonzero and tagged");
+        assert_eq!(slab.remove(a), Some(10));
+        let c = slab.insert(30); // reuses a's slot
+        assert_eq!(c & SLOT_MASK, a & SLOT_MASK);
+        assert_ne!(c, a);
+        assert_eq!(slab.get(a), None, "stale token misses");
+        assert_eq!(slab.get(c), Some(&30));
+        assert_eq!(slab.get(u), None, "untracked token has no entry");
+        assert_eq!(slab.len(), 2);
+        assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn slab_base_lands_in_top_bits() {
+        let base = 3u64 << 56;
+        let mut slab: Slab<u8> = Slab::with_base(base);
+        let t = slab.insert(1);
+        assert_eq!(t >> 56, 3);
+        assert_eq!(slab.get(t), Some(&1));
+        assert_eq!(slab.remove(t), Some(1));
+    }
+
+    #[test]
+    fn slab_for_each_and_retain() {
+        let mut slab: Slab<u32> = Slab::new();
+        let t1 = slab.insert(1);
+        let t2 = slab.insert(2);
+        let t3 = slab.insert(3);
+        let mut seen = Vec::new();
+        slab.for_each(|t, v| seen.push((t, *v)));
+        assert_eq!(seen, vec![(t1, 1), (t2, 2), (t3, 3)]);
+        slab.retain_keys(|t| t != t2);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(t2), None);
+        assert!(slab.contains(t1) && slab.contains(t3));
+    }
+
+    #[test]
+    fn tag_table_follows_entry_semantics() {
+        let mut slab: Slab<u8> = Slab::new();
+        let mut tab: TagTable<u64> = TagTable::new();
+        let t = slab.insert(0);
+        tab.insert_if_absent(t, 5);
+        tab.insert_if_absent(t, 9); // or_insert: first value wins
+        assert_eq!(tab.get(t), Some(&5));
+        assert_eq!(tab.values().copied().min(), Some(5));
+        assert_eq!(tab.remove(t), Some(5));
+        assert!(tab.is_empty());
+        assert_eq!(tab.remove(t), None);
+    }
+}

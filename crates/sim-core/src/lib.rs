@@ -40,6 +40,7 @@ pub mod config;
 pub mod cycle;
 pub mod error;
 pub mod event;
+pub mod fast;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use config::{BaselineConfig, ScaledConfig};
 pub use cycle::Cycle;
 pub use error::SimError;
 pub use event::NextEvent;
+pub use fast::{FastMap, FastSet, Slab, TagTable};
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};

@@ -20,20 +20,21 @@
 //!   effective-home resolution.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use carve::{Carve, CoherencePolicy, HitPredictor, RdcConfig, RdcStats};
-use carve_dram::{DramConfig, DramModel, DramStats, FlatMemory};
+use carve_dram::{Completion, DramConfig, DramModel, DramStats, FlatMemory};
 use carve_gpu::{
     CoreReqKind, CoreRequest, CoreStats, Fabric, GpuCore, TranslationOutcome, Translator,
 };
-use carve_noc::{msg, LinkNetwork, NodeId};
+use carve_noc::{msg, Delivery, LinkNetwork, NodeId};
 use carve_runtime::page_table::{PageMigration, PageTable};
 use carve_runtime::sched::cta_range_of_gpu;
 use carve_runtime::sharing::{profile_workload, SharingProfile};
 use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
+use sim_core::fast::{FastSet, Slab, TagTable};
 use sim_core::telemetry::{self, IntervalRecord, NullTraceSink, Timeline, TraceEvent, TraceSink};
 use sim_core::{Cycle, ScaledConfig, SimError, Watchdog};
 
@@ -142,19 +143,35 @@ struct System {
     pt: PageTable,
     carve: Option<Carve>,
     predictors: Vec<HitPredictor>,
-    pending: HashMap<u64, Pending>,
+    /// In-flight system transactions. The slab token *is* the wire token
+    /// carried by DRAM/NoC/CPU-memory models, so lookups on completion are
+    /// a direct slot index (no hashing). Tokens are unique and strictly
+    /// increasing in allocation order — the `delayed` heap's tiebreak
+    /// relies on that — and fire-and-forget payloads draw ordered tokens
+    /// from the same sequence via `untracked_token`.
+    pending: Slab<Pending>,
     /// Home responses keyed by due cycle: a min-heap so each tick pops
     /// only the entries that are due instead of scanning everything.
     delayed: BinaryHeap<Reverse<(u64, u64)>>, // (due cycle, token)
     ext_retry: Vec<VecDeque<(u64, u64)>>, // per home: (token, line)
     dram_retry: Vec<VecDeque<u64>>,       // per gpu: write addresses
-    next_token: u64,
     traffic: Traffic,
     migrations_buf: Vec<PageMigration>,
-    issue_time: HashMap<u64, u64>,
+    /// Per requester GPU, keyed by the core's miss tag: issue cycle of the
+    /// warp-visible read (latency histogram bookkeeping).
+    issue_time: Vec<TagTable<u64>>,
     read_latency: sim_core::Histogram,
     rdc_caches_sysmem: bool,
-    cpu_fill_lines: HashMap<u64, u64>,
+    /// Per requester GPU, keyed by miss tag: line to fill into the RDC
+    /// when a footnote-2 CPU read returns.
+    cpu_fill_lines: Vec<TagTable<u64>>,
+    /// Scratch for draining cores' completed external reads each tick
+    /// without allocating.
+    ext_done_scratch: Vec<(u64, Cycle)>,
+    /// Scratch for DRAM / CPU-memory completions drained each tick.
+    comp_scratch: Vec<Completion>,
+    /// Scratch for link deliveries drained each tick.
+    deliv_scratch: Vec<Delivery>,
 }
 
 impl System {
@@ -184,8 +201,7 @@ impl System {
         });
         if sim.design == Design::CarveHwc {
             if let Some(p) = profile {
-                let watch: Arc<HashSet<u64>> =
-                    Arc::new(p.rw_shared_line_addrs().into_iter().collect());
+                let watch: Arc<FastSet> = Arc::new(p.rw_shared_line_addrs().into_iter().collect());
                 for core in &mut cores {
                     core.set_store_watch(Arc::clone(&watch));
                 }
@@ -221,35 +237,32 @@ impl System {
             pt,
             carve,
             predictors,
-            pending: HashMap::new(),
+            pending: Slab::new(),
             delayed: BinaryHeap::new(),
             ext_retry: (0..num_gpus).map(|_| VecDeque::new()).collect(),
             dram_retry: (0..num_gpus).map(|_| VecDeque::new()).collect(),
-            next_token: 1,
             traffic: Traffic::default(),
             migrations_buf: Vec::new(),
-            issue_time: HashMap::new(),
+            issue_time: (0..num_gpus).map(|_| TagTable::new()).collect(),
             read_latency: sim_core::Histogram::new(),
             rdc_caches_sysmem: sim.rdc_caches_sysmem,
-            cpu_fill_lines: HashMap::new(),
+            cpu_fill_lines: (0..num_gpus).map(|_| TagTable::new()).collect(),
+            ext_done_scratch: Vec::new(),
+            comp_scratch: Vec::new(),
+            deliv_scratch: Vec::new(),
             cfg,
         }
     }
 
     /// Completes a warp-visible read miss and records its latency.
+    ///
+    /// The `issue_time` entry is removed *before* `complete_miss` frees the
+    /// core's tag slot, so a recycled slot can never observe a stale entry.
     fn finish_read(&mut self, gpu: usize, tag: u64, now: Cycle) {
-        if let Some(t0) = self.issue_time.remove(&tag) {
+        if let Some(t0) = self.issue_time[gpu].remove(tag) {
             self.read_latency.record(now.0.saturating_sub(t0));
         }
         self.cores[gpu].complete_miss(tag, now);
-    }
-
-    /// Returns the next request token. Tokens are unique across the run
-    /// and start at 1 (`next_token`'s initial value).
-    fn fresh_token(&mut self) -> u64 {
-        let token = self.next_token;
-        self.next_token += 1;
-        token
     }
 
     fn rdc_probe_addr(&self, gpu: usize, line: u64) -> u64 {
@@ -259,7 +272,7 @@ impl System {
 
     /// Posts a DRAM write, falling back to the retry queue when full.
     fn dram_write_best_effort(&mut self, gpu: usize, addr: u64, now: Cycle) {
-        let token = self.fresh_token();
+        let token = self.pending.untracked_token();
         if self.drams[gpu].try_enqueue_write(token, addr, now).is_err() {
             self.dram_retry[gpu].push_back(addr);
         }
@@ -273,9 +286,7 @@ impl System {
                 self.apply_invalidate(target, line);
                 continue;
             }
-            let token = self.fresh_token();
-            self.pending
-                .insert(token, Pending::Invalidate { target, line });
+            let token = self.pending.insert(Pending::Invalidate { target, line });
             self.net.send(
                 NodeId::Gpu(home),
                 NodeId::Gpu(target),
@@ -308,7 +319,9 @@ impl System {
     fn try_route(&mut self, g: usize, req: CoreRequest, now: Cycle) -> bool {
         let me = NodeId::Gpu(g);
         if req.kind == CoreReqKind::ReadMiss {
-            self.issue_time.entry(req.tag).or_insert(now.0);
+            // HOL back-pressure may route the same request several times;
+            // only the first attempt stamps the issue cycle.
+            self.issue_time[g].insert_if_absent(req.tag, now.0);
         }
         match req.kind {
             CoreReqKind::ReadMiss => match req.home {
@@ -316,14 +329,10 @@ impl System {
                     if !self.drams[g].can_accept_read(req.line_addr) {
                         return false;
                     }
-                    let token = self.fresh_token();
-                    self.pending.insert(
-                        token,
-                        Pending::LocalRead {
-                            gpu: g,
-                            tag: req.tag,
-                        },
-                    );
+                    let token = self.pending.insert(Pending::LocalRead {
+                        gpu: g,
+                        tag: req.tag,
+                    });
                     self.drams[g]
                         .try_enqueue_read(token, req.line_addr, now)
                         .expect("capacity checked");
@@ -354,16 +363,12 @@ impl System {
                         if !self.drams[g].can_accept_read(probe_addr) {
                             return false;
                         }
-                        let token = self.fresh_token();
-                        self.pending.insert(
-                            token,
-                            Pending::RdcProbe {
-                                gpu: g,
-                                tag: req.tag,
-                                line: req.line_addr,
-                                home: h,
-                            },
-                        );
+                        let token = self.pending.insert(Pending::RdcProbe {
+                            gpu: g,
+                            tag: req.tag,
+                            line: req.line_addr,
+                            home: h,
+                        });
                         self.drams[g]
                             .try_enqueue_read(token, probe_addr, now)
                             .expect("capacity checked");
@@ -381,30 +386,22 @@ impl System {
                         if !self.drams[g].can_accept_read(probe_addr) {
                             return false;
                         }
-                        let token = self.fresh_token();
-                        self.pending.insert(
-                            token,
-                            Pending::RdcProbe {
-                                gpu: g,
-                                tag: req.tag,
-                                line: req.line_addr,
-                                home: usize::MAX, // sentinel: CPU home
-                            },
-                        );
+                        let token = self.pending.insert(Pending::RdcProbe {
+                            gpu: g,
+                            tag: req.tag,
+                            line: req.line_addr,
+                            home: usize::MAX, // sentinel: CPU home
+                        });
                         self.drams[g]
                             .try_enqueue_read(token, probe_addr, now)
                             .expect("capacity checked");
                         return true;
                     }
-                    let token = self.fresh_token();
-                    self.pending.insert(
-                        token,
-                        Pending::CpuRead {
-                            gpu: g,
-                            tag: req.tag,
-                            phase: RemotePhase::Go,
-                        },
-                    );
+                    let token = self.pending.insert(Pending::CpuRead {
+                        gpu: g,
+                        tag: req.tag,
+                        phase: RemotePhase::Go,
+                    });
                     self.net.send(me, NodeId::Cpu, token, msg::REQ_BYTES, now);
                     self.traffic.remote += 1;
                     self.traffic.cpu += 1;
@@ -420,22 +417,18 @@ impl System {
                             self.dram_write_best_effort(g, addr, now);
                         }
                     }
-                    let token = self.fresh_token();
-                    self.pending.insert(
-                        token,
-                        Pending::WriteArrive {
-                            home: h,
-                            line: req.line_addr,
-                            writer: g,
-                        },
-                    );
+                    let token = self.pending.insert(Pending::WriteArrive {
+                        home: h,
+                        line: req.line_addr,
+                        writer: g,
+                    });
                     self.net
                         .send(me, NodeId::Gpu(h), token, msg::WRITE_DATA_BYTES, now);
                     self.traffic.remote += 1;
                     true
                 }
                 NodeId::Cpu => {
-                    let token = self.fresh_token();
+                    let token = self.pending.untracked_token();
                     self.net
                         .send(me, NodeId::Cpu, token, msg::WRITE_DATA_BYTES, now);
                     self.cpu_mem.enqueue(token, true, now);
@@ -448,7 +441,7 @@ impl System {
                 if !self.drams[g].can_accept_write(req.line_addr) {
                     return false;
                 }
-                let token = self.fresh_token();
+                let token = self.pending.untracked_token();
                 self.drams[g]
                     .try_enqueue_write(token, req.line_addr, now)
                     .expect("capacity checked");
@@ -466,17 +459,13 @@ impl System {
     }
 
     fn send_remote_read(&mut self, g: usize, home: usize, tag: u64, line: u64, now: Cycle) {
-        let token = self.fresh_token();
-        self.pending.insert(
-            token,
-            Pending::RemoteRead {
-                requester: g,
-                tag,
-                line,
-                home,
-                phase: RemotePhase::Go,
-            },
-        );
+        let token = self.pending.insert(Pending::RemoteRead {
+            requester: g,
+            tag,
+            line,
+            home,
+            phase: RemotePhase::Go,
+        });
         self.net.send(
             NodeId::Gpu(g),
             NodeId::Gpu(home),
@@ -488,12 +477,15 @@ impl System {
     }
 
     fn handle_dram_completions(&mut self, now: Cycle) {
+        let mut comps = std::mem::take(&mut self.comp_scratch);
         for g in 0..self.num_gpus {
-            for comp in self.drams[g].tick(now) {
+            comps.clear();
+            self.drams[g].tick_into(now, &mut comps);
+            for &comp in &comps {
                 if comp.is_write {
                     continue;
                 }
-                match self.pending.remove(&comp.token) {
+                match self.pending.remove(comp.token) {
                     Some(Pending::LocalRead { gpu, tag }) => {
                         self.finish_read(gpu, tag, now);
                     }
@@ -519,15 +511,11 @@ impl System {
                         } else if home == usize::MAX {
                             // CPU-homed line (footnote-2 mode): fetch over
                             // the CPU link and fill the RDC on return.
-                            let token = self.fresh_token();
-                            self.pending.insert(
-                                token,
-                                Pending::CpuRead {
-                                    gpu,
-                                    tag,
-                                    phase: RemotePhase::Go,
-                                },
-                            );
+                            let token = self.pending.insert(Pending::CpuRead {
+                                gpu,
+                                tag,
+                                phase: RemotePhase::Go,
+                            });
                             self.net.send(
                                 NodeId::Gpu(gpu),
                                 NodeId::Cpu,
@@ -537,7 +525,7 @@ impl System {
                             );
                             self.traffic.remote += 1;
                             self.traffic.cpu += 1;
-                            self.cpu_fill_lines.insert(tag, line);
+                            self.cpu_fill_lines[gpu].insert_if_absent(tag, line);
                         } else {
                             self.send_remote_read(gpu, home, tag, line, now);
                         }
@@ -549,25 +537,26 @@ impl System {
                 }
             }
         }
+        self.comp_scratch = comps;
     }
 
     fn handle_cpu_mem(&mut self, now: Cycle) {
-        for comp in self.cpu_mem.tick(now) {
+        let mut comps = std::mem::take(&mut self.comp_scratch);
+        comps.clear();
+        self.cpu_mem.tick_into(now, &mut comps);
+        for &comp in &comps {
             if comp.is_write {
                 continue;
             }
             if let Some(Pending::CpuRead { gpu, tag, phase }) =
-                self.pending.get(&comp.token).copied()
+                self.pending.get(comp.token).copied()
             {
                 debug_assert_eq!(phase, RemotePhase::AtHome);
-                self.pending.insert(
-                    comp.token,
-                    Pending::CpuRead {
-                        gpu,
-                        tag,
-                        phase: RemotePhase::Return,
-                    },
-                );
+                *self.pending.get_mut(comp.token).expect("live CpuRead") = Pending::CpuRead {
+                    gpu,
+                    tag,
+                    phase: RemotePhase::Return,
+                };
                 self.net.send(
                     NodeId::Cpu,
                     NodeId::Gpu(gpu),
@@ -577,11 +566,15 @@ impl System {
                 );
             }
         }
+        self.comp_scratch = comps;
     }
 
     fn handle_deliveries(&mut self, now: Cycle) {
-        for d in self.net.tick(now) {
-            let Some(p) = self.pending.get(&d.token).copied() else {
+        let mut ds = std::mem::take(&mut self.deliv_scratch);
+        ds.clear();
+        self.net.tick_into(now, &mut ds);
+        for &d in &ds {
+            let Some(p) = self.pending.get(d.token).copied() else {
                 continue; // untracked payloads (migrations, CPU writes)
             };
             match p {
@@ -596,16 +589,14 @@ impl System {
                     if let Some(carve) = self.carve.as_mut() {
                         carve.on_home_read(home, line, requester);
                     }
-                    self.pending.insert(
-                        d.token,
+                    *self.pending.get_mut(d.token).expect("live RemoteRead") =
                         Pending::RemoteRead {
                             requester,
                             tag,
                             line,
                             home,
                             phase: RemotePhase::AtHome,
-                        },
-                    );
+                        };
                     if self.cores[home].external_read(d.token, line).is_err() {
                         self.ext_retry[home].push_back((d.token, line));
                     }
@@ -618,7 +609,7 @@ impl System {
                     ..
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Gpu(requester));
-                    self.pending.remove(&d.token);
+                    self.pending.remove(d.token);
                     if let Some(carve) = self.carve.as_mut() {
                         if let Some(victim) = carve.rdc_mut(requester).insert(line) {
                             // Write-back RDC ablation: flush the dirty
@@ -626,15 +617,11 @@ impl System {
                             let vpage = victim / self.cfg.page_size;
                             if let Some(NodeId::Gpu(vh)) = self.pt.home_of(vpage) {
                                 if vh != requester {
-                                    let token = self.fresh_token();
-                                    self.pending.insert(
-                                        token,
-                                        Pending::WriteArrive {
-                                            home: vh,
-                                            line: victim,
-                                            writer: requester,
-                                        },
-                                    );
+                                    let token = self.pending.insert(Pending::WriteArrive {
+                                        home: vh,
+                                        line: victim,
+                                        writer: requester,
+                                    });
                                     self.net.send(
                                         NodeId::Gpu(requester),
                                         NodeId::Gpu(vh),
@@ -659,14 +646,11 @@ impl System {
                     phase: RemotePhase::Go,
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Cpu);
-                    self.pending.insert(
-                        d.token,
-                        Pending::CpuRead {
-                            gpu,
-                            tag,
-                            phase: RemotePhase::AtHome,
-                        },
-                    );
+                    *self.pending.get_mut(d.token).expect("live CpuRead") = Pending::CpuRead {
+                        gpu,
+                        tag,
+                        phase: RemotePhase::AtHome,
+                    };
                     self.cpu_mem.enqueue(d.token, false, now);
                 }
                 Pending::CpuRead {
@@ -675,8 +659,8 @@ impl System {
                     phase: RemotePhase::Return,
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Gpu(gpu));
-                    self.pending.remove(&d.token);
-                    if let Some(line) = self.cpu_fill_lines.remove(&tag) {
+                    self.pending.remove(d.token);
+                    if let Some(line) = self.cpu_fill_lines[gpu].remove(tag) {
                         if let Some(carve) = self.carve.as_mut() {
                             carve.rdc_mut(gpu).insert(line);
                         }
@@ -687,11 +671,11 @@ impl System {
                 }
                 Pending::CpuRead { .. } => unreachable!("CPU read delivered mid-memory"),
                 Pending::WriteArrive { home, line, writer } => {
-                    self.pending.remove(&d.token);
+                    self.pending.remove(d.token);
                     self.write_at_home(home, line, writer, now);
                 }
                 Pending::Invalidate { target, line } => {
-                    self.pending.remove(&d.token);
+                    self.pending.remove(d.token);
                     self.apply_invalidate(target, line);
                 }
                 Pending::LocalRead { .. } | Pending::RdcProbe { .. } => {
@@ -699,6 +683,7 @@ impl System {
                 }
             }
         }
+        self.deliv_scratch = ds;
     }
 
     fn handle_delayed(&mut self, now: Cycle) {
@@ -713,18 +698,15 @@ impl System {
                 line,
                 home,
                 phase: RemotePhase::AtHome,
-            }) = self.pending.get(&token).copied()
+            }) = self.pending.get(token).copied()
             {
-                self.pending.insert(
-                    token,
-                    Pending::RemoteRead {
-                        requester,
-                        tag,
-                        line,
-                        home,
-                        phase: RemotePhase::Return,
-                    },
-                );
+                *self.pending.get_mut(token).expect("live RemoteRead") = Pending::RemoteRead {
+                    requester,
+                    tag,
+                    line,
+                    home,
+                    phase: RemotePhase::Return,
+                };
                 self.net.send(
                     NodeId::Gpu(home),
                     NodeId::Gpu(requester),
@@ -747,7 +729,7 @@ impl System {
             }
             while let Some(&addr) = self.dram_retry[g].front() {
                 if self.drams[g].can_accept_write(addr) {
-                    let token = self.fresh_token();
+                    let token = self.pending.untracked_token();
                     self.drams[g]
                         .try_enqueue_write(token, addr, now)
                         .expect("capacity checked");
@@ -760,13 +742,15 @@ impl System {
     }
 
     fn process_migrations(&mut self, now: Cycle) {
-        let migrations = std::mem::take(&mut self.migrations_buf);
-        for m in migrations {
+        // Take/restore so the buffer's capacity survives across ticks
+        // (translation refills it while the cores tick).
+        let mut migrations = std::mem::take(&mut self.migrations_buf);
+        for m in migrations.drain(..) {
             let transfer = (self.cfg.page_size as f64 / self.cfg.link_bytes_per_cycle) as u64
                 + self.cfg.link_latency;
             self.pt
                 .block_page_until(m.page, Cycle(now.0 + transfer + MIGRATION_STALL));
-            let token = self.fresh_token(); // untracked payload
+            let token = self.pending.untracked_token(); // untracked payload
             self.net
                 .send(m.from, NodeId::Gpu(m.to), token, self.cfg.page_size, now);
             for core in &mut self.cores {
@@ -774,6 +758,7 @@ impl System {
             }
             self.traffic.migrations += 1;
         }
+        self.migrations_buf = migrations;
     }
 
     fn tick(&mut self, now: Cycle) {
@@ -783,21 +768,26 @@ impl System {
         self.handle_delayed(now);
         self.handle_retries(now);
         // GPU cores issue and service.
-        for g in 0..self.num_gpus {
-            let mut xl = SystemXl {
-                pt: &mut self.pt,
-                migrations: &mut self.migrations_buf,
-            };
-            let fabric = NetFabric { net: &self.net };
-            self.cores[g].tick(now, &mut xl, &fabric);
-        }
-        self.process_migrations(now);
-        // Home-side external reads that completed in the cores.
-        for g in 0..self.num_gpus {
-            for (token, at) in self.cores[g].drain_external_done() {
-                self.delayed.push(Reverse((at.0, token)));
+        {
+            for g in 0..self.num_gpus {
+                let mut xl = SystemXl {
+                    pt: &mut self.pt,
+                    migrations: &mut self.migrations_buf,
+                };
+                let fabric = NetFabric { net: &self.net };
+                self.cores[g].tick(now, &mut xl, &fabric);
             }
         }
+        self.process_migrations(now);
+        // Home-side external reads that completed in the cores, drained
+        // through a reused scratch buffer (the heap is order-insensitive).
+        for g in 0..self.num_gpus {
+            self.cores[g].drain_external_done_into(&mut self.ext_done_scratch);
+        }
+        for &(token, at) in &self.ext_done_scratch {
+            self.delayed.push(Reverse((at.0, token)));
+        }
+        self.ext_done_scratch.clear();
         // Drain outboxes with head-of-line back-pressure.
         for g in 0..self.num_gpus {
             while let Some(&req) = self.cores[g].outbox_front() {
@@ -886,7 +876,7 @@ impl System {
     /// queues, and the age of the oldest in-flight read.
     fn stall_diagnostic(&self, now: Cycle) -> String {
         let mut lines = Vec::new();
-        if let Some(&t0) = self.issue_time.values().min() {
+        if let Some(&t0) = self.issue_time.iter().flat_map(TagTable::values).min() {
             lines.push(format!(
                 "oldest in-flight read: issued at cycle {t0}, {} cycles ago",
                 now.0.saturating_sub(t0)
@@ -953,15 +943,11 @@ impl System {
                     let page = line / self.cfg.page_size;
                     if let Some(NodeId::Gpu(h)) = self.pt.home_of(page) {
                         if h != g {
-                            let token = self.fresh_token();
-                            self.pending.insert(
-                                token,
-                                Pending::WriteArrive {
-                                    home: h,
-                                    line,
-                                    writer: g,
-                                },
-                            );
+                            let token = self.pending.insert(Pending::WriteArrive {
+                                home: h,
+                                line,
+                                writer: g,
+                            });
                             self.net.send(
                                 NodeId::Gpu(g),
                                 NodeId::Gpu(h),
@@ -1518,7 +1504,7 @@ pub fn try_run_observed(
         l1_misses,
         replays,
         mshr_merges,
-        read_latency: sys.read_latency.clone(),
+        read_latency: std::mem::take(&mut sys.read_latency),
         completed: true,
         timeline,
     };
@@ -1739,16 +1725,23 @@ mod tests {
     }
 
     #[test]
-    fn fresh_tokens_are_unique_and_start_at_one() {
+    fn tokens_are_unique_and_allocation_ordered() {
+        // The delayed-response heap breaks due-cycle ties on the token, so
+        // tokens must be unique and strictly increasing in allocation
+        // order — for tracked and untracked mints alike.
         let spec = quick_spec("Lulesh");
         let sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
         let mut sys = System::build(&spec, &sim, None);
-        let first = sys.fresh_token();
-        assert_eq!(first, 1, "token stream must start at the documented value");
-        let mut seen = std::collections::HashSet::new();
-        seen.insert(first);
-        for _ in 0..1000 {
-            assert!(seen.insert(sys.fresh_token()), "token issued twice");
+        let mut last = 0u64;
+        for i in 0..1000 {
+            let token = if i % 3 == 0 {
+                sys.pending.untracked_token()
+            } else {
+                sys.pending
+                    .insert(Pending::Invalidate { target: 0, line: 0 })
+            };
+            assert!(token > last, "tokens must be allocation-ordered");
+            last = token;
         }
     }
 
