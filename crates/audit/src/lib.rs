@@ -1,0 +1,632 @@
+//! First-party static-analysis rules for the carve-mgpu workspace.
+//!
+//! This is a deliberately dependency-free, line-oriented source scanner —
+//! no `syn`, no `dylint`, nothing that needs a network or a nightly
+//! toolchain. It enforces simulator-specific invariants that `rustc` and
+//! `clippy` cannot express because they are about *which module* code
+//! lives in, not whether it is well-typed:
+//!
+//! * [`tick-path-collections`] — the per-cycle datapath (`system::sim`,
+//!   `gpu::sm`, `dram`, `noc`, `cache::mshr`, `carve::*`) must use
+//!   `sim_core::fast` lookup structures. `HashMap`/`HashSet`/`BTreeMap`/
+//!   `BTreeSet` carry SipHash cost and (for the hash maps) nondeterministic
+//!   iteration order that would poison the bit-identical journals.
+//!   `VecDeque`/`BinaryHeap` are deterministic and stay allowed.
+//! * [`wall-clock`] — crates whose state feeds journal lines must not read
+//!   `SystemTime`/`Instant` or OS randomness (`thread_rng`): simulated
+//!   time comes from [`Cycle`]s and randomness from the seeded splitmix
+//!   RNG, or replays stop being replays.
+//! * [`tick-path-panics`] — non-test tick-path code must not
+//!   `unwrap`/`expect`/`panic!`; fallible paths route through `SimError`
+//!   so campaigns can journal the failure instead of losing the worker.
+//! * [`lossy-cast`] — no silent-truncating `as` casts on cycle/address/
+//!   token-typed values; 20-bit epoch counters taught us how those bite.
+//! * [`equivalence-doc`] — every module carrying an event-horizon
+//!   fast-path cache (`min_finish`, `min_arrival`, `next_event`,
+//!   `next_activity`) must contain an `// EQUIVALENCE:` comment block
+//!   arguing why skipping is bit-identical to stepping.
+//!
+//! Any finding can be suppressed in place with an allow-comment on the
+//! same or the immediately preceding line:
+//!
+//! ```text
+//! // audit:allow(wall-clock) CLI progress timer, never enters a journal
+//! let started = Instant::now();
+//! ```
+//!
+//! The rule name must match and the reason must be non-empty, otherwise
+//! the finding still fires. Run the scanner with `carve-audit lint` (or
+//! `carve-sim audit`); it exits non-zero and prints `file:line: rule:
+//! message` diagnostics on any finding.
+//!
+//! [`tick-path-collections`]: Rule::TickPathCollections
+//! [`wall-clock`]: Rule::WallClock
+//! [`tick-path-panics`]: Rule::TickPathPanics
+//! [`lossy-cast`]: Rule::LossyCast
+//! [`equivalence-doc`]: Rule::EquivalenceDoc
+//! [`Cycle`]: https://docs.rs/ (sim-core::Cycle)
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rules the scanner knows, with their allow-comment names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Hash/btree collections in tick-path modules.
+    TickPathCollections,
+    /// Wall-clock time or OS randomness in journal-feeding crates.
+    WallClock,
+    /// `unwrap`/`expect`/`panic!` in non-test tick-path code.
+    TickPathPanics,
+    /// Truncating `as` casts on cycle/address-typed values.
+    LossyCast,
+    /// Event-cache module missing its `// EQUIVALENCE:` block.
+    EquivalenceDoc,
+}
+
+impl Rule {
+    /// The name used in diagnostics and `audit:allow(...)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::TickPathCollections => "tick-path-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::TickPathPanics => "tick-path-panics",
+            Rule::LossyCast => "lossy-cast",
+            Rule::EquivalenceDoc => "equivalence-doc",
+        }
+    }
+
+    /// All rules, for `--list` style output.
+    pub fn all() -> [Rule; 5] {
+        [
+            Rule::TickPathCollections,
+            Rule::WallClock,
+            Rule::TickPathPanics,
+            Rule::LossyCast,
+            Rule::EquivalenceDoc,
+        ]
+    }
+}
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Whether `rel` (workspace-relative, `/`-separated) is a tick-path
+/// module: code executed every simulated cycle, where lookup structure
+/// and panic discipline are load-bearing.
+fn is_tick_path(rel: &str) -> bool {
+    rel == "crates/system/src/sim.rs"
+        || rel == "crates/gpu/src/sm.rs"
+        || rel == "crates/dram/src/lib.rs"
+        || rel == "crates/noc/src/lib.rs"
+        || rel == "crates/cache/src/mshr.rs"
+        || rel.starts_with("crates/carve/src/")
+}
+
+/// Crates whose state can end up encoded in a journal line. `bench` and
+/// `experiments` time wall-clock on purpose (throughput reporting and
+/// campaign bookkeeping) and are out of scope.
+const JOURNAL_FEEDING_CRATES: [&str; 9] = [
+    "sim-core", "system", "carve", "cache", "dram", "gpu", "noc", "trace", "runtime",
+];
+
+fn is_journal_feeding(rel: &str) -> bool {
+    JOURNAL_FEEDING_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Splits a source line into (code, comment) at the first `//` that is
+/// not inside a string literal (tracked naively over `"` with `\"`
+/// escapes — good enough for this codebase's style).
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped byte
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Parses `audit:allow(rule) reason` out of a comment fragment. Returns
+/// `Some((rule_name, reason))` when the syntax is present (reason may be
+/// empty — the caller decides whether that suppresses).
+fn parse_allow(comment: &str) -> Option<(&str, &str)> {
+    let idx = comment.find("audit:allow(")?;
+    let rest = &comment[idx + "audit:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    let reason = rest[close + 1..].trim();
+    Some((rule, reason))
+}
+
+/// Whether a finding of `rule` on this line is suppressed by an
+/// allow-comment on the same line or the immediately preceding one.
+/// A matching allow with an empty reason does *not* suppress: reasons
+/// are the whole point of the mechanism.
+fn allowed(rule: Rule, same_line_comment: &str, prev_line: &str) -> bool {
+    for comment in [same_line_comment, prev_line] {
+        if let Some((name, reason)) = parse_allow(comment) {
+            if name == rule.name() && !reason.is_empty() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Identifier-ish characters for the cast-operand walk-back.
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+/// Finds truncating casts whose operand names a cycle/address/token
+/// quantity. Widening casts (`as u64`) and index casts (`g as u32`) are
+/// fine; `now as u32` or `line_addr as u32` are not.
+fn lossy_cast_operand(code: &str) -> Option<String> {
+    const TARGETS: [&str; 6] = [
+        " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+    ];
+    const SUSPECT: [&str; 8] = [
+        "cycle",
+        "addr",
+        "token",
+        "tag",
+        "now",
+        "epoch",
+        "line_addr",
+        "clock",
+    ];
+    for t in TARGETS {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(t) {
+            let at = from + pos;
+            // The cast target must end the expression or be followed by a
+            // non-identifier character (so " as u32" doesn't match
+            // " as u32x4" or similar).
+            let after = at + t.len();
+            if code
+                .as_bytes()
+                .get(after)
+                .copied()
+                .is_some_and(is_ident_char)
+            {
+                from = after;
+                continue;
+            }
+            // Walk back over the operand's identifier path.
+            let bytes = code.as_bytes();
+            let mut start = at;
+            while start > 0 && is_ident_char(bytes[start - 1]) {
+                start -= 1;
+            }
+            let operand = &code[start..at];
+            let lower = operand.to_ascii_lowercase();
+            if SUSPECT.iter().any(|s| lower.contains(s)) {
+                return Some(operand.to_string());
+            }
+            from = after;
+        }
+    }
+    None
+}
+
+/// Substrings whose presence marks an event-horizon fast-path cache.
+const EVENT_CACHE_MARKERS: [&str; 4] = [
+    "min_finish",
+    "min_arrival",
+    "fn next_event",
+    "fn next_activity",
+];
+
+/// Scans one file's content. `rel` is the workspace-relative path with
+/// `/` separators; it selects which rules apply.
+pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
+    let tick_path = is_tick_path(rel);
+    let journal_feeding = is_journal_feeding(rel);
+    if !tick_path && !journal_feeding {
+        return Vec::new();
+    }
+
+    let mut diags = Vec::new();
+    let mut prev_line = "";
+    // Test-module skipping: a `#[cfg(test)]` attribute arms the skipper;
+    // the next `mod ... {` enters it; brace depth tracks the exit.
+    let mut test_pending = false;
+    let mut test_depth: i64 = 0;
+    let mut has_equivalence = false;
+    let mut first_marker: Option<(usize, &str)> = None;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = split_comment(raw);
+        let trimmed = raw.trim_start();
+
+        if comment.contains("EQUIVALENCE:") || trimmed.starts_with("//! EQUIVALENCE:") {
+            has_equivalence = true;
+        }
+
+        // Inside a `#[cfg(test)] mod`: only track braces until it closes.
+        if test_depth > 0 {
+            for b in code.bytes() {
+                match b {
+                    b'{' => test_depth += 1,
+                    b'}' => test_depth -= 1,
+                    _ => {}
+                }
+            }
+            prev_line = raw;
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            test_pending = true;
+            prev_line = raw;
+            continue;
+        }
+        if test_pending && !trimmed.is_empty() && !trimmed.starts_with("//") {
+            test_pending = false;
+            if trimmed.starts_with("mod") && code.contains('{') {
+                for b in code.bytes() {
+                    match b {
+                        b'{' => test_depth += 1,
+                        b'}' => test_depth -= 1,
+                        _ => {}
+                    }
+                }
+                prev_line = raw;
+                continue;
+            }
+            // `#[cfg(test)]` on a non-module item (a lone fn or use):
+            // skip just that line, conservatively.
+            prev_line = raw;
+            continue;
+        }
+
+        // Whole-line comments only ever feed the equivalence rule.
+        if trimmed.starts_with("//") {
+            prev_line = raw;
+            continue;
+        }
+
+        if tick_path {
+            if first_marker.is_none() {
+                for m in EVENT_CACHE_MARKERS {
+                    if code.contains(m) {
+                        first_marker = Some((line_no, m));
+                        break;
+                    }
+                }
+            }
+            for ty in ["HashMap", "HashSet", "BTreeMap", "BTreeSet"] {
+                if code.contains(ty) && !allowed(Rule::TickPathCollections, comment, prev_line) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: Rule::TickPathCollections,
+                        message: format!(
+                            "`{ty}` in a tick-path module; use `sim_core::fast` \
+                             (FastMap/FastSet/Slab/TagTable) so lookups stay \
+                             allocation-free and iteration-order deterministic"
+                        ),
+                    });
+                    break;
+                }
+            }
+            for pat in [".unwrap()", ".expect(", "panic!("] {
+                if code.contains(pat) && !allowed(Rule::TickPathPanics, comment, prev_line) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: Rule::TickPathPanics,
+                        message: format!(
+                            "`{}` in non-test tick-path code; route the failure \
+                             through `SimError` so campaigns journal it instead \
+                             of losing the worker",
+                            pat.trim_start_matches('.')
+                        ),
+                    });
+                    break;
+                }
+            }
+            if let Some(op) = lossy_cast_operand(code) {
+                if !allowed(Rule::LossyCast, comment, prev_line) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: Rule::LossyCast,
+                        message: format!(
+                            "truncating `as` cast on `{op}` (cycle/address-typed); \
+                             use `try_into` or widen the destination"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if journal_feeding {
+            let wall = code.contains("SystemTime")
+                || code.contains("Instant::now")
+                || code.contains("std::time::Instant")
+                || (code.contains("std::time::{") && code.contains("Instant"))
+                || code.contains("thread_rng")
+                || code.contains("rand::random");
+            if wall && !allowed(Rule::WallClock, comment, prev_line) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: line_no,
+                    rule: Rule::WallClock,
+                    message: "wall-clock time or OS randomness in a journal-feeding \
+                              crate; simulated time comes from `Cycle`, randomness \
+                              from the seeded `sim_core::rng`"
+                        .to_string(),
+                });
+            }
+        }
+
+        prev_line = raw;
+    }
+
+    if tick_path && !has_equivalence {
+        if let Some((line, marker)) = first_marker {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line,
+                rule: Rule::EquivalenceDoc,
+                message: format!(
+                    "module carries an event-horizon fast path (`{marker}`) but no \
+                     `// EQUIVALENCE:` block arguing bit-identity with stepping"
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    diags
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root` (the workspace root).
+/// Returns the findings plus the number of files scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} has no crates/ directory; pass the workspace root",
+                root.display()
+            ),
+        ));
+    }
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    let scanned = files.len();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let content = fs::read_to_string(&path)?;
+        diags.extend(scan_file(&rel, &content));
+    }
+    Ok((diags, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: &str = "crates/carve/src/rdc.rs";
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule.name()).collect()
+    }
+
+    #[test]
+    fn collections_flagged_in_tick_path_with_line() {
+        let src = "use std::collections::HashMap;\nfn f() {}\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["tick-path-collections"]);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].file, TICK);
+    }
+
+    #[test]
+    fn collections_ignored_outside_tick_path() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(scan_file("crates/runtime/src/sharing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deterministic_collections_stay_allowed() {
+        let src = "use std::collections::{BinaryHeap, VecDeque};\n";
+        assert!(scan_file(TICK, src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_with_reason_suppresses() {
+        let src = "// audit:allow(tick-path-collections) cold path, sized once at build\n\
+                   use std::collections::HashMap;\n";
+        assert!(scan_file(TICK, src).is_empty());
+        let same_line =
+            "use std::collections::HashMap; // audit:allow(tick-path-collections) cold path\n";
+        assert!(scan_file(TICK, same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_without_reason_does_not_suppress() {
+        let src = "// audit:allow(tick-path-collections)\nuse std::collections::HashMap;\n";
+        assert_eq!(rules_of(&scan_file(TICK, src)), ["tick-path-collections"]);
+    }
+
+    #[test]
+    fn allow_comment_for_wrong_rule_does_not_suppress() {
+        let src = "// audit:allow(wall-clock) wrong rule\nuse std::collections::HashMap;\n";
+        assert_eq!(rules_of(&scan_file(TICK, src)), ["tick-path-collections"]);
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_journal_feeding_crate() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let d = scan_file("crates/system/src/metrics.rs", src);
+        assert_eq!(rules_of(&d), ["wall-clock", "wall-clock"]);
+        assert_eq!(d[0].line, 1);
+        let braced = "use std::time::{Duration, Instant};\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/sim-core/src/stats.rs", braced)),
+            ["wall-clock"]
+        );
+        let rng = "let x = rand::thread_rng().gen::<u64>();\n";
+        assert_eq!(
+            rules_of(&scan_file("crates/gpu/src/core.rs", rng)),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn trace_phase_instant_is_not_wall_clock() {
+        let src =
+            "let p = TracePhase::Instant;\nmatch p { TracePhase::Instant => \"i\", _ => \"x\" };\n";
+        assert!(scan_file("crates/sim-core/src/telemetry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_ignored_in_bench_and_experiments() {
+        let src = "use std::time::Instant;\n";
+        assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+        assert!(scan_file("crates/experiments/src/campaign.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panics_flagged_only_outside_test_modules() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                       fn h() { panic!(\"boom\"); }\n\
+                   }\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["tick-path-panics"]);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn expect_and_panic_flagged() {
+        let src = "fn f(x: Option<u32>) { x.expect(\"set\"); }\nfn g() { panic!(\"no\"); }\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["tick-path-panics", "tick-path-panics"]);
+    }
+
+    #[test]
+    fn lossy_cast_on_cycle_operand_flagged() {
+        let src = "fn f(now: u64) -> u32 { now as u32 }\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["lossy-cast"]);
+        assert!(d[0].message.contains("now"));
+        let addr = "let x = line_addr as u16;\n";
+        assert_eq!(rules_of(&scan_file(TICK, addr)), ["lossy-cast"]);
+    }
+
+    #[test]
+    fn widening_and_index_casts_stay_allowed() {
+        let src = "let a = now as u64;\nlet b = g as u32;\nlet c = count as u32;\n";
+        assert!(scan_file(TICK, src).is_empty());
+    }
+
+    #[test]
+    fn equivalence_marker_required_for_event_caches() {
+        let src = "struct Ch { min_finish: u64 }\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["equivalence-doc"]);
+        assert_eq!(d[0].line, 1);
+        let documented = "// EQUIVALENCE: the cache only ever under-approximates the horizon.\n\
+                          struct Ch { min_finish: u64 }\n";
+        assert!(scan_file(TICK, documented).is_empty());
+    }
+
+    #[test]
+    fn comment_mentions_do_not_fire_code_rules() {
+        let src = "// HashMap would be wrong here; Instant::now too.\nfn f() {}\n";
+        assert!(scan_file("crates/system/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn diagnostic_display_is_file_line_rule_message() {
+        let d = Diagnostic {
+            file: "crates/noc/src/lib.rs".into(),
+            line: 42,
+            rule: Rule::WallClock,
+            message: "nope".into(),
+        };
+        assert_eq!(d.to_string(), "crates/noc/src/lib.rs:42: wall-clock: nope");
+    }
+
+    #[test]
+    fn scan_workspace_rejects_non_workspace_roots() {
+        let err = scan_workspace(Path::new("/nonexistent-root")).unwrap_err();
+        assert!(err.to_string().contains("crates/"));
+    }
+}

@@ -90,6 +90,16 @@ impl Carve {
         &mut self.imsts[g]
     }
 
+    /// Home node `g`'s sharing tracker (read-only, for shadow checkers).
+    pub fn imst(&self, g: usize) -> &Imst {
+        &self.imsts[g]
+    }
+
+    /// Home node `g`'s directory (read-only), when directory mode is on.
+    pub fn directory(&self, g: usize) -> Option<&Directory> {
+        self.directories.as_ref().map(|d| &d[g])
+    }
+
     /// Number of GPUs.
     pub fn num_gpus(&self) -> usize {
         self.rdcs.len()

@@ -72,6 +72,14 @@ impl Directory {
         targets
     }
 
+    /// Whether `gpu` is currently recorded as holding a copy of
+    /// `line_addr` (read-only, for shadow checkers).
+    pub fn has_sharer(&self, line_addr: u64, gpu: usize) -> bool {
+        self.sharers
+            .get(line_addr)
+            .is_some_and(|m| m & (1 << gpu) != 0)
+    }
+
     /// Number of sharers currently recorded for a line.
     pub fn sharer_count(&self, line_addr: u64) -> u32 {
         self.sharers

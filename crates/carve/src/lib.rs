@@ -46,6 +46,7 @@ pub mod predictor;
 pub mod rdc;
 pub mod swc;
 
+pub use carve_cache::alloy::EPOCH_MAX;
 pub use coherence::{Carve, CoherencePolicy};
 pub use directory::Directory;
 pub use imst::{Imst, ImstDecision, SharingState};

@@ -126,6 +126,15 @@ struct Channel {
     read_q: BoundedQueue<DramRequest>,
     write_q: BoundedQueue<DramRequest>,
     in_service: Vec<(Completion, u64)>, // (completion, finish cycle)
+    // EQUIVALENCE: the `min_finish` / `issue_floor` caches below only ever
+    // *under*-approximate the next interesting cycle, and every mutation
+    // that could create earlier work (enqueue, issue, completion drain)
+    // re-tightens them in the same call. A skipped tick therefore observes
+    // exactly the state a stepped tick would have: the delivery scan and
+    // FR-FCFS scan are elided only on ticks where a full scan would have
+    // found nothing, so completions, bank timings and stats are
+    // bit-identical between the event-skip and step engines (proved by
+    // `next_event_reproduces_stepped_completions` and the golden tests).
     /// Earliest in-service finish cycle (`u64::MAX` when none): lets the
     /// per-tick delivery scan and the event horizon skip the list
     /// entirely until something is actually due.
@@ -203,12 +212,141 @@ impl DramStats {
     }
 }
 
+/// Shadow checker for DRAM timing legality, used by the protocol
+/// sanitizer (`CARVE_SANITIZE=1`).
+///
+/// It keeps its *own* copy of per-channel bus occupancy and per-bank
+/// ready/open-row state, updated only from issued accesses, and checks
+/// every new issue against that shadow: the data bus must not overlap a
+/// previous burst, a bank must not be re-accessed inside its busy window
+/// (the tRP/tRCD/tRC recovery modelled by `ready_at`), a claimed row hit
+/// must match the shadow's open row, and the completion must respect the
+/// CAS-latency floor. Because the shadow is maintained independently of
+/// the model's own `Bank`/`Channel` state, a future refactor that forgets
+/// to update either side trips a violation instead of silently bending
+/// timing. Only the first violation is kept.
+#[derive(Debug, Default)]
+pub struct TimingAudit {
+    channels: Vec<AuditChannel>,
+    violation: Option<String>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct AuditChannel {
+    bus_busy_until: f64,
+    banks: Vec<AuditBank>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct AuditBank {
+    ready_at: u64,
+    open_row: Option<u64>,
+}
+
+/// Slack for comparing the model's f64 bus arithmetic against the shadow.
+const AUDIT_EPS: f64 = 1e-6;
+
+impl TimingAudit {
+    /// Creates an empty audit; channel/bank shadows grow on first use.
+    pub fn new() -> TimingAudit {
+        TimingAudit::default()
+    }
+
+    fn bank(&mut self, channel: usize, bank: usize) -> &mut AuditBank {
+        if self.channels.len() <= channel {
+            self.channels.resize(channel + 1, AuditChannel::default());
+        }
+        let ch = &mut self.channels[channel];
+        if ch.banks.len() <= bank {
+            ch.banks.resize(bank + 1, AuditBank::default());
+        }
+        &mut ch.banks[bank]
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.violation.is_none() {
+            self.violation = Some(msg);
+        }
+    }
+
+    /// Validates one issued access against the shadow state, then rolls
+    /// the shadow forward. Arguments mirror the model's issue math:
+    /// `start` is the bus start time, `burst` the bus occupancy,
+    /// `bank_ready` the cycle the bank recovers, `finish` the completion
+    /// cycle, `row_hit` whether the model charged open-row timing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_issue(
+        &mut self,
+        channel: usize,
+        bank: usize,
+        row: u64,
+        start: f64,
+        burst: f64,
+        bank_ready: u64,
+        finish: u64,
+        row_hit: bool,
+        t_cl: u64,
+    ) {
+        if self.violation.is_some() {
+            return;
+        }
+        let shadow_bus = self
+            .channels
+            .get(channel)
+            .map(|c| c.bus_busy_until)
+            .unwrap_or(0.0);
+        if start + AUDIT_EPS < shadow_bus {
+            self.fail(format!(
+                "dram channel {channel}: burst starts at {start} while the data bus \
+                 is busy until {shadow_bus} (overlapping serialization)"
+            ));
+            return;
+        }
+        let b = *self.bank(channel, bank);
+        if start + AUDIT_EPS < b.ready_at as f64 {
+            self.fail(format!(
+                "dram channel {channel} bank {bank}: access starts at {start} inside \
+                 the bank's recovery window (ready at {})",
+                b.ready_at
+            ));
+            return;
+        }
+        if row_hit && b.open_row != Some(row) {
+            self.fail(format!(
+                "dram channel {channel} bank {bank}: row-hit timing charged for row \
+                 {row} but the shadow open row is {:?}",
+                b.open_row
+            ));
+            return;
+        }
+        if (finish as f64) + AUDIT_EPS < start + t_cl as f64 {
+            self.fail(format!(
+                "dram channel {channel} bank {bank}: completion at {finish} beats the \
+                 CAS-latency floor (start {start} + tCL {t_cl})"
+            ));
+            return;
+        }
+        let bank_state = self.bank(channel, bank);
+        bank_state.ready_at = bank_ready;
+        bank_state.open_row = Some(row);
+        self.channels[channel].bus_busy_until = start + burst;
+    }
+
+    /// The first violation found, if any.
+    pub fn violation(&self) -> Option<&str> {
+        self.violation.as_deref()
+    }
+}
+
 /// Detailed multi-channel DRAM timing model.
 #[derive(Debug)]
 pub struct DramModel {
     cfg: DramConfig,
     channels: Vec<Channel>,
     stats: DramStats,
+    /// Timing-legality shadow checker; `None` (the default) costs one
+    /// pointer check per issued access.
+    audit: Option<Box<TimingAudit>>,
 }
 
 impl DramModel {
@@ -238,7 +376,21 @@ impl DramModel {
             cfg,
             channels,
             stats: DramStats::default(),
+            audit: None,
         }
+    }
+
+    /// Enables (or disables) the [`TimingAudit`] shadow checker. Enabling
+    /// mid-run starts the shadow from an empty state, which is safe: the
+    /// shadow only ever *under*-approximates bus/bank occupancy, so it can
+    /// miss violations in already-in-flight work but never invent one.
+    pub fn set_timing_audit(&mut self, enabled: bool) {
+        self.audit = enabled.then(|| Box::new(TimingAudit::new()));
+    }
+
+    /// The first timing violation the audit found, if auditing is on.
+    pub fn timing_violation(&self) -> Option<&str> {
+        self.audit.as_ref().and_then(|a| a.violation())
     }
 
     #[inline]
@@ -311,7 +463,7 @@ impl DramModel {
     pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<Completion>) {
         let cfg = self.cfg.clone();
         let banks_per_channel = cfg.banks_per_channel;
-        for ch in &mut self.channels {
+        for (ci, ch) in self.channels.iter_mut().enumerate() {
             // 1. Deliver finished accesses (skip the scan until something
             // is due).
             if ch.min_finish <= now.0 {
@@ -390,6 +542,7 @@ impl DramModel {
                         taken += 1;
                         found
                     })
+                    // audit:allow(tick-path-panics) idx was computed from this queue two lines up; a miss is memory corruption, not a recoverable SimError
                     .expect("picked index must exist");
                 // Timing.
                 let (bank_idx, row) = {
@@ -403,6 +556,7 @@ impl DramModel {
                 };
                 let bank = &mut ch.banks[bank_idx];
                 let start = (now.0 as f64).max(ch.bus_free_at).max(bank.ready_at as f64);
+                let row_hit = bank.open_row == Some(row);
                 let access_lat = match bank.open_row {
                     Some(r) if r == row => {
                         self.stats.row_hits += 1;
@@ -433,6 +587,19 @@ impl DramModel {
                     self.stats.reads += 1;
                 }
                 let finish = finish.ceil() as u64;
+                if let Some(audit) = self.audit.as_deref_mut() {
+                    audit.observe_issue(
+                        ci,
+                        bank_idx,
+                        row,
+                        start,
+                        burst,
+                        bank_ready as u64,
+                        finish,
+                        row_hit,
+                        cfg.t_cl,
+                    );
+                }
                 ch.in_service.push((
                     Completion {
                         token: req.token,
@@ -702,6 +869,85 @@ mod tests {
             }
         }
         out
+    }
+
+    #[test]
+    fn timing_audit_passes_a_legal_sequence() {
+        let mut a = TimingAudit::new();
+        // Closed bank: activate + CAS, burst of 8 cycles on the bus.
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 36, 36, false, 14);
+        // Row hit on the now-open row, after the bus frees.
+        a.observe_issue(0, 0, 5, 36.0, 8.0, 58, 58, true, 14);
+        // A different channel has its own bus: overlapping is fine.
+        a.observe_issue(1, 0, 5, 0.0, 8.0, 36, 36, false, 14);
+        assert_eq!(a.violation(), None);
+    }
+
+    #[test]
+    fn timing_audit_catches_bus_overlap() {
+        let mut a = TimingAudit::new();
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 36, 36, false, 14);
+        // Second burst starts while the first still owns the data bus.
+        a.observe_issue(0, 1, 9, 4.0, 8.0, 40, 40, false, 14);
+        let v = a.violation().expect("violation latched");
+        assert!(v.contains("bus"), "names the bus: {v}");
+    }
+
+    #[test]
+    fn timing_audit_catches_bank_recovery_breach() {
+        let mut a = TimingAudit::new();
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 36, 36, false, 14);
+        // Same bank re-issued at cycle 10 < ready_at 36 (bus is free by
+        // claiming a start after the burst but inside recovery).
+        a.observe_issue(0, 0, 5, 10.0, 8.0, 60, 60, true, 14);
+        let v = a.violation().expect("violation latched");
+        assert!(v.contains("recovery"), "names the window: {v}");
+    }
+
+    #[test]
+    fn timing_audit_catches_false_row_hit() {
+        let mut a = TimingAudit::new();
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 36, 36, false, 14);
+        // Row-hit timing charged for a different row than the open one.
+        a.observe_issue(0, 0, 6, 40.0, 8.0, 62, 62, true, 14);
+        let v = a.violation().expect("violation latched");
+        assert!(v.contains("row"), "names the row: {v}");
+    }
+
+    #[test]
+    fn timing_audit_catches_cas_floor_breach() {
+        let mut a = TimingAudit::new();
+        // Completion before start + tCL is physically impossible.
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 10, 10, false, 14);
+        let v = a.violation().expect("violation latched");
+        assert!(v.contains("CAS"), "names the floor: {v}");
+    }
+
+    #[test]
+    fn timing_audit_keeps_first_violation() {
+        let mut a = TimingAudit::new();
+        a.observe_issue(0, 0, 5, 0.0, 8.0, 10, 10, false, 14); // CAS breach
+        a.observe_issue(0, 0, 6, 0.0, 8.0, 36, 36, true, 14); // would be row breach
+        assert!(a.violation().unwrap().contains("CAS"));
+    }
+
+    #[test]
+    fn audited_model_runs_clean_and_costs_nothing_when_off() {
+        let mut plain = DramModel::new(small_cfg());
+        let mut audited = DramModel::new(small_cfg());
+        audited.set_timing_audit(true);
+        for (i, addr) in (0..32u64).map(|i| (i, i * 128)).collect::<Vec<_>>() {
+            plain.try_enqueue_read(i, addr, Cycle(0)).ok();
+            audited.try_enqueue_read(i, addr, Cycle(0)).ok();
+        }
+        let a = run_until_done(&mut plain, 10_000);
+        let b = run_until_done(&mut audited, 10_000);
+        assert_eq!(audited.timing_violation(), None);
+        // The audit is read-only: completions are bit-identical.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.token, x.at, x.is_write), (y.token, y.at, y.is_write));
+        }
     }
 
     #[test]

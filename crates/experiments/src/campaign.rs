@@ -1011,6 +1011,36 @@ mod tests {
     }
 
     #[test]
+    fn sanitizer_violation_journals_like_any_point_failure() {
+        // Sanitizer violations carry multi-line component snapshots with
+        // tabs and pipes; a checkpointed campaign must journal them and
+        // reload byte-identically like any other failed point.
+        let err = sim_core::SimError::SanitizerViolation {
+            invariant: "gpu-vi-single-writer".into(),
+            cycle: 123_456,
+            detail: "line 0xdead0 granted to {1, 3}\ncomponent snapshot at \
+                     detection (cycle 123500):\n\tgpu0 | sm0: 4 warps"
+                .into(),
+        };
+        let f = PointFailure {
+            workload: "XSBench".into(),
+            config: "design=CARVE-HWC|sanitize=on".into(),
+            attempts: 1,
+            error: err.to_string(),
+        };
+        let line = fail_line(&f);
+        assert!(!line.contains('\n'), "journal records are single lines");
+        match parse_record(&line) {
+            Some(LoadedRecord::Failed(back)) => {
+                assert_eq!(back, f);
+                assert!(back.error.contains("gpu-vi-single-writer"));
+                assert!(back.error.contains("cycle 123456"));
+            }
+            _ => panic!("sanitizer failure record must parse back"),
+        }
+    }
+
+    #[test]
     fn timelines_collect_in_input_order_without_perturbing_results() {
         let mut plain = quick_campaign();
         let mut seq = quick_campaign();

@@ -144,6 +144,13 @@ pub struct Sm {
     pending: VecDeque<(usize, usize)>,
     rr: usize,
     stats: SmStats,
+    // EQUIVALENCE: `event_cache` memoizes the slot scan for the horizon
+    // query only; it never feeds `step`. Every mutation that can change
+    // when a slot next acts (enqueue, fill, issue, completion, fail_l2,
+    // invalidate) marks it `Dirty` in the same call, so a cached horizon
+    // always equals the fresh scan a stepping engine would do, and
+    // retirement order — hence every stat and journal byte — is identical
+    // under both engines (golden tests pin this).
     /// Interior-mutable so [`Sm::next_event`] (`&self`, called every tick
     /// by the event-horizon engine) can reuse one scan across the many
     /// ticks where this SM's state does not change.
@@ -215,6 +222,7 @@ impl Sm {
             if vacant < self.params.warps_per_cta || self.pending.is_empty() {
                 return;
             }
+            // audit:allow(tick-path-panics) guarded by the is_empty check two lines up
             let (kernel, cta) = self.pending.pop_front().expect("checked non-empty");
             let mut warp = 0;
             for slot in &mut self.slots {
@@ -321,6 +329,7 @@ impl Sm {
             let gen = self.slots[idx]
                 .gen
                 .as_mut()
+                // audit:allow(tick-path-panics) Ready phase implies a live generator; breaking that is a slot-machine bug, not a run error
                 .expect("ready warp has a stream");
             gen.next_op()
         };
@@ -421,6 +430,7 @@ impl Sm {
                 assert_eq!(sm, self.id, "request belongs to another SM");
                 warp
             }
+            // audit:allow(tick-path-panics) documented caller-contract panic (see the doc comment above)
             ReqSource::External { .. } => panic!("external requests do not replay via SMs"),
         };
         self.stats.replays += 1;

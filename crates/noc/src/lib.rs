@@ -54,6 +54,13 @@ pub struct Link {
     latency: u64,
     next_slot: f64,
     in_flight: Vec<(u64, u64)>, // (token, arrival cycle)
+    // EQUIVALENCE: `min_arrival` is a lower bound on the earliest delivery,
+    // tightened in `send` (min with the new arrival) and recomputed from
+    // the surviving entries whenever `tick_into` drains. A tick skipped
+    // because `min_arrival > now` would have delivered nothing under
+    // stepping either, and delivery *order* within a tick comes from the
+    // in_flight scan order, which skipping does not alter — so token
+    // streams are bit-identical under both engines (golden tests pin it).
     /// Earliest in-flight arrival (`u64::MAX` when empty): the per-tick
     /// delivery scan and the event horizon skip the list until then.
     min_arrival: u64,
@@ -255,6 +262,7 @@ impl LinkNetwork {
             }
             (NodeId::Gpu(s), NodeId::Cpu) => &self.to_cpu[s],
             (NodeId::Cpu, NodeId::Gpu(d)) => &self.from_cpu[d],
+            // audit:allow(tick-path-panics) documented topology-contract panic; no CPU↔CPU route exists to recover onto
             (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
         }
     }
@@ -275,6 +283,7 @@ impl LinkNetwork {
             }
             (NodeId::Gpu(s), NodeId::Cpu) => &mut self.to_cpu[s],
             (NodeId::Cpu, NodeId::Gpu(d)) => &mut self.from_cpu[d],
+            // audit:allow(tick-path-panics) documented topology-contract panic; no CPU↔CPU route exists to recover onto
             (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
         }
     }

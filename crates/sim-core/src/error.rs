@@ -46,6 +46,20 @@ pub enum SimError {
         /// The underlying I/O error, stringified.
         message: String,
     },
+    /// The protocol sanitizer (`CARVE_SANITIZE=1` / `SimConfig::sanitize`)
+    /// caught a coherence, lifecycle, or timing invariant being broken.
+    /// Only the *first* violation of a run is reported: later checks may
+    /// be cascading damage from the first.
+    SanitizerViolation {
+        /// Short machine-stable name of the broken invariant
+        /// (e.g. `gpu-vi-single-writer`, `noc-conservation`).
+        invariant: String,
+        /// Cycle at which the violation was detected.
+        cycle: u64,
+        /// What was expected vs. observed, plus the component snapshot
+        /// dump at detection time.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -89,6 +103,16 @@ impl fmt::Display for SimError {
             SimError::CheckpointIo { path, message } => {
                 write!(f, "checkpoint I/O failed for {path}: {message}")
             }
+            SimError::SanitizerViolation {
+                invariant,
+                cycle,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "sanitizer: invariant `{invariant}` violated at cycle {cycle}: {detail}"
+                )
+            }
         }
     }
 }
@@ -123,6 +147,15 @@ mod tests {
             message: "permission denied".into(),
         };
         assert!(e.to_string().contains("x.journal"));
+        let e = SimError::SanitizerViolation {
+            invariant: "gpu-vi-single-writer".into(),
+            cycle: 420,
+            detail: "line 0x80 written at home 0 with sharer gpu1 still granted".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("gpu-vi-single-writer"));
+        assert!(s.contains("cycle 420"));
+        assert!(s.contains("0x80"));
     }
 
     #[test]

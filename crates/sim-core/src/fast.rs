@@ -686,6 +686,88 @@ mod tests {
         }
     }
 
+    /// Keys whose home slot is `want` in a 16-slot table (what
+    /// `with_capacity(8)` allocates), for engineering collision chains
+    /// that wrap past the last slot back to index 0.
+    fn keys_homed_at(want: usize, count: usize) -> Vec<u64> {
+        let keys: Vec<u64> = (0..200_000u64)
+            .filter(|k| (k.wrapping_mul(FIB) >> 60) as usize == want)
+            .take(count)
+            .collect();
+        assert_eq!(keys.len(), count, "key search space too small");
+        keys
+    }
+
+    #[test]
+    fn map_backward_shift_survives_wrap_around() {
+        // Four keys all homed at the LAST slot of a 16-slot table occupy
+        // slots 15, 0, 1, 2 — a probe chain crossing the wrap boundary.
+        // Backward-shift deletion must treat the wrapped distances
+        // correctly, or the chain breaks and later keys become
+        // unreachable while still counted.
+        let keys = keys_homed_at(15, 4);
+        for &first in &keys {
+            let mut m: FastMap<u64> = FastMap::with_capacity(8);
+            assert_eq!(m.slots.len(), 16, "test assumes a 16-slot table");
+            for &k in &keys {
+                m.insert(k, k ^ 0xABCD);
+            }
+            // Deleting any link of the chain (head, wrapped middle, tail)
+            // must leave every other key reachable with its value.
+            m.remove(first);
+            for &k in keys.iter().filter(|&&k| k != first) {
+                assert_eq!(
+                    m.get(k),
+                    Some(&(k ^ 0xABCD)),
+                    "lost {k:#x} after removing {first:#x}"
+                );
+            }
+            // And the survivors must still be individually removable.
+            for &k in keys.iter().filter(|&&k| k != first) {
+                assert_eq!(m.remove(k), Some(k ^ 0xABCD));
+            }
+            assert!(m.is_empty());
+        }
+    }
+
+    #[test]
+    fn map_churn_on_wrapping_chains_matches_std() {
+        // Dense churn restricted to keys homed in the top quarter of the
+        // table, so nearly every probe chain wraps. Any deletion bug that
+        // only manifests across the wrap boundary shows up as a
+        // membership mismatch against std::HashMap.
+        use std::collections::HashMap;
+        let mut pool = Vec::new();
+        for h in 12..16 {
+            pool.extend(keys_homed_at(h, 2));
+        }
+        let mut m: FastMap<u64> = FastMap::with_capacity(8);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x0dd0_91f1_1235_8132u64;
+        for step in 0..8192u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = pool[((x >> 33) as usize) % pool.len()];
+            if x & 4 == 0 {
+                assert_eq!(m.remove(key), reference.remove(&key), "step {step}");
+            } else {
+                assert_eq!(
+                    m.insert(key, step),
+                    reference.insert(key, step),
+                    "step {step}"
+                );
+            }
+            // Growth is load-driven; with at most 8 live keys the table
+            // stays at 16 slots and chains stay maximally wrapped.
+            assert_eq!(m.slots.len(), 16, "table must not grow under churn");
+        }
+        assert_eq!(m.len(), reference.len());
+        for (k, v) in &reference {
+            assert_eq!(m.get(*k), Some(v));
+        }
+    }
+
     #[test]
     fn map_replaces_existing_value() {
         let mut m: FastMap<&str> = FastMap::new();
@@ -734,6 +816,63 @@ mod tests {
         assert_eq!(slab.get(u), None, "untracked token has no entry");
         assert_eq!(slab.len(), 2);
         assert!(slab.contains(b));
+    }
+
+    #[test]
+    fn slab_slot_reuse_never_resurrects_old_generations() {
+        // One slot recycled many times: every retired token must keep
+        // missing, and only the newest generation may hit. This is the
+        // property the sanitizer's token-lifecycle check leans on.
+        let mut slab: Slab<u64> = Slab::new();
+        let mut retired = Vec::new();
+        let mut live = slab.insert(0);
+        for gen in 1..1000u64 {
+            assert_eq!(slab.remove(live), Some(gen - 1));
+            retired.push(live);
+            live = slab.insert(gen);
+            assert_eq!(live & SLOT_MASK, retired[0] & SLOT_MASK, "slot is reused");
+        }
+        assert_eq!(slab.get(live), Some(&999));
+        for &old in &retired {
+            assert_eq!(slab.get(old), None, "retired token {old:#x} resurrected");
+            assert!(!slab.contains(old));
+            assert_eq!(slab.remove(old), None, "stale remove must be a no-op");
+        }
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slab_sequence_stays_ordered_near_the_base_boundary() {
+        // The sequence field occupies bits [SLOT_BITS, 56) when callers
+        // keep `base` in the top byte. Force next_seq to the last values
+        // that fit under the base and check tokens still decompose and
+        // stay strictly increasing right up to the boundary — the engine
+        // heap's tie-break depends on this ordering at any seq.
+        let base = 7u64 << 56;
+        let seq_limit = 1u64 << (56 - SLOT_BITS); // first seq that would collide with base
+        let mut slab: Slab<u32> = Slab::with_base(base);
+        slab.next_seq = seq_limit - 4;
+        let mut prev = 0u64;
+        for i in 0..3u32 {
+            let t = slab.insert(i);
+            assert_eq!(t >> 56, 7, "base byte intact at seq {}", slab.next_seq - 1);
+            assert!(t > prev, "token ordering broke near the seq boundary");
+            assert_eq!(slab.get(t), Some(&i));
+            prev = t;
+        }
+        let u = slab.untracked_token();
+        assert!(u > prev);
+        assert_eq!(u & SLOT_MASK, UNTRACKED_SLOT);
+        assert_eq!(slab.get(u), None);
+        // The slab keeps working (lookups, removal) at high sequence
+        // numbers; entries keep their identity through slot reuse.
+        let keep = slab.insert(42);
+        assert_eq!(slab.remove(keep), Some(42));
+        let next = slab.insert(43);
+        assert_eq!(next & SLOT_MASK, keep & SLOT_MASK);
+        assert_ne!(next, keep);
+        assert_eq!(slab.get(keep), None);
+        assert_eq!(slab.get(next), Some(&43));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! carve-sim trace <workload> [options]    # run with telemetry + event trace
 //! carve-sim compare <workload>            # all designs side by side
 //! carve-sim profile <workload>            # Figure-4 style sharing profile
+//! carve-sim audit [WORKSPACE_ROOT]        # run the carve-audit lint wall
 //!
 //! options for `run` and `trace`:
 //!   --design <1-gpu|numa|numa-migrate|numa-repl|ideal|carve-nc|carve-swc|carve-hwc>
@@ -15,6 +16,7 @@
 //!   --gpus <n>                   GPU count (default 4)
 //!   --predictor                  enable the RDC hit predictor
 //!   --directory                  directory coherence instead of broadcast
+//!   --sanitize                   enable the protocol sanitizer shadow checker
 //!
 //! options for `trace` only:
 //!   --out <dir>                  output directory (default results/trace/<workload>)
@@ -23,14 +25,18 @@
 //! `trace` writes <dir>/timeline.csv (per-GPU interval records) and
 //! <dir>/trace.json (Chrome chrome://tracing / Perfetto format; open with
 //! https://ui.perfetto.dev or chrome://tracing).
+//!
+//! exit codes: 0 success, 1 simulation failure (including sanitizer
+//! violations) or audit findings, 2 usage error, 3 watchdog stall.
 //! ```
 
 use std::process::ExitCode;
+// audit:allow(wall-clock) CLI wall-time reporting only; never enters a journal line
 use std::time::Instant;
 
 use carve_system::{
     profile_workload, try_run, try_run_observed, workloads, Design, EngineMode, JsonTraceSink,
-    SimConfig, SimResult,
+    SimConfig, SimError, SimResult,
 };
 
 /// Default `trace` sampling interval: fine enough to resolve kernel-scale
@@ -63,6 +69,11 @@ struct RunArgs {
     gpus: Option<usize>,
     predictor: bool,
     directory: bool,
+    /// Enables the protocol sanitizer (see `SimConfig::sanitize`).
+    sanitize: bool,
+    /// Hidden test hook: freeze the system at this cycle so the watchdog
+    /// path (exit code 3) can be exercised deterministically.
+    stall_inject_at: Option<u64>,
     /// `trace` only: output directory for timeline.csv + trace.json.
     out: Option<String>,
     /// `trace` only: telemetry sampling interval in cycles.
@@ -84,6 +95,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         gpus: None,
         predictor: false,
         directory: false,
+        sanitize: false,
+        stall_inject_at: None,
         out: None,
         interval: None,
     };
@@ -118,6 +131,16 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--predictor" => out.predictor = true,
             "--directory" => out.directory = true,
+            "--sanitize" => out.sanitize = true,
+            // Undocumented on purpose: only exists so the exit-code
+            // integration test can trigger a real WatchdogStall.
+            "--stall-inject-at" => {
+                let v = it.next().ok_or("--stall-inject-at needs a value")?;
+                out.stall_inject_at = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --stall-inject-at '{v}'"))?,
+                );
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 out.out = Some(v.clone());
@@ -142,6 +165,10 @@ fn sim_config_from(args: &RunArgs) -> SimConfig {
     sim.spill_fraction = args.spill;
     sim.hit_predictor = args.predictor;
     sim.directory_coherence = args.directory;
+    if args.sanitize {
+        sim.sanitize = Some(true);
+    }
+    sim.stall_inject_at = args.stall_inject_at;
     if let Some(gbs) = args.link_gbs {
         // Paper-equivalent GB/s, divided by the width scale like the
         // default 64 GB/s is.
@@ -195,11 +222,27 @@ fn summary_line(r: &SimResult, wall: std::time::Duration) -> String {
     )
 }
 
+/// Exit code for usage errors (bad flags, unknown subcommand/workload).
+const EXIT_USAGE: u8 = 2;
+/// Exit code distinguishing an engine watchdog stall from other failures,
+/// so campaign scripts can retry stalls without masking real errors.
+const EXIT_STALL: u8 = 3;
+
+/// Maps a simulation failure to its process exit code: watchdog stalls
+/// get a distinct code, everything else (config errors, resource
+/// exhaustion, sanitizer violations) is a generic failure.
+fn run_error_code(e: &SimError) -> u8 {
+    match e {
+        SimError::WatchdogStall { .. } => EXIT_STALL,
+        _ => 1,
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: carve-sim <list|run|trace|compare|profile> [args]  (see --help in source header)"
+        "usage: carve-sim <list|run|trace|compare|profile|audit> [args]  (see --help in source header)"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -227,7 +270,7 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let Some(spec) = workloads::by_name(&parsed.workload) else {
@@ -235,9 +278,10 @@ fn main() -> ExitCode {
                     "error: unknown workload '{}' (try `carve-sim list`)",
                     parsed.workload
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             };
             let sim = sim_config_from(&parsed);
+            // audit:allow(wall-clock) run-duration banner for humans, not simulated time
             let started = Instant::now();
             match try_run(&spec, &sim) {
                 Ok(r) => {
@@ -248,7 +292,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(run_error_code(&e))
                 }
             }
         }
@@ -257,7 +301,7 @@ fn main() -> ExitCode {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let Some(spec) = workloads::by_name(&parsed.workload) else {
@@ -265,7 +309,7 @@ fn main() -> ExitCode {
                     "error: unknown workload '{}' (try `carve-sim list`)",
                     parsed.workload
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             };
             let mut sim = sim_config_from(&parsed);
             sim.telemetry_interval = Some(parsed.interval.unwrap_or(DEFAULT_TRACE_INTERVAL));
@@ -278,6 +322,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let mut sink = JsonTraceSink::new();
+            // audit:allow(wall-clock) run-duration banner for humans, not simulated time
             let started = Instant::now();
             match try_run_observed(&spec, &sim, None, EngineMode::from_env(), &mut sink) {
                 Ok(r) => {
@@ -310,7 +355,7 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(run_error_code(&e))
                 }
             }
         }
@@ -320,7 +365,7 @@ fn main() -> ExitCode {
             };
             let Some(spec) = workloads::by_name(name) else {
                 eprintln!("error: unknown workload '{name}'");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             };
             println!(
                 "{:<18} {:>10} {:>7} {:>8} {:>9}",
@@ -347,7 +392,7 @@ fn main() -> ExitCode {
             };
             let Some(spec) = workloads::by_name(name) else {
                 eprintln!("error: unknown workload '{name}'");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             };
             let sim = SimConfig::new(Design::NumaGpu);
             let p = profile_workload(&spec, &sim.cfg, sim.cfg.num_gpus);
@@ -376,6 +421,52 @@ fn main() -> ExitCode {
                 p.replication_footprint_multiplier()
             );
             ExitCode::SUCCESS
+        }
+        Some("audit") => {
+            if args.len() > 2 {
+                return usage();
+            }
+            let root = match args.get(1) {
+                Some(p) => std::path::PathBuf::from(p),
+                None => {
+                    // Walk upward to the workspace root, like carve-audit
+                    // itself, so `carve-sim audit` works from any subdir.
+                    let mut dir =
+                        std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+                    loop {
+                        if dir.join("crates").is_dir() {
+                            break dir;
+                        }
+                        if !dir.pop() {
+                            eprintln!(
+                                "error: no crates/ directory at or above the current directory"
+                            );
+                            return ExitCode::from(EXIT_USAGE);
+                        }
+                    }
+                }
+            };
+            match carve_audit::scan_workspace(&root) {
+                Ok((diags, scanned)) => {
+                    if diags.is_empty() {
+                        println!("carve-audit: {scanned} files scanned, clean");
+                        ExitCode::SUCCESS
+                    } else {
+                        for d in &diags {
+                            println!("{d}");
+                        }
+                        eprintln!(
+                            "carve-audit: {} finding(s) in {scanned} scanned files",
+                            diags.len()
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
         }
         _ => usage(),
     }
@@ -462,6 +553,49 @@ mod tests {
         assert_eq!(parse_design("carve"), Some(Design::CarveHwc));
         assert_eq!(parse_design("single"), Some(Design::SingleGpu));
         assert_eq!(parse_design("x"), None);
+    }
+
+    #[test]
+    fn parses_sanitize_and_stall_inject() {
+        let a = parse_run_args(&strs(&[
+            "Lulesh",
+            "--sanitize",
+            "--stall-inject-at",
+            "5000",
+        ]))
+        .unwrap();
+        assert!(a.sanitize);
+        assert_eq!(a.stall_inject_at, Some(5000));
+        let sim = sim_config_from(&a);
+        assert_eq!(sim.sanitize, Some(true));
+        assert_eq!(sim.stall_inject_at, Some(5000));
+        // Off by default: `None` defers to CARVE_SANITIZE, it does not force-disable.
+        let b = parse_run_args(&strs(&["Lulesh"])).unwrap();
+        assert!(!b.sanitize);
+        assert_eq!(sim_config_from(&b).sanitize, None);
+        assert!(parse_run_args(&strs(&["w", "--stall-inject-at"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--stall-inject-at", "x"])).is_err());
+    }
+
+    #[test]
+    fn watchdog_stall_gets_its_own_exit_code() {
+        let stall = SimError::WatchdogStall {
+            cycle: 10,
+            stalled_since: 1,
+            budget: 5,
+            diagnostic: String::new(),
+        };
+        assert_eq!(run_error_code(&stall), EXIT_STALL);
+        let other = SimError::ConfigInvalid {
+            message: "x".into(),
+        };
+        assert_eq!(run_error_code(&other), 1);
+        let san = SimError::SanitizerViolation {
+            invariant: "token-lifecycle".into(),
+            cycle: 3,
+            detail: String::new(),
+        };
+        assert_eq!(run_error_code(&san), 1);
     }
 
     #[test]

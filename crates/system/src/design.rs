@@ -158,6 +158,14 @@ pub struct SimConfig {
     /// [`sim_core::telemetry::Timeline`] of per-GPU interval records.
     /// Sampling is read-only: aggregates are bit-identical either way.
     pub telemetry_interval: Option<u64>,
+    /// Protocol sanitizer override (`Some(true)` enables, `Some(false)`
+    /// disables). `None` defers to `CARVE_SANITIZE` (default: off). When
+    /// enabled, a shadow checker validates coherence/lifecycle/timing
+    /// invariants at every event and the run fails with
+    /// [`sim_core::SimError::SanitizerViolation`] on the first breach.
+    /// Like telemetry, the sanitizer is read-only: aggregates are
+    /// bit-identical either way.
+    pub sanitize: Option<bool>,
     /// Test hook: freeze every component (skip all ticks) once the clock
     /// reaches this cycle, simulating a livelocked engine so watchdog
     /// detection can be exercised deterministically.
@@ -185,6 +193,7 @@ impl SimConfig {
             kernel_launch_cycles: 400,
             watchdog_cycles: None,
             telemetry_interval: None,
+            sanitize: None,
             stall_inject_at: None,
         }
     }

@@ -32,6 +32,7 @@
 
 pub mod design;
 pub mod metrics;
+mod sanitize;
 pub mod sim;
 
 pub use design::{Design, SimConfig};

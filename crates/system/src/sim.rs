@@ -40,6 +40,7 @@ use sim_core::{Cycle, ScaledConfig, SimError, Watchdog};
 
 use crate::design::{Design, SimConfig};
 use crate::metrics::SimResult;
+use crate::sanitize::{Sanitizer, Violation};
 
 /// Base address of the RDC carve-out in each GPU's physical space; far
 /// above any workload VA so probe/fill traffic shares DRAM channels with
@@ -172,6 +173,10 @@ struct System {
     comp_scratch: Vec<Completion>,
     /// Scratch for link deliveries drained each tick.
     deliv_scratch: Vec<Delivery>,
+    /// Shadow protocol sanitizer (`None` unless armed): every hook below
+    /// is a single `Option` check when off, so sanitized and unsanitized
+    /// runs retire identical work.
+    san: Option<Box<Sanitizer>>,
 }
 
 impl System {
@@ -250,7 +255,62 @@ impl System {
             ext_done_scratch: Vec::new(),
             comp_scratch: Vec::new(),
             deliv_scratch: Vec::new(),
+            san: None,
             cfg,
+        }
+    }
+
+    /// Arms the shadow protocol sanitizer and the DRAM timing audit.
+    fn enable_sanitizer(&mut self) {
+        for d in &mut self.drams {
+            d.set_timing_audit(true);
+        }
+        self.san = Some(Box::new(Sanitizer::new(
+            self.num_gpus,
+            self.carve.as_ref().map(Carve::policy),
+            self.carve.as_ref().is_some_and(Carve::directory_mode),
+            self.rdc_caches_sysmem,
+        )));
+    }
+
+    /// One sanitizer step per engine tick: transfers any latched DRAM
+    /// timing-audit breach, checks message conservation and the token
+    /// census, and converts the first violation into a [`SimError`].
+    fn sanitizer_poll(&mut self, now: Cycle) -> Option<SimError> {
+        let san = self.san.as_deref_mut()?;
+        for (g, d) in self.drams.iter().enumerate() {
+            if let Some(msg) = d.timing_violation() {
+                san.on_dram_violation(g, msg, now.0);
+            }
+        }
+        let (sent, delivered) = self.net.message_counts();
+        san.on_noc_counts(sent, delivered, now.0);
+        san.poll_tokens(&self.pending, now.0);
+        let v = san.take_violation()?;
+        Some(self.sanitizer_error(v, now))
+    }
+
+    /// End-of-run sanitizer checks: a quiescent network must have
+    /// delivered every message it accepted.
+    fn sanitizer_finish(&mut self, now: Cycle) -> Option<SimError> {
+        let san = self.san.as_deref_mut()?;
+        let (sent, delivered) = self.net.message_counts();
+        san.on_run_end(sent, delivered, now.0);
+        san.poll_tokens(&self.pending, now.0);
+        let v = san.take_violation()?;
+        Some(self.sanitizer_error(v, now))
+    }
+
+    fn sanitizer_error(&self, v: Violation, now: Cycle) -> SimError {
+        SimError::SanitizerViolation {
+            invariant: v.invariant.to_string(),
+            cycle: v.cycle,
+            detail: format!(
+                "{}\ncomponent snapshot at detection (cycle {}):\n{}",
+                v.detail,
+                now.0,
+                self.stall_diagnostic(now)
+            ),
         }
     }
 
@@ -266,6 +326,7 @@ impl System {
     }
 
     fn rdc_probe_addr(&self, gpu: usize, line: u64) -> u64 {
+        // audit:allow(tick-path-panics) rdc_probe_addr is only called from CARVE-design paths
         let carve = self.carve.as_ref().expect("CARVE not configured");
         RDC_BASE + carve.rdc(gpu).backing_offset(line)
     }
@@ -281,9 +342,12 @@ impl System {
     /// Sends hardware-coherence invalidates from `home` to `targets`.
     fn send_invalidates(&mut self, home: usize, line: u64, targets: Vec<usize>, now: Cycle) {
         for target in targets {
+            if let Some(san) = self.san.as_deref_mut() {
+                san.on_invalidate_send(home, line, target);
+            }
             if target == home {
                 // The home's own caches are probed without crossing a link.
-                self.apply_invalidate(target, line);
+                self.apply_invalidate(target, line, now);
                 continue;
             }
             let token = self.pending.insert(Pending::Invalidate { target, line });
@@ -297,9 +361,14 @@ impl System {
         }
     }
 
-    fn apply_invalidate(&mut self, target: usize, line: u64) {
+    fn apply_invalidate(&mut self, target: usize, line: u64, now: Cycle) {
         if let Some(carve) = self.carve.as_mut() {
             carve.rdc_mut(target).invalidate(line);
+        }
+        if let Some(san) = self.san.as_deref_mut() {
+            if let Some(carve) = self.carve.as_ref() {
+                san.on_rdc_invalidate(target, line, carve.rdc(target).contains(line), now.0);
+            }
         }
         self.cores[target].invalidate_line(line);
     }
@@ -308,10 +377,14 @@ impl System {
     fn write_at_home(&mut self, home: usize, line: u64, writer: usize, now: Cycle) {
         self.cores[home].external_write(line);
         self.dram_write_best_effort(home, line, now);
-        if let Some(carve) = self.carve.as_mut() {
-            let targets = carve.on_home_write(home, line, writer);
-            self.send_invalidates(home, line, targets, now);
+        let Some(carve) = self.carve.as_mut() else {
+            return;
+        };
+        let targets = carve.on_home_write(home, line, writer);
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_write(home, line, writer, &targets, now.0);
         }
+        self.send_invalidates(home, line, targets, now);
     }
 
     /// Routes one core request; `false` means "retry next cycle" and the
@@ -335,6 +408,7 @@ impl System {
                     });
                     self.drams[g]
                         .try_enqueue_read(token, req.line_addr, now)
+                        // audit:allow(tick-path-panics) guarded by can_accept_read in the same branch
                         .expect("capacity checked");
                     if !req.external {
                         self.traffic.local += 1;
@@ -350,9 +424,13 @@ impl System {
                             let actual = self
                                 .carve
                                 .as_mut()
+                                // audit:allow(tick-path-panics) inside the carve.is_some() branch
                                 .expect("carve checked")
                                 .rdc_mut(g)
                                 .probe(req.line_addr);
+                            if let Some(san) = self.san.as_deref_mut() {
+                                san.on_rdc_probe(g, req.line_addr, actual, now.0);
+                            }
                             self.predictors[g].update(req.line_addr, actual);
                             // Even on a mispredicted hit we already launched
                             // remotely; count as remote.
@@ -371,6 +449,7 @@ impl System {
                         });
                         self.drams[g]
                             .try_enqueue_read(token, probe_addr, now)
+                            // audit:allow(tick-path-panics) guarded by can_accept_read in the same branch
                             .expect("capacity checked");
                         true
                     } else {
@@ -394,6 +473,7 @@ impl System {
                         });
                         self.drams[g]
                             .try_enqueue_read(token, probe_addr, now)
+                            // audit:allow(tick-path-panics) guarded by can_accept_read in the same branch
                             .expect("capacity checked");
                         return true;
                     }
@@ -444,6 +524,7 @@ impl System {
                 let token = self.pending.untracked_token();
                 self.drams[g]
                     .try_enqueue_write(token, req.line_addr, now)
+                    // audit:allow(tick-path-panics) guarded by can_accept_write in the same branch
                     .expect("capacity checked");
                 self.traffic.local += 1;
                 true
@@ -451,6 +532,9 @@ impl System {
             CoreReqKind::SharedStoreNotice => {
                 if let Some(carve) = self.carve.as_mut() {
                     let targets = carve.on_home_write(g, req.line_addr, g);
+                    if let Some(san) = self.san.as_deref_mut() {
+                        san.on_write(g, req.line_addr, g, &targets, now.0);
+                    }
                     self.send_invalidates(g, req.line_addr, targets, now);
                 }
                 true
@@ -498,9 +582,13 @@ impl System {
                         let hit = self
                             .carve
                             .as_mut()
+                            // audit:allow(tick-path-panics) RdcProbe tokens are only minted under CARVE designs
                             .expect("RDC probe without CARVE")
                             .rdc_mut(gpu)
                             .probe(line);
+                        if let Some(san) = self.san.as_deref_mut() {
+                            san.on_rdc_probe(gpu, line, hit, now.0);
+                        }
                         if !self.predictors.is_empty() {
                             self.predictors[gpu].update(line, hit);
                         }
@@ -533,7 +621,13 @@ impl System {
                     Some(other) => {
                         unreachable!("DRAM read completion for {other:?}")
                     }
-                    None => {} // untracked posted write's read never exists
+                    None => {
+                        // Untracked tokens belong to posted writes; a read
+                        // completion landing here is a lifecycle breach.
+                        if let Some(san) = self.san.as_deref_mut() {
+                            san.on_unknown_token("DRAM read completion", comp.token, now.0);
+                        }
+                    }
                 }
             }
         }
@@ -552,6 +646,7 @@ impl System {
                 self.pending.get(comp.token).copied()
             {
                 debug_assert_eq!(phase, RemotePhase::AtHome);
+                // audit:allow(tick-path-panics) token fetched from self.pending two lines up
                 *self.pending.get_mut(comp.token).expect("live CpuRead") = Pending::CpuRead {
                     gpu,
                     tag,
@@ -575,7 +670,12 @@ impl System {
         self.net.tick_into(now, &mut ds);
         for &d in &ds {
             let Some(p) = self.pending.get(d.token).copied() else {
-                continue; // untracked payloads (migrations, CPU writes)
+                // Untracked payloads (migrations, CPU writes) are legal;
+                // a tracked token with no entry is a lifecycle breach.
+                if let Some(san) = self.san.as_deref_mut() {
+                    san.on_unknown_token("link delivery", d.token, now.0);
+                }
+                continue;
             };
             match p {
                 Pending::RemoteRead {
@@ -589,6 +689,14 @@ impl System {
                     if let Some(carve) = self.carve.as_mut() {
                         carve.on_home_read(home, line, requester);
                     }
+                    if let Some(san) = self.san.as_deref_mut() {
+                        if let Some(carve) = self.carve.as_ref() {
+                            let state = carve.imst(home).state(line);
+                            let dir = carve.directory(home).map(|d| d.has_sharer(line, requester));
+                            san.on_grant(home, line, requester, state, dir, now.0);
+                        }
+                    }
+                    // audit:allow(tick-path-panics) token fetched from self.pending in the same match
                     *self.pending.get_mut(d.token).expect("live RemoteRead") =
                         Pending::RemoteRead {
                             requester,
@@ -605,11 +713,16 @@ impl System {
                     requester,
                     tag,
                     line,
+                    home,
                     phase: RemotePhase::Return,
-                    ..
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Gpu(requester));
                     self.pending.remove(d.token);
+                    if self.carve.is_some() {
+                        if let Some(san) = self.san.as_deref_mut() {
+                            san.on_rdc_insert(requester, line, home, now.0);
+                        }
+                    }
                     if let Some(carve) = self.carve.as_mut() {
                         if let Some(victim) = carve.rdc_mut(requester).insert(line) {
                             // Write-back RDC ablation: flush the dirty
@@ -646,6 +759,7 @@ impl System {
                     phase: RemotePhase::Go,
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Cpu);
+                    // audit:allow(tick-path-panics) token fetched from self.pending in the same match
                     *self.pending.get_mut(d.token).expect("live CpuRead") = Pending::CpuRead {
                         gpu,
                         tag,
@@ -661,6 +775,11 @@ impl System {
                     debug_assert_eq!(d.dst, NodeId::Gpu(gpu));
                     self.pending.remove(d.token);
                     if let Some(line) = self.cpu_fill_lines[gpu].remove(tag) {
+                        if self.carve.is_some() {
+                            if let Some(san) = self.san.as_deref_mut() {
+                                san.on_rdc_insert(gpu, line, usize::MAX, now.0);
+                            }
+                        }
                         if let Some(carve) = self.carve.as_mut() {
                             carve.rdc_mut(gpu).insert(line);
                         }
@@ -676,7 +795,7 @@ impl System {
                 }
                 Pending::Invalidate { target, line } => {
                     self.pending.remove(d.token);
-                    self.apply_invalidate(target, line);
+                    self.apply_invalidate(target, line, now);
                 }
                 Pending::LocalRead { .. } | Pending::RdcProbe { .. } => {
                     unreachable!("DRAM flows never ride the links")
@@ -700,6 +819,7 @@ impl System {
                 phase: RemotePhase::AtHome,
             }) = self.pending.get(token).copied()
             {
+                // audit:allow(tick-path-panics) token fetched from self.pending two lines up
                 *self.pending.get_mut(token).expect("live RemoteRead") = Pending::RemoteRead {
                     requester,
                     tag,
@@ -732,6 +852,7 @@ impl System {
                     let token = self.pending.untracked_token();
                     self.drams[g]
                         .try_enqueue_write(token, addr, now)
+                        // audit:allow(tick-path-panics) guarded by can_accept_write in the same branch
                         .expect("capacity checked");
                     self.dram_retry[g].pop_front();
                 } else {
@@ -811,6 +932,15 @@ impl System {
             && self.dram_retry.iter().all(VecDeque::is_empty)
     }
 
+    // EQUIVALENCE: `next_activity` aggregates per-component `NextEvent`
+    // horizons, each of which under-approximates its next interesting
+    // cycle (retry queues pin the horizon to `now + 1`, preserving the
+    // stepping engine's every-cycle retry cadence). Jumping `now` to the
+    // aggregate minimum therefore skips only ticks where `tick()` would
+    // have been a no-op for every component, so the event-skip engine
+    // retires the same work at the same cycles as stepping —
+    // `skip_engine_matches_step_engine_on_a_quick_run` and the golden
+    // fixtures (both engines) pin this bit-for-bit.
     /// The event-skipping engine's horizon: the earliest future cycle at
     /// which any component can act (see [`NextEvent`]). Returns `None`
     /// only when the system will never act again without a kernel launch.
@@ -958,6 +1088,11 @@ impl System {
                         }
                     }
                 }
+            }
+        }
+        if let Some(san) = self.san.as_deref_mut() {
+            if let Some(carve) = self.carve.as_ref() {
+                san.on_kernel_boundary(carve, now.0);
             }
         }
     }
@@ -1143,6 +1278,7 @@ pub fn run_with_profile(
     sim: &SimConfig,
     profile: Option<&SharingProfile>,
 ) -> SimResult {
+    // audit:allow(tick-path-panics) infallible entry point wraps SimError into a panic by design
     try_run_with_profile(spec, sim, profile).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
@@ -1169,6 +1305,7 @@ pub fn run_with_profile_mode(
     mode: EngineMode,
 ) -> SimResult {
     try_run_with_profile_mode(spec, sim, profile, mode)
+        // audit:allow(tick-path-panics) infallible entry point wraps SimError into a panic by design
         .unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
@@ -1233,6 +1370,15 @@ pub fn try_run_observed(
         None => telemetry::interval_from_env(),
     };
     let mut sampler = telemetry_interval.map(|i| Sampler::new(i, num_gpus));
+    // Sanitizer: `Some(true)` enables, `Some(false)` disables, `None`
+    // defers to CARVE_SANITIZE (any value but empty or "0" enables).
+    let sanitize = match sim.sanitize {
+        Some(on) => on,
+        None => std::env::var_os("CARVE_SANITIZE").is_some_and(|v| !v.is_empty() && v != "0"),
+    };
+    if sanitize {
+        sys.enable_sanitizer();
+    }
     // Event tracing is free when the sink is disabled: no TraceEvent is
     // ever constructed, and the per-tick diff checks are skipped.
     let tracing = sink.enabled();
@@ -1293,6 +1439,9 @@ pub fn try_run_observed(
             let frozen = sim.stall_inject_at.is_some_and(|at| now >= at);
             if !frozen {
                 sys.tick(Cycle(now));
+                if let Some(err) = sys.sanitizer_poll(Cycle(now)) {
+                    return Err(err);
+                }
                 if sms_done_at == 0 && sys.cores.iter().all(|c| c.sms_done()) {
                     sms_done_at = now;
                 }
@@ -1434,6 +1583,9 @@ pub fn try_run_observed(
             );
         }
     }
+    if let Some(err) = sys.sanitizer_finish(Cycle(now)) {
+        return Err(err);
+    }
     let timeline = sampler.map(|s| s.finish(&sys, now));
 
     let mut rdc = RdcStats::default();
@@ -1565,6 +1717,75 @@ mod tests {
         for r in &tl.records {
             assert!(r.start <= r.end);
             assert!((r.gpu as usize) < num_gpus);
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_invisible_and_clean_on_all_workloads() {
+        // Tentpole acceptance: every workload runs clean under the shadow
+        // sanitizer, and a sanitized run's aggregates are bit-identical
+        // to a sanitizer-off run's (the checker is read-only).
+        for mut spec in workloads::all() {
+            spec.shape.kernels = spec.shape.kernels.min(2);
+            spec.shape.ctas = 16;
+            spec.shape.instrs_per_warp = 40;
+            let mut off = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+            off.telemetry_interval = Some(0);
+            off.sanitize = Some(false);
+            let mut on = off.clone();
+            on.sanitize = Some(true);
+            let base = try_run_with_profile_mode(&spec, &off, None, EngineMode::EventSkip)
+                .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", spec.name));
+            let checked = try_run_with_profile_mode(&spec, &on, None, EngineMode::EventSkip)
+                .unwrap_or_else(|e| panic!("{}: sanitizer flagged: {e}", spec.name));
+            assert_eq!(
+                base.encode_journal_line(),
+                checked.encode_journal_line(),
+                "{}: sanitizer perturbed the aggregates",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_clean_across_designs_and_engines() {
+        let spec = quick_spec("Lulesh");
+        for design in Design::all() {
+            let mut sim = SimConfig::with_cfg(design, quick_cfg());
+            sim.telemetry_interval = Some(0);
+            sim.sanitize = Some(true);
+            for mode in [EngineMode::EventSkip, EngineMode::Step] {
+                try_run_with_profile_mode(&spec, &sim, None, mode)
+                    .unwrap_or_else(|e| panic!("{} under {mode:?}: {e}", design.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_clean_on_hwc_ablation_variants() {
+        // The checker understands every coherence configuration, not just
+        // the paper's defaults: directory mode, raw broadcast, write-back
+        // RDC, the hit predictor and footnote-2 system-memory caching.
+        let spec = quick_spec("XSBench");
+        let variants: [(&str, fn(&mut SimConfig)); 5] = [
+            ("directory", |s| s.directory_coherence = true),
+            ("broadcast-always", |s| s.gpu_vi_broadcast_always = true),
+            ("write-back", |s| {
+                s.rdc_write_policy = carve::WritePolicy::WriteBack
+            }),
+            ("predictor", |s| s.hit_predictor = true),
+            ("sysmem-rdc", |s| {
+                s.rdc_caches_sysmem = true;
+                s.spill_fraction = 0.2;
+            }),
+        ];
+        for (name, tweak) in variants {
+            let mut sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+            sim.telemetry_interval = Some(0);
+            sim.sanitize = Some(true);
+            tweak(&mut sim);
+            try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip)
+                .unwrap_or_else(|e| panic!("variant {name}: {e}"));
         }
     }
 

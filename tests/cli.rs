@@ -1,0 +1,114 @@
+//! End-to-end tests of the `carve-sim` binary's exit-code contract.
+//!
+//! Campaign wrappers and CI scripts branch on these codes (0 success,
+//! 1 failure, 2 usage, 3 watchdog stall), so they are part of the public
+//! interface and are pinned here against the real binary.
+
+use std::process::Command;
+
+/// A `carve-sim` invocation against the workspace-built binary.
+fn carve_sim(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_carve-sim"));
+    cmd.args(args);
+    cmd
+}
+
+/// Small-machine overrides so a full `run` finishes in well under a
+/// second; mirrors the `quick_cfg` used by the library tests.
+const QUICK_GPUS: &str = "2";
+
+#[test]
+fn list_succeeds() {
+    let out = carve_sim(&["list"]).output().expect("spawn carve-sim");
+    assert!(out.status.success(), "list failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("XSBench"), "list output lacks workloads");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        &["frobnicate"][..],
+        &["run"][..],
+        &["run", "no-such-workload"][..],
+        &["run", "XSBench", "--design", "nope"][..],
+        &["compare"][..],
+    ] {
+        let out = carve_sim(args).output().expect("spawn carve-sim");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} should exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn injected_stall_exits_3_with_diagnostic() {
+    let out = carve_sim(&[
+        "run",
+        "stream-triad",
+        "--design",
+        "numa",
+        "--gpus",
+        QUICK_GPUS,
+        "--stall-inject-at",
+        "2000",
+    ])
+    // A small no-progress budget so the stall is detected quickly; the
+    // hidden flag freezes every component so this cannot false-negative.
+    .env("CARVE_WATCHDOG_CYCLES", "20000")
+    .output()
+    .expect("spawn carve-sim");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stalled run should exit 3, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("watchdog") || err.contains("stall"),
+        "stderr lacks a stall diagnostic:\n{err}"
+    );
+}
+
+#[test]
+fn sanitized_run_succeeds_and_matches_plain_run() {
+    let run = |extra: &[&str]| {
+        let mut args = vec!["run", "stream-triad", "--gpus", QUICK_GPUS];
+        args.extend_from_slice(extra);
+        let out = carve_sim(&args).output().expect("spawn carve-sim");
+        assert!(
+            out.status.success(),
+            "run {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // The sanitizer is observe-only: the printed report (cycles, traffic,
+    // latencies — everything) must be byte-identical with it enabled.
+    assert_eq!(run(&[]), run(&["--sanitize"]));
+}
+
+#[test]
+fn audit_subcommand_scans_this_workspace_clean() {
+    let root = env!("CARGO_MANIFEST_DIR"); // crates/system
+    let root = std::path::Path::new(root)
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/system");
+    let out = carve_sim(&["audit", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn carve-sim");
+    assert!(
+        out.status.success(),
+        "audit found violations:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clean"), "unexpected audit output: {text}");
+}
