@@ -51,7 +51,7 @@ fn bench_dram(c: &mut Runner) {
 fn bench_noc(c: &mut Runner) {
     let mut g = c.benchmark_group("noc");
     g.bench_function("link_send_tick", |b| {
-        let mut link = Link::new(8.0, 200);
+        let mut link = Link::new(8.0, 200).expect("positive bandwidth");
         let mut token = 0u64;
         let mut now = 0u64;
         b.iter(|| {
@@ -62,7 +62,7 @@ fn bench_noc(c: &mut Runner) {
         });
     });
     g.bench_function("network_tick_4gpu", |b| {
-        let mut net = LinkNetwork::new(4, 8.0, 200, 4.0, 500);
+        let mut net = LinkNetwork::new(4, 8.0, 200, 4.0, 500).expect("positive bandwidth");
         let mut token = 0u64;
         let mut now = 0u64;
         b.iter(|| {

@@ -19,7 +19,7 @@ use sim_core::fast::FastMap;
 /// Sharer bitmask per line at one home node.
 #[derive(Debug, Default)]
 pub struct Directory {
-    sharers: FastMap<u16>,
+    sharers: FastMap<u64>,
     invalidates_sent: u64,
     spurious_avoided: u64,
 }
@@ -34,10 +34,10 @@ impl Directory {
     ///
     /// # Panics
     ///
-    /// Panics if `gpu >= 16`.
+    /// Panics if `gpu >= 64`.
     pub fn record_sharer(&mut self, line_addr: u64, gpu: usize) {
-        assert!(gpu < 16, "directory tracks at most 16 nodes");
-        *self.sharers.get_or_insert_with(line_addr, u16::default) |= 1 << gpu;
+        assert!(gpu < 64, "directory tracks at most 64 nodes");
+        *self.sharers.get_or_insert_with(line_addr, u64::default) |= 1 << gpu;
     }
 
     /// Records that `gpu` dropped its copy (eviction notification).
@@ -58,10 +58,10 @@ impl Directory {
             return Vec::new();
         };
         let mut targets = Vec::new();
-        for g in 0..16 {
-            if g != writer && *mask & (1 << g) != 0 {
-                targets.push(g);
-            }
+        let mut rest = *mask & !(1u64 << writer);
+        while rest != 0 {
+            targets.push(rest.trailing_zeros() as usize);
+            rest &= rest - 1;
         }
         // Only the writer's copy (if any) survives.
         *mask &= 1 << writer;
@@ -150,8 +150,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 16")]
+    #[should_panic(expected = "at most 64")]
     fn sharer_bounds_checked() {
-        Directory::new().record_sharer(0, 16);
+        Directory::new().record_sharer(0, 64);
     }
 }

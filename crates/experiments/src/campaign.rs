@@ -189,7 +189,10 @@ fn unescape_field(s: &str) -> String {
 /// same (workload × configuration) points do not re-simulate.
 pub struct Campaign {
     pub(crate) specs: Vec<WorkloadSpec>,
-    profiles: HashMap<String, Arc<SharingProfile>>,
+    /// Sharing profiles, keyed by (workload, GPU count): the same
+    /// workload splits differently across 4 and 64 GPUs, so a scaling
+    /// sweep must not reuse the 4-GPU profile at other machine sizes.
+    profiles: HashMap<(String, usize), Arc<SharingProfile>>,
     cache: HashMap<(String, String), SimResult>,
     failed: HashMap<(String, String), PointFailure>,
     timings: Vec<PointTiming>,
@@ -213,23 +216,26 @@ pub struct Campaign {
 /// The memoization key of a campaign point: every knob that changes the
 /// simulated machine must appear here, or distinct configurations would
 /// alias in the cache (and in the journal, which uses the same key).
+/// The topology component is appended only for non-default fabrics so
+/// journals written before the routed interconnect landed keep resuming.
 fn key_of(spec: &WorkloadSpec, sim: &SimConfig) -> (String, String) {
-    (
-        spec.name.to_string(),
-        format!(
-            "{}|rdc={}|spill={:.4}|bw={:.3}|pred={}|wp={:?}|bcast={}|dir={}|sysrdc={}|gpus={}",
-            sim.design.label(),
-            sim.rdc_capacity(),
-            sim.spill_fraction,
-            sim.cfg.link_bytes_per_cycle,
-            sim.hit_predictor,
-            sim.rdc_write_policy,
-            sim.gpu_vi_broadcast_always,
-            sim.directory_coherence,
-            sim.rdc_caches_sysmem,
-            sim.cfg.num_gpus,
-        ),
-    )
+    let mut config = format!(
+        "{}|rdc={}|spill={:.4}|bw={:.3}|pred={}|wp={:?}|bcast={}|dir={}|sysrdc={}|gpus={}",
+        sim.design.label(),
+        sim.rdc_capacity(),
+        sim.spill_fraction,
+        sim.cfg.link_bytes_per_cycle,
+        sim.hit_predictor,
+        sim.rdc_write_policy,
+        sim.gpu_vi_broadcast_always,
+        sim.directory_coherence,
+        sim.rdc_caches_sysmem,
+        sim.cfg.num_gpus,
+    );
+    if sim.cfg.topology != sim_core::TopologySpec::AllToAll {
+        config.push_str(&format!("|topo={}", sim.cfg.topology.label()));
+    }
+    (spec.name.to_string(), config)
 }
 
 /// One run attempt cycle: `try_run_with_profile` under `catch_unwind`,
@@ -529,22 +535,22 @@ impl Campaign {
         v
     }
 
-    /// The 4-GPU sharing profile of a workload (memoized).
+    /// The base-machine sharing profile of a workload (memoized).
     pub fn profile(&mut self, spec: &WorkloadSpec) -> &SharingProfile {
-        self.profile_arc(spec);
-        self.profiles.get(spec.name).expect("just inserted")
+        let num_gpus = self.base_cfg.num_gpus;
+        self.profile_arc(spec, num_gpus);
+        self.profiles
+            .get(&(spec.name.to_string(), num_gpus))
+            .expect("just inserted")
     }
 
-    fn profile_arc(&mut self, spec: &WorkloadSpec) -> Arc<SharingProfile> {
-        if let Some(p) = self.profiles.get(spec.name) {
+    fn profile_arc(&mut self, spec: &WorkloadSpec, num_gpus: usize) -> Arc<SharingProfile> {
+        let key = (spec.name.to_string(), num_gpus);
+        if let Some(p) = self.profiles.get(&key) {
             return Arc::clone(p);
         }
-        let p = Arc::new(profile_workload(
-            spec,
-            &self.base_cfg,
-            self.base_cfg.num_gpus,
-        ));
-        self.profiles.insert(spec.name.to_string(), Arc::clone(&p));
+        let p = Arc::new(profile_workload(spec, &self.base_cfg, num_gpus));
+        self.profiles.insert(key, Arc::clone(&p));
         p
     }
 
@@ -574,9 +580,9 @@ impl Campaign {
         if let Some(f) = self.failed.get(&key) {
             return Err(f.clone());
         }
-        // Profiles are only valid for the 4-GPU machine; single-GPU runs
-        // use no profile-driven policy.
-        let profile = self.profile_arc(spec);
+        // Profiles are keyed to the machine size the point runs on;
+        // single-GPU runs use no profile-driven policy.
+        let profile = self.profile_arc(spec, sim.design.num_gpus(&sim.cfg));
         let run_sim = self.sim_for_attempt(sim);
         match attempt_point(spec, &run_sim, &profile, self.retries) {
             Ok((r, millis)) => {
@@ -667,7 +673,7 @@ impl Campaign {
             {
                 continue;
             }
-            let profile = self.profile_arc(spec);
+            let profile = self.profile_arc(spec, sim.design.num_gpus(&sim.cfg));
             jobs.push((spec, self.sim_for_attempt(sim), profile));
         }
         let parallel = jobs.len() > 1 && par::thread_count() > 1;

@@ -7,9 +7,23 @@
 //!
 //! [`Link`] models one direction of one link: messages serialize over a
 //! bytes/cycle budget (queueing pushes later messages out in time) and
-//! arrive after a propagation latency. [`LinkNetwork`] owns the full
-//! all-to-all mesh plus per-GPU CPU links and routes by `(src, dst)` node
-//! id, where node [`NodeId::Cpu`] is the host.
+//! arrive after a propagation latency.
+//!
+//! [`Topology`] generalizes the original pairwise link table into a
+//! routed graph: nodes are GPUs, the host CPU, and (optionally) switches;
+//! edges are directional [`Link`]s; routes are static shortest-hop paths
+//! computed once at build time with deterministic lowest-edge-index
+//! tie-breaks. Built-in generators cover the paper's
+//! [`TopologySpec::AllToAll`] mesh (the default — bit-identical to the
+//! historic pairwise table), a central crossbar
+//! ([`TopologySpec::Switch`]), a bidirectional [`TopologySpec::Ring`],
+//! and DGX-style [`TopologySpec::Hierarchical`] pods.
+//!
+//! [`LinkNetwork`] is the runtime network over a topology: it routes by
+//! `(src, dst)` node id, forwards multi-hop traffic at switches (per-hop
+//! serialization + propagation; switch queueing is the outgoing link's
+//! serialization backlog), and keeps end-to-end and per-hop conservation
+//! counters for the protocol sanitizer.
 //!
 //! # Example
 //!
@@ -17,7 +31,7 @@
 //! use carve_noc::{Link, msg};
 //! use sim_core::Cycle;
 //!
-//! let mut link = Link::new(8.0, 100);
+//! let mut link = Link::new(8.0, 100).expect("positive bandwidth");
 //! link.send(1, msg::RESP_DATA_BYTES, Cycle(0));
 //! let mut got = Vec::new();
 //! for c in 0..200u64 {
@@ -29,7 +43,8 @@
 #![warn(missing_docs)]
 
 use sim_core::event::{earliest, NextEvent};
-use sim_core::Cycle;
+use sim_core::fast::Slab;
+use sim_core::{Cycle, SimError, TopologySpec};
 
 /// Message size constants in bytes.
 ///
@@ -46,6 +61,15 @@ pub mod msg {
     /// Write-invalidate probe (GPU-VI hardware coherence).
     pub const INVALIDATE_BYTES: u64 = 32;
 }
+
+/// Maximum GPU count a topology may carry. Sharer bitmasks (GPU-VI, the
+/// coherence directory, the sanitizer's shadow state) are 64 bits wide.
+pub const MAX_GPUS: usize = 64;
+
+/// Bandwidth multiplier applied to inter-pod switch-to-switch links in
+/// [`TopologySpec::Hierarchical`] topologies (DGX-style pods share a
+/// slower backplane than the in-pod mesh).
+pub const INTER_POD_BW_FACTOR: f64 = 0.5;
 
 /// One direction of one point-to-point link.
 #[derive(Debug, Clone)]
@@ -74,12 +98,18 @@ impl Link {
     /// Creates a link with `bytes_per_cycle` bandwidth and `latency` cycles
     /// of propagation delay.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bytes_per_cycle` is not positive.
-    pub fn new(bytes_per_cycle: f64, latency: u64) -> Link {
-        assert!(bytes_per_cycle > 0.0, "link bandwidth must be positive");
-        Link {
+    /// Returns [`SimError::ConfigInvalid`] if `bytes_per_cycle` is not a
+    /// positive finite number — a zero-bandwidth link can never deliver.
+    pub fn new(bytes_per_cycle: f64, latency: u64) -> Result<Link, SimError> {
+        if !(bytes_per_cycle > 0.0 && bytes_per_cycle.is_finite()) {
+            return Err(SimError::config(format!(
+                "link bandwidth must be positive and finite \
+                 (bytes_per_cycle={bytes_per_cycle}); raise the link's bytes/cycle"
+            )));
+        }
+        Ok(Link {
             bytes_per_cycle,
             latency,
             next_slot: 0.0,
@@ -89,13 +119,16 @@ impl Link {
             messages_sent: 0,
             messages_delivered: 0,
             busy_until: 0.0,
-        }
+        })
     }
 
     /// Queues a message of `bytes` onto the wire at `now`; it arrives after
     /// serialization (including queueing behind earlier messages) plus
     /// propagation latency. Links accept unboundedly — end-point queues
-    /// (MSHRs, warp slots) bound the traffic in flight.
+    /// (MSHRs, warp slots) bound the traffic in flight. Because
+    /// serialization of a non-empty message is strictly positive, the
+    /// arrival cycle is always strictly after `now`: forwarded hops never
+    /// cascade within one tick and event horizons stay exact.
     pub fn send(&mut self, token: u64, bytes: u64, now: Cycle) {
         let start = (now.0 as f64).max(self.next_slot);
         let ser = bytes as f64 / self.bytes_per_cycle;
@@ -191,6 +224,9 @@ impl NextEvent for Link {
 }
 
 /// A node in the interconnect: a GPU or the host CPU.
+///
+/// Switches are internal to a [`Topology`] — traffic originates and
+/// terminates only at GPUs and the CPU, so deliveries never name a switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeId {
     /// GPU `n` (0-based).
@@ -210,91 +246,624 @@ pub struct Delivery {
     pub dst: NodeId,
 }
 
-/// All-to-all GPU mesh plus per-GPU CPU links.
+/// One directional edge of a [`Topology`]: a [`Link`] between two node
+/// indices (see [`Topology`] for the index scheme).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeSpec {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Link bandwidth in bytes/cycle.
+    pub bytes_per_cycle: f64,
+    /// Propagation latency in cycles.
+    pub latency: u64,
+}
+
+/// Sentinel in the next-hop table for "no route".
+const NO_ROUTE: u32 = u32::MAX;
+
+/// A static interconnect graph with precomputed deterministic routes.
+///
+/// Node indices: GPUs occupy `0..num_gpus`, the CPU is `num_gpus`, and
+/// switches are `num_gpus + 1 ..`. Only GPUs and the CPU are endpoints;
+/// the CPU never forwards transit traffic (it is a leaf), while GPUs may
+/// forward (the ring topology routes through them) and switches always
+/// do.
+///
+/// Routing is shortest-hop, computed per destination by a breadth-first
+/// search at build time. Ties are broken toward the lowest edge index, so
+/// routes depend only on the (deterministic) edge creation order — the
+/// same config always yields the same paths, which the bit-identity
+/// golden tests rely on.
+///
+/// ```
+/// use carve_noc::Topology;
+/// use sim_core::TopologySpec;
+///
+/// let topo = Topology::build(TopologySpec::Switch, 4, 8.0, 100, 4.0, 200)
+///     .expect("valid spec");
+/// assert_eq!(
+///     topo.route_labels(carve_noc::NodeId::Gpu(0), carve_noc::NodeId::Gpu(3)),
+///     vec!["gpu0", "sw0", "gpu3"],
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    label: String,
+    num_gpus: usize,
+    num_switches: usize,
+    edges: Vec<EdgeSpec>,
+    // next_hop[node * endpoints + dst_endpoint] = outgoing edge index.
+    next_hop: Vec<u32>,
+    single_hop: bool,
+}
+
+impl Topology {
+    /// Builds one of the generated topologies over `num_gpus` GPUs.
+    ///
+    /// GPU-GPU class links get `gpu_bpc` bytes/cycle and `gpu_latency`
+    /// cycles per hop; CPU links get `cpu_bpc` / `cpu_latency`.
+    /// Hierarchical inter-pod links run at `gpu_bpc *`
+    /// [`INTER_POD_BW_FACTOR`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] (with an actionable message)
+    /// when the spec cannot describe a routable machine: zero GPUs, more
+    /// than [`MAX_GPUS`], non-positive bandwidth, or a hierarchical
+    /// `pod_size` that does not evenly divide `num_gpus`.
+    pub fn build(
+        spec: TopologySpec,
+        num_gpus: usize,
+        gpu_bpc: f64,
+        gpu_latency: u64,
+        cpu_bpc: f64,
+        cpu_latency: u64,
+    ) -> Result<Topology, SimError> {
+        if num_gpus == 0 {
+            return Err(SimError::config(
+                "topology has num_gpus=0; a system needs at least one GPU".to_string(),
+            ));
+        }
+        if num_gpus > MAX_GPUS {
+            return Err(SimError::config(format!(
+                "topology has num_gpus={num_gpus}, but coherence sharer bitmasks support at \
+                 most {MAX_GPUS} nodes; reduce num_gpus"
+            )));
+        }
+        let cpu = num_gpus;
+        let mut edges = Vec::new();
+        let mut num_switches = 0usize;
+        let push_cpu_links = |edges: &mut Vec<EdgeSpec>| {
+            for g in 0..num_gpus {
+                edges.push(EdgeSpec {
+                    from: g,
+                    to: cpu,
+                    bytes_per_cycle: cpu_bpc,
+                    latency: cpu_latency,
+                });
+                edges.push(EdgeSpec {
+                    from: cpu,
+                    to: g,
+                    bytes_per_cycle: cpu_bpc,
+                    latency: cpu_latency,
+                });
+            }
+        };
+        match spec {
+            TopologySpec::AllToAll => {
+                // Edge order mirrors the historic pairwise table's tick
+                // order exactly (GPU pairs row-major, then per-GPU
+                // to-CPU / from-CPU interleaved): same-tick delivery
+                // order — and therefore golden journals — are preserved.
+                for s in 0..num_gpus {
+                    for d in 0..num_gpus {
+                        if s != d {
+                            edges.push(EdgeSpec {
+                                from: s,
+                                to: d,
+                                bytes_per_cycle: gpu_bpc,
+                                latency: gpu_latency,
+                            });
+                        }
+                    }
+                }
+                push_cpu_links(&mut edges);
+            }
+            TopologySpec::Switch => {
+                num_switches = 1;
+                let sw = cpu + 1;
+                for g in 0..num_gpus {
+                    edges.push(EdgeSpec {
+                        from: g,
+                        to: sw,
+                        bytes_per_cycle: gpu_bpc,
+                        latency: gpu_latency,
+                    });
+                    edges.push(EdgeSpec {
+                        from: sw,
+                        to: g,
+                        bytes_per_cycle: gpu_bpc,
+                        latency: gpu_latency,
+                    });
+                }
+                // The CPU hangs off the same crossbar at CPU-link speed.
+                edges.push(EdgeSpec {
+                    from: cpu,
+                    to: sw,
+                    bytes_per_cycle: cpu_bpc,
+                    latency: cpu_latency,
+                });
+                edges.push(EdgeSpec {
+                    from: sw,
+                    to: cpu,
+                    bytes_per_cycle: cpu_bpc,
+                    latency: cpu_latency,
+                });
+            }
+            TopologySpec::Ring => {
+                // Clockwise edges first so equal-distance routes prefer
+                // the clockwise direction (lowest edge index wins).
+                if num_gpus >= 2 {
+                    for g in 0..num_gpus {
+                        edges.push(EdgeSpec {
+                            from: g,
+                            to: (g + 1) % num_gpus,
+                            bytes_per_cycle: gpu_bpc,
+                            latency: gpu_latency,
+                        });
+                    }
+                }
+                if num_gpus > 2 {
+                    for g in 0..num_gpus {
+                        edges.push(EdgeSpec {
+                            from: g,
+                            to: (g + num_gpus - 1) % num_gpus,
+                            bytes_per_cycle: gpu_bpc,
+                            latency: gpu_latency,
+                        });
+                    }
+                }
+                push_cpu_links(&mut edges);
+            }
+            TopologySpec::Hierarchical { pod_size } => {
+                if pod_size == 0 || !num_gpus.is_multiple_of(pod_size) {
+                    return Err(SimError::config(format!(
+                        "hierarchical pod_size {pod_size} does not evenly divide \
+                         num_gpus {num_gpus}; pick a pod size that tiles the GPUs \
+                         (e.g. {})",
+                        if num_gpus >= 4 { 4 } else { 1 }
+                    )));
+                }
+                let pods = num_gpus / pod_size;
+                num_switches = pods;
+                let sw = |p: usize| cpu + 1 + p;
+                // Intra-pod all-to-all mesh (row-major, like AllToAll).
+                for s in 0..num_gpus {
+                    for d in 0..num_gpus {
+                        if s != d && s / pod_size == d / pod_size {
+                            edges.push(EdgeSpec {
+                                from: s,
+                                to: d,
+                                bytes_per_cycle: gpu_bpc,
+                                latency: gpu_latency,
+                            });
+                        }
+                    }
+                }
+                // Pod uplinks to the pod switch.
+                for g in 0..num_gpus {
+                    edges.push(EdgeSpec {
+                        from: g,
+                        to: sw(g / pod_size),
+                        bytes_per_cycle: gpu_bpc,
+                        latency: gpu_latency,
+                    });
+                    edges.push(EdgeSpec {
+                        from: sw(g / pod_size),
+                        to: g,
+                        bytes_per_cycle: gpu_bpc,
+                        latency: gpu_latency,
+                    });
+                }
+                // Slower pairwise inter-pod backplane between switches.
+                for p in 0..pods {
+                    for q in 0..pods {
+                        if p != q {
+                            edges.push(EdgeSpec {
+                                from: sw(p),
+                                to: sw(q),
+                                bytes_per_cycle: gpu_bpc * INTER_POD_BW_FACTOR,
+                                latency: gpu_latency,
+                            });
+                        }
+                    }
+                }
+                push_cpu_links(&mut edges);
+            }
+        }
+        Topology::finalize(spec.label(), num_gpus, num_switches, edges)
+    }
+
+    /// Builds a topology from an explicit edge list (`num_switches`
+    /// switch nodes after the CPU). Mostly useful for tests and custom
+    /// experiments; the generated specs cover the paper's machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] on out-of-range node indices,
+    /// self-edges, non-positive bandwidth, or a graph that leaves any
+    /// endpoint pair unroutable.
+    pub fn custom(
+        num_gpus: usize,
+        num_switches: usize,
+        edges: Vec<EdgeSpec>,
+    ) -> Result<Topology, SimError> {
+        if num_gpus == 0 || num_gpus > MAX_GPUS {
+            return Err(SimError::config(format!(
+                "custom topology has num_gpus={num_gpus}; need 1..={MAX_GPUS}"
+            )));
+        }
+        Topology::finalize("custom".to_string(), num_gpus, num_switches, edges)
+    }
+
+    /// Validates edges, computes the deterministic shortest-hop route
+    /// table, and checks endpoint-pair connectivity.
+    fn finalize(
+        label: String,
+        num_gpus: usize,
+        num_switches: usize,
+        edges: Vec<EdgeSpec>,
+    ) -> Result<Topology, SimError> {
+        let nodes = num_gpus + 1 + num_switches;
+        let endpoints = num_gpus + 1;
+        let cpu = num_gpus;
+        let node_name = |i: usize| node_label_of(num_gpus, i);
+        for e in &edges {
+            if e.from >= nodes || e.to >= nodes {
+                return Err(SimError::config(format!(
+                    "topology '{label}' edge {}→{} names a node outside the \
+                     {nodes}-node graph ({num_gpus} GPUs + CPU + {num_switches} switches)",
+                    e.from, e.to
+                )));
+            }
+            if e.from == e.to {
+                return Err(SimError::config(format!(
+                    "topology '{label}' has a self-edge at {}; links connect \
+                     distinct nodes",
+                    node_name(e.from)
+                )));
+            }
+            if !(e.bytes_per_cycle > 0.0 && e.bytes_per_cycle.is_finite()) {
+                return Err(SimError::config(format!(
+                    "topology '{label}' edge {}→{} has bandwidth {}; link bandwidth \
+                     must be positive and finite",
+                    node_name(e.from),
+                    node_name(e.to),
+                    e.bytes_per_cycle
+                )));
+            }
+        }
+        // Reverse adjacency: incoming edge indices per node, in edge
+        // order (the tie-break order).
+        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        for (i, e) in edges.iter().enumerate() {
+            incoming[e.to].push(i as u32);
+            outgoing[e.from].push(i as u32);
+        }
+        let mut next_hop = vec![NO_ROUTE; nodes * endpoints];
+        let mut dist = vec![u32::MAX; nodes];
+        let mut queue: Vec<usize> = Vec::with_capacity(nodes);
+        for dst in 0..endpoints {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push(dst);
+            let mut head = 0;
+            while head < queue.len() {
+                let m = queue[head];
+                head += 1;
+                // The CPU is a leaf endpoint: it never forwards transit
+                // traffic, so no route may pass *through* it.
+                if m == cpu && dst != cpu {
+                    continue;
+                }
+                for &ei in &incoming[m] {
+                    let u = edges[ei as usize].from;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[m] + 1;
+                        queue.push(u);
+                    }
+                }
+            }
+            for u in 0..nodes {
+                if u == dst || dist[u] == u32::MAX {
+                    continue;
+                }
+                for &ei in &outgoing[u] {
+                    let to = edges[ei as usize].to;
+                    // Never step onto the CPU unless it is the target.
+                    if to == cpu && dst != cpu {
+                        continue;
+                    }
+                    if dist[to] == dist[u] - 1 {
+                        next_hop[u * endpoints + dst] = ei;
+                        break;
+                    }
+                }
+            }
+        }
+        // Every endpoint pair (except CPU→CPU) must be routable.
+        for a in 0..endpoints {
+            for b in 0..endpoints {
+                if a == b || (a == cpu && b == cpu) {
+                    continue;
+                }
+                if next_hop[a * endpoints + b] == NO_ROUTE {
+                    return Err(SimError::config(format!(
+                        "topology '{label}' has no route from {} to {}; every GPU must \
+                         reach every other GPU and the CPU — add edges until the \
+                         graph is connected",
+                        node_name(a),
+                        node_name(b)
+                    )));
+                }
+            }
+        }
+        let mut topo = Topology {
+            label,
+            num_gpus,
+            num_switches,
+            edges,
+            next_hop,
+            single_hop: false,
+        };
+        topo.single_hop = (0..endpoints).all(|a| {
+            (0..endpoints).all(|b| a == b || (a == cpu && b == cpu) || topo.hops(a, b) == 1)
+        });
+        Ok(topo)
+    }
+
+    fn hops(&self, mut at: usize, dst: usize) -> usize {
+        let endpoints = self.num_gpus + 1;
+        let mut n = 0;
+        while at != dst {
+            let e = self.next_hop[at * endpoints + dst];
+            at = self.edges[e as usize].to;
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of GPU nodes.
+    pub fn num_gpus(&self) -> usize {
+        self.num_gpus
+    }
+
+    /// Number of switch nodes.
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Total nodes (GPUs + CPU + switches).
+    pub fn num_nodes(&self) -> usize {
+        self.num_gpus + 1 + self.num_switches
+    }
+
+    /// The edge list, in deterministic creation order (also the network's
+    /// tick order).
+    pub fn edges(&self) -> &[EdgeSpec] {
+        &self.edges
+    }
+
+    /// Whether every endpoint pair is one hop apart (true for
+    /// [`TopologySpec::AllToAll`]); the network then skips the routed
+    /// flow table entirely.
+    pub fn is_single_hop(&self) -> bool {
+        self.single_hop
+    }
+
+    /// The spec label this graph was generated from (`"custom"` for
+    /// [`Topology::custom`]).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Human-readable node name: `"gpu3"`, `"cpu"`, `"sw0"`.
+    pub fn node_label(&self, node: usize) -> String {
+        node_label_of(self.num_gpus, node)
+    }
+
+    /// Node index of an endpoint.
+    fn endpoint_index(&self, n: NodeId) -> usize {
+        match n {
+            NodeId::Gpu(g) => {
+                assert!(g < self.num_gpus, "gpu id out of range");
+                g
+            }
+            NodeId::Cpu => self.num_gpus,
+        }
+    }
+
+    /// Number of link hops between two endpoints.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.hops(self.endpoint_index(src), self.endpoint_index(dst))
+    }
+
+    /// The node labels along the route from `src` to `dst`, inclusive
+    /// (diagnostics and tests).
+    pub fn route_labels(&self, src: NodeId, dst: NodeId) -> Vec<String> {
+        let endpoints = self.num_gpus + 1;
+        let mut at = self.endpoint_index(src);
+        let dst = self.endpoint_index(dst);
+        let mut out = vec![self.node_label(at)];
+        while at != dst {
+            let e = self.next_hop[at * endpoints + dst];
+            at = self.edges[e as usize].to;
+            out.push(self.node_label(at));
+        }
+        out
+    }
+
+    #[inline]
+    fn next_hop_edge(&self, at: usize, dst_endpoint: usize) -> u32 {
+        self.next_hop[at * (self.num_gpus + 1) + dst_endpoint]
+    }
+}
+
+fn node_label_of(num_gpus: usize, node: usize) -> String {
+    if node < num_gpus {
+        format!("gpu{node}")
+    } else if node == num_gpus {
+        "cpu".to_string()
+    } else {
+        format!("sw{}", node - num_gpus - 1)
+    }
+}
+
+/// In-flight bookkeeping for one multi-hop message: original endpoints
+/// and size, looked up at every hop by the network-internal flow token.
+#[derive(Debug, Clone, Copy)]
+struct Flow {
+    token: u64,
+    src: u32,
+    dst: u32,
+    bytes: u64,
+}
+
+/// The runtime interconnect over a [`Topology`]: one [`Link`] per edge,
+/// static routing, and per-hop forwarding at switches.
+///
+/// For single-hop graphs (the default all-to-all mesh) every send lands
+/// directly on its one link with the caller's token — zero routing
+/// overhead, bit-identical to the historic pairwise table. Multi-hop
+/// graphs carry a network-internal flow token per message; arrivals at a
+/// non-destination node are re-sent on the next hop's link at the arrival
+/// cycle, so switch queueing is exactly the outgoing link's serialization
+/// backlog.
 #[derive(Debug)]
 pub struct LinkNetwork {
-    num_gpus: usize,
-    // gpu_links[src * num_gpus + dst], unused when src == dst.
-    gpu_links: Vec<Link>,
-    to_cpu: Vec<Link>,
-    from_cpu: Vec<Link>,
+    topo: Topology,
+    links: Vec<Link>,
+    flows: Slab<Flow>,
+    // Per-node transit counters: (received-in-transit, forwarded).
+    // Endpoint deliveries are not transit; in conservative operation the
+    // two columns are equal whenever the network is drained.
+    transit: Vec<(u64, u64)>,
+    injected: u64,
+    delivered: u64,
     // Reused per-link drain buffer for `tick_into`.
     drain_scratch: Vec<u64>,
 }
 
 impl LinkNetwork {
-    /// Builds the mesh: every GPU pair gets a dedicated link in each
-    /// direction at `gpu_bpc` bytes/cycle; every GPU gets a CPU link pair at
-    /// `cpu_bpc`.
+    /// Builds the paper's all-to-all mesh: every GPU pair gets a dedicated
+    /// link in each direction at `gpu_bpc` bytes/cycle; every GPU gets a
+    /// CPU link pair at `cpu_bpc`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_gpus` is zero or bandwidths are not positive.
+    /// Returns [`SimError::ConfigInvalid`] if `num_gpus` is zero or above
+    /// [`MAX_GPUS`], or a bandwidth is not positive.
     pub fn new(
         num_gpus: usize,
         gpu_bpc: f64,
         gpu_latency: u64,
         cpu_bpc: f64,
         cpu_latency: u64,
-    ) -> LinkNetwork {
-        assert!(num_gpus > 0);
-        LinkNetwork {
+    ) -> Result<LinkNetwork, SimError> {
+        LinkNetwork::from_topology(Topology::build(
+            TopologySpec::AllToAll,
             num_gpus,
-            gpu_links: (0..num_gpus * num_gpus)
-                .map(|_| Link::new(gpu_bpc, gpu_latency))
-                .collect(),
-            to_cpu: (0..num_gpus)
-                .map(|_| Link::new(cpu_bpc, cpu_latency))
-                .collect(),
-            from_cpu: (0..num_gpus)
-                .map(|_| Link::new(cpu_bpc, cpu_latency))
-                .collect(),
+            gpu_bpc,
+            gpu_latency,
+            cpu_bpc,
+            cpu_latency,
+        )?)
+    }
+
+    /// Builds the runtime network for an already-validated topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigInvalid`] if an edge has non-positive
+    /// bandwidth (cannot happen for a [`Topology`] that passed its own
+    /// validation).
+    pub fn from_topology(topo: Topology) -> Result<LinkNetwork, SimError> {
+        let links = topo
+            .edges()
+            .iter()
+            .map(|e| Link::new(e.bytes_per_cycle, e.latency))
+            .collect::<Result<Vec<_>, _>>()?;
+        let transit = vec![(0, 0); topo.num_nodes()];
+        Ok(LinkNetwork {
+            topo,
+            links,
+            flows: Slab::new(),
+            transit,
+            injected: 0,
+            delivered: 0,
             drain_scratch: Vec::new(),
+        })
+    }
+
+    /// The topology this network runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    #[inline]
+    fn node_id_of(&self, node: usize) -> NodeId {
+        if node == self.topo.num_gpus {
+            NodeId::Cpu
+        } else {
+            NodeId::Gpu(node)
         }
     }
 
-    fn link_ref(&self, src: NodeId, dst: NodeId) -> &Link {
-        match (src, dst) {
-            (NodeId::Gpu(s), NodeId::Gpu(d)) => {
-                assert!(s != d, "no self-link");
-                assert!(s < self.num_gpus && d < self.num_gpus);
-                &self.gpu_links[s * self.num_gpus + d]
-            }
-            (NodeId::Gpu(s), NodeId::Cpu) => &self.to_cpu[s],
-            (NodeId::Cpu, NodeId::Gpu(d)) => &self.from_cpu[d],
-            // audit:allow(tick-path-panics) documented topology-contract panic; no CPU↔CPU route exists to recover onto
-            (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
-        }
+    /// First-hop edge for `src → dst`, panicking on self-sends like the
+    /// historic pairwise table did.
+    #[inline]
+    fn first_hop(&self, src: NodeId, dst: NodeId) -> usize {
+        let s = self.topo.endpoint_index(src);
+        let d = self.topo.endpoint_index(dst);
+        assert!(s != d, "no self-link");
+        let e = self.topo.next_hop_edge(s, d);
+        debug_assert!(e != NO_ROUTE, "unroutable pair in validated topology");
+        e as usize
     }
 
-    /// Whether the `src → dst` link's serialization backlog extends more
-    /// than `horizon` cycles past `now`. Senders use this as back-pressure
-    /// instead of piling unbounded traffic onto a saturated link.
+    /// Whether the first-hop link of `src → dst`'s route has a
+    /// serialization backlog extending more than `horizon` cycles past
+    /// `now`. Senders use this as back-pressure instead of piling
+    /// unbounded traffic onto a saturated link.
     pub fn congested(&self, src: NodeId, dst: NodeId, now: Cycle, horizon: u64) -> bool {
-        self.link_ref(src, dst).next_free() > Cycle(now.0 + horizon)
+        self.links[self.first_hop(src, dst)].next_free() > Cycle(now.0 + horizon)
     }
 
-    fn link_mut(&mut self, src: NodeId, dst: NodeId) -> &mut Link {
-        match (src, dst) {
-            (NodeId::Gpu(s), NodeId::Gpu(d)) => {
-                assert!(s != d, "no self-link");
-                assert!(s < self.num_gpus && d < self.num_gpus);
-                &mut self.gpu_links[s * self.num_gpus + d]
-            }
-            (NodeId::Gpu(s), NodeId::Cpu) => &mut self.to_cpu[s],
-            (NodeId::Cpu, NodeId::Gpu(d)) => &mut self.from_cpu[d],
-            // audit:allow(tick-path-panics) documented topology-contract panic; no CPU↔CPU route exists to recover onto
-            (NodeId::Cpu, NodeId::Cpu) => panic!("no CPU self-link"),
-        }
-    }
-
-    /// Sends `bytes` from `src` to `dst`.
+    /// Sends `bytes` from `src` to `dst` along the static route.
     ///
     /// # Panics
     ///
-    /// Panics on self-links or out-of-range GPU ids.
+    /// Panics on self-sends or out-of-range GPU ids.
     pub fn send(&mut self, src: NodeId, dst: NodeId, token: u64, bytes: u64, now: Cycle) {
-        self.link_mut(src, dst).send(token, bytes, now);
+        let e = self.first_hop(src, dst);
+        self.injected += 1;
+        if self.topo.single_hop {
+            self.links[e].send(token, bytes, now);
+        } else {
+            let s = self.topo.endpoint_index(src) as u32;
+            let d = self.topo.endpoint_index(dst) as u32;
+            let flow = self.flows.insert(Flow {
+                token,
+                src: s,
+                dst: d,
+                bytes,
+            });
+            self.links[e].send(flow, bytes, now);
+        }
     }
 
     /// Advances all links, returning every delivery due by `now`.
@@ -304,96 +873,126 @@ impl LinkNetwork {
         out
     }
 
-    /// Advances all links, appending every delivery due by `now` to `out`
-    /// (allocation-free variant of [`LinkNetwork::tick`]; `out` is NOT
-    /// cleared). Per-link `min_arrival` caches make a link with nothing
-    /// due cost one compare.
+    /// Advances all links in edge order, appending every delivery due by
+    /// `now` to `out` (allocation-free variant of [`LinkNetwork::tick`];
+    /// `out` is NOT cleared). Per-link `min_arrival` caches make a link
+    /// with nothing due cost one compare. Transit arrivals at a
+    /// non-destination node are immediately re-sent on the next hop; the
+    /// new arrival is strictly in the future, so in-tick iteration order
+    /// cannot observe it.
     pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
         let mut scratch = std::mem::take(&mut self.drain_scratch);
-        for s in 0..self.num_gpus {
-            for d in 0..self.num_gpus {
-                if s == d {
-                    continue;
-                }
-                let link = &mut self.gpu_links[s * self.num_gpus + d];
-                if link.min_arrival > now.0 {
+        if self.topo.single_hop {
+            for i in 0..self.links.len() {
+                if self.links[i].min_arrival > now.0 {
                     continue;
                 }
                 scratch.clear();
-                link.tick_into(now, &mut scratch);
+                self.links[i].tick_into(now, &mut scratch);
+                let e = self.topo.edges[i];
+                let src = self.node_id_of(e.from);
+                let dst = self.node_id_of(e.to);
+                self.delivered += scratch.len() as u64;
                 for &token in &scratch {
-                    out.push(Delivery {
-                        token,
-                        src: NodeId::Gpu(s),
-                        dst: NodeId::Gpu(d),
-                    });
+                    out.push(Delivery { token, src, dst });
                 }
             }
-        }
-        for g in 0..self.num_gpus {
-            if self.to_cpu[g].min_arrival <= now.0 {
-                scratch.clear();
-                self.to_cpu[g].tick_into(now, &mut scratch);
-                for &token in &scratch {
-                    out.push(Delivery {
-                        token,
-                        src: NodeId::Gpu(g),
-                        dst: NodeId::Cpu,
-                    });
+        } else {
+            for i in 0..self.links.len() {
+                if self.links[i].min_arrival > now.0 {
+                    continue;
                 }
-            }
-            if self.from_cpu[g].min_arrival <= now.0 {
                 scratch.clear();
-                self.from_cpu[g].tick_into(now, &mut scratch);
-                for &token in &scratch {
-                    out.push(Delivery {
-                        token,
-                        src: NodeId::Cpu,
-                        dst: NodeId::Gpu(g),
-                    });
+                self.links[i].tick_into(now, &mut scratch);
+                let at = self.topo.edges[i].to;
+                for &flow_token in &scratch {
+                    // audit:allow(tick-path-panics) flow-table invariant: every in-flight link token was minted by `send`
+                    let flow = *self.flows.get(flow_token).expect("routed flow entry");
+                    if at as u32 == flow.dst {
+                        self.flows.remove(flow_token);
+                        self.delivered += 1;
+                        out.push(Delivery {
+                            token: flow.token,
+                            src: self.node_id_of(flow.src as usize),
+                            dst: self.node_id_of(flow.dst as usize),
+                        });
+                    } else {
+                        let t = &mut self.transit[at];
+                        t.0 += 1;
+                        t.1 += 1;
+                        let next = self.topo.next_hop_edge(at, flow.dst as usize);
+                        debug_assert!(next != NO_ROUTE, "transit node lost its route");
+                        self.links[next as usize].send(flow_token, flow.bytes, now);
+                    }
                 }
             }
         }
         self.drain_scratch = scratch;
     }
 
-    /// Total bytes sent over GPU-GPU links.
+    /// Total bytes sent over GPU-class links (every edge not touching the
+    /// CPU node — the all-to-all mesh, ring hops, switch ports and
+    /// inter-pod backplane).
     pub fn gpu_bytes_sent(&self) -> u64 {
-        self.gpu_links.iter().map(Link::bytes_sent).sum()
+        self.class_bytes(false)
     }
 
-    /// Total bytes sent over CPU links (both directions).
+    /// Total bytes sent over CPU links (both directions of every edge
+    /// touching the CPU node).
     pub fn cpu_bytes_sent(&self) -> u64 {
-        self.to_cpu.iter().map(Link::bytes_sent).sum::<u64>()
-            + self.from_cpu.iter().map(Link::bytes_sent).sum::<u64>()
+        self.class_bytes(true)
     }
 
-    /// Peak utilization across GPU-GPU links over `elapsed` cycles.
-    pub fn max_gpu_link_utilization(&self, elapsed: Cycle) -> f64 {
-        self.gpu_links
+    fn class_bytes(&self, cpu_class: bool) -> u64 {
+        let cpu = self.topo.num_gpus;
+        self.topo
+            .edges
             .iter()
-            .map(|l| l.utilization(elapsed))
+            .zip(&self.links)
+            .filter(|(e, _)| (e.from == cpu || e.to == cpu) == cpu_class)
+            .map(|(_, l)| l.bytes_sent())
+            .sum()
+    }
+
+    /// Peak utilization across GPU-class links over `elapsed` cycles.
+    pub fn max_gpu_link_utilization(&self, elapsed: Cycle) -> f64 {
+        let cpu = self.topo.num_gpus;
+        self.topo
+            .edges
+            .iter()
+            .zip(&self.links)
+            .filter(|(e, _)| e.from != cpu && e.to != cpu)
+            .map(|(_, l)| l.utilization(elapsed))
             .fold(0.0, f64::max)
     }
 
-    /// Total messages accepted across every link, plus total delivered.
-    /// Both are monotonic, so their sum serves as a progress signature for
-    /// the engine watchdog.
+    /// End-to-end message counters: `(injected, delivered)`. An injection
+    /// is one [`LinkNetwork::send`]; a delivery is an arrival at the
+    /// final destination (transit hops are not counted). Both are
+    /// monotonic, so their sum serves as a progress signature for the
+    /// engine watchdog, and the sanitizer checks `delivered <= injected`
+    /// every tick and equality at run end.
     pub fn message_counts(&self) -> (u64, u64) {
-        let mut sent = 0;
-        let mut delivered = 0;
-        for l in self.all_links() {
-            sent += l.messages_sent();
-            delivered += l.messages_delivered();
-        }
-        (sent, delivered)
+        (self.injected, self.delivered)
     }
 
-    fn all_links(&self) -> impl Iterator<Item = &Link> {
-        self.gpu_links
+    /// Per-node transit counters `(received, forwarded)`, indexed by node
+    /// (GPUs, then CPU, then switches). A conservative network keeps
+    /// `forwarded <= received` at every instant and equality whenever it
+    /// is drained; the sanitizer's per-hop conservation check consumes
+    /// this table. All zeros on single-hop topologies (and always for the
+    /// CPU, which never forwards).
+    pub fn transit_counts(&self) -> &[(u64, u64)] {
+        &self.transit
+    }
+
+    /// Sum of transit hops across all nodes, `(received, forwarded)`.
+    /// Monotonic; folded into the watchdog progress signature so long
+    /// multi-hop flights still register forward progress.
+    pub fn transit_totals(&self) -> (u64, u64) {
+        self.transit
             .iter()
-            .chain(self.to_cpu.iter())
-            .chain(self.from_cpu.iter())
+            .fold((0, 0), |(r, f), &(tr, tf)| (r + tr, f + tf))
     }
 
     /// One diagnostic line per link with traffic in flight: route, queue
@@ -403,68 +1002,81 @@ impl LinkNetwork {
         self.snapshot().occupancy_report()
     }
 
-    /// Point-in-time per-link occupancy. Read-only; the single source
-    /// behind [`LinkNetwork::occupancy_report`] and the telemetry sampler.
+    /// Point-in-time per-link and per-switch occupancy. Read-only; the
+    /// single source behind [`LinkNetwork::occupancy_report`] and the
+    /// telemetry sampler.
     pub fn snapshot(&self) -> NetSnapshot {
-        let route = |i: usize| -> String {
-            if i < self.num_gpus * self.num_gpus {
-                format!("gpu{}->gpu{}", i / self.num_gpus, i % self.num_gpus)
-            } else if i < self.num_gpus * self.num_gpus + self.num_gpus {
-                format!("gpu{}->cpu", i - self.num_gpus * self.num_gpus)
-            } else {
-                format!(
-                    "cpu->gpu{}",
-                    i - self.num_gpus * self.num_gpus - self.num_gpus
-                )
-            }
-        };
-        NetSnapshot {
-            links: self
-                .all_links()
-                .enumerate()
-                .map(|(i, l)| LinkSnapshot {
-                    route: route(i),
-                    in_flight: l.in_flight(),
-                    oldest_arrival: l.oldest_in_flight_arrival(),
-                    bytes_sent: l.bytes_sent(),
-                })
-                .collect(),
-        }
+        let links = self
+            .topo
+            .edges
+            .iter()
+            .zip(&self.links)
+            .map(|(e, l)| LinkSnapshot {
+                route: format!(
+                    "{}->{}",
+                    self.topo.node_label(e.from),
+                    self.topo.node_label(e.to)
+                ),
+                in_flight: l.in_flight(),
+                oldest_arrival: l.oldest_in_flight_arrival(),
+                bytes_sent: l.bytes_sent(),
+            })
+            .collect();
+        let cpu = self.topo.num_gpus;
+        let switches = (cpu + 1..self.topo.num_nodes())
+            .map(|n| SwitchSnapshot {
+                node: self.topo.node_label(n),
+                transit_received: self.transit[n].0,
+                transit_forwarded: self.transit[n].1,
+                queued: self
+                    .topo
+                    .edges
+                    .iter()
+                    .zip(&self.links)
+                    .filter(|(e, _)| e.from == n)
+                    .map(|(_, l)| l.in_flight())
+                    .sum(),
+            })
+            .collect();
+        NetSnapshot { links, switches }
     }
 
-    /// Cumulative bytes sent on GPU `g`'s outbound links: the links to
-    /// every peer GPU plus the link to the CPU. Monotonic; the telemetry
-    /// sampler differences it per interval for outbound bandwidth.
+    /// Cumulative bytes sent on GPU `g`'s outbound links (every edge
+    /// leaving the GPU node — peers and CPU, plus switch uplinks and, on
+    /// a ring, forwarded transit). Monotonic; the telemetry sampler
+    /// differences it per interval for outbound bandwidth.
     pub fn gpu_outbound_bytes(&self, g: usize) -> u64 {
-        assert!(g < self.num_gpus);
-        let peers: u64 = (0..self.num_gpus)
-            .filter(|&d| d != g)
-            .map(|d| self.gpu_links[g * self.num_gpus + d].bytes_sent())
-            .sum();
-        peers + self.to_cpu[g].bytes_sent()
+        assert!(g < self.topo.num_gpus);
+        self.topo
+            .edges
+            .iter()
+            .zip(&self.links)
+            .filter(|(e, _)| e.from == g)
+            .map(|(_, l)| l.bytes_sent())
+            .sum()
     }
 
-    /// Messages currently in flight on GPU `g`'s outbound links (peers +
-    /// CPU). Point-in-time occupancy, not monotonic.
+    /// Messages currently in flight on GPU `g`'s outbound links.
+    /// Point-in-time occupancy, not monotonic.
     pub fn gpu_outbound_in_flight(&self, g: usize) -> usize {
-        assert!(g < self.num_gpus);
-        let peers: usize = (0..self.num_gpus)
-            .filter(|&d| d != g)
-            .map(|d| self.gpu_links[g * self.num_gpus + d].in_flight())
-            .sum();
-        peers + self.to_cpu[g].in_flight()
+        assert!(g < self.topo.num_gpus);
+        self.topo
+            .edges
+            .iter()
+            .zip(&self.links)
+            .filter(|(e, _)| e.from == g)
+            .map(|(_, l)| l.in_flight())
+            .sum()
     }
 
-    /// Whether every link is quiescent.
+    /// Whether every link is quiescent (no message on any hop).
     pub fn is_idle(&self) -> bool {
-        self.gpu_links.iter().all(Link::is_idle)
-            && self.to_cpu.iter().all(Link::is_idle)
-            && self.from_cpu.iter().all(Link::is_idle)
+        self.links.iter().all(Link::is_idle)
     }
 
     /// Number of GPU nodes.
     pub fn num_gpus(&self) -> usize {
-        self.num_gpus
+        self.topo.num_gpus
     }
 }
 
@@ -472,7 +1084,7 @@ impl LinkNetwork {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkSnapshot {
     /// Human-readable route, e.g. `"gpu0->gpu1"`, `"gpu2->cpu"`,
-    /// `"cpu->gpu3"`.
+    /// `"cpu->gpu3"`, `"sw0->gpu7"`.
     pub route: String,
     /// Messages in flight on the link.
     pub in_flight: usize,
@@ -482,21 +1094,37 @@ pub struct LinkSnapshot {
     pub bytes_sent: u64,
 }
 
+/// Point-in-time occupancy of one switch node (see [`NetSnapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwitchSnapshot {
+    /// Node label, e.g. `"sw0"`.
+    pub node: String,
+    /// Cumulative transit messages received (not destined here).
+    pub transit_received: u64,
+    /// Cumulative transit messages forwarded onward.
+    pub transit_forwarded: u64,
+    /// Messages currently queued on the switch's outgoing links.
+    pub queued: usize,
+}
+
 /// Point-in-time occupancy snapshot of the whole interconnect, links in
-/// [`LinkNetwork`] iteration order (GPU-GPU row-major, then GPU→CPU, then
-/// CPU→GPU).
+/// edge (tick) order, plus per-switch transit occupancy (empty for
+/// switchless topologies).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetSnapshot {
     /// Per-link occupancy.
     pub links: Vec<LinkSnapshot>,
+    /// Per-switch occupancy.
+    pub switches: Vec<SwitchSnapshot>,
 }
 
 impl NetSnapshot {
-    /// Human-readable lines naming every link with traffic in flight
-    /// (empty when the network is idle). Used verbatim in watchdog stall
-    /// reports.
+    /// Human-readable lines naming every link with traffic in flight and
+    /// every switch with queued transit (empty when the network is idle).
+    /// Used verbatim in watchdog stall reports.
     pub fn occupancy_report(&self) -> Vec<String> {
-        self.links
+        let mut lines: Vec<String> = self
+            .links
             .iter()
             .filter(|l| l.in_flight > 0)
             .map(|l| {
@@ -507,19 +1135,21 @@ impl NetSnapshot {
                     l.oldest_arrival.unwrap_or(0),
                 )
             })
-            .collect()
+            .collect();
+        lines.extend(self.switches.iter().filter(|s| s.queued > 0).map(|s| {
+            format!(
+                "switch {}: queued={} transit_received={} transit_forwarded={}",
+                s.node, s.queued, s.transit_received, s.transit_forwarded,
+            )
+        }));
+        lines
     }
 }
 
 impl NextEvent for LinkNetwork {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut horizon: Option<Cycle> = None;
-        for link in self
-            .gpu_links
-            .iter()
-            .chain(self.to_cpu.iter())
-            .chain(self.from_cpu.iter())
-        {
+        for link in &self.links {
             horizon = earliest(horizon, link.next_event(now));
         }
         horizon
@@ -532,7 +1162,7 @@ mod tests {
 
     #[test]
     fn message_arrives_after_serialization_plus_latency() {
-        let mut l = Link::new(8.0, 100);
+        let mut l = Link::new(8.0, 100).expect("valid");
         l.send(42, 160, Cycle(0));
         // 160/8 = 20 cycles serialization + 100 latency = arrival 120.
         assert!(l.tick(Cycle(119)).is_empty());
@@ -542,7 +1172,7 @@ mod tests {
 
     #[test]
     fn back_to_back_messages_queue_on_bandwidth() {
-        let mut l = Link::new(8.0, 0);
+        let mut l = Link::new(8.0, 0).expect("valid");
         l.send(1, 160, Cycle(0));
         l.send(2, 160, Cycle(0));
         // First done serializing at 20, second at 40.
@@ -556,8 +1186,19 @@ mod tests {
     }
 
     #[test]
+    fn non_positive_bandwidth_is_a_config_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Link::new(bad, 10).expect_err("must reject");
+            assert!(
+                err.to_string().contains("link bandwidth must be positive"),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
     fn utilization_saturates_at_one() {
-        let mut l = Link::new(2.0, 0);
+        let mut l = Link::new(2.0, 0).expect("valid");
         for i in 0..100 {
             l.send(i, 128, Cycle(0));
         }
@@ -567,7 +1208,7 @@ mod tests {
 
     #[test]
     fn network_routes_between_gpus_and_cpu() {
-        let mut net = LinkNetwork::new(4, 8.0, 10, 4.0, 20);
+        let mut net = LinkNetwork::new(4, 8.0, 10, 4.0, 20).expect("valid");
         net.send(NodeId::Gpu(0), NodeId::Gpu(3), 1, 32, Cycle(0));
         net.send(NodeId::Gpu(2), NodeId::Cpu, 2, 32, Cycle(0));
         net.send(NodeId::Cpu, NodeId::Gpu(1), 3, 32, Cycle(0));
@@ -591,7 +1232,7 @@ mod tests {
 
     #[test]
     fn distinct_links_do_not_interfere() {
-        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
+        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0).expect("valid");
         // Saturate 0->1; 1->0 stays fast.
         for i in 0..10 {
             net.send(NodeId::Gpu(0), NodeId::Gpu(1), i, 128, Cycle(0));
@@ -604,13 +1245,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "no self-link")]
     fn self_link_panics() {
-        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
+        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0).expect("valid");
         net.send(NodeId::Gpu(0), NodeId::Gpu(0), 0, 32, Cycle(0));
     }
 
     #[test]
     fn next_event_points_at_earliest_arrival() {
-        let mut l = Link::new(8.0, 100);
+        let mut l = Link::new(8.0, 100).expect("valid");
         assert_eq!(l.next_event(Cycle(0)), None);
         l.send(1, 160, Cycle(0)); // arrives at 120
         l.send(2, 160, Cycle(0)); // arrives at 140
@@ -618,7 +1259,7 @@ mod tests {
         assert!(l.tick(Cycle(119)).is_empty());
         assert_eq!(l.tick(Cycle(120)), vec![1]);
         assert_eq!(l.next_event(Cycle(120)), Some(Cycle(140)));
-        let mut net = LinkNetwork::new(2, 8.0, 10, 4.0, 20);
+        let mut net = LinkNetwork::new(2, 8.0, 10, 4.0, 20).expect("valid");
         assert_eq!(net.next_event(Cycle(0)), None);
         net.send(NodeId::Gpu(0), NodeId::Gpu(1), 7, 32, Cycle(0));
         // 32/8 = 4 serialization + 10 latency.
@@ -627,7 +1268,7 @@ mod tests {
 
     #[test]
     fn message_counts_and_occupancy_report_track_in_flight_traffic() {
-        let mut net = LinkNetwork::new(2, 8.0, 100, 8.0, 100);
+        let mut net = LinkNetwork::new(2, 8.0, 100, 8.0, 100).expect("valid");
         net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 32, Cycle(0));
         net.send(NodeId::Gpu(1), NodeId::Cpu, 2, 32, Cycle(0));
         assert_eq!(net.message_counts(), (2, 0));
@@ -644,7 +1285,7 @@ mod tests {
 
     #[test]
     fn byte_accounting_split_by_kind() {
-        let mut net = LinkNetwork::new(2, 8.0, 0, 8.0, 0);
+        let mut net = LinkNetwork::new(2, 8.0, 0, 8.0, 0).expect("valid");
         net.send(NodeId::Gpu(0), NodeId::Gpu(1), 0, msg::REQ_BYTES, Cycle(0));
         net.send(
             NodeId::Gpu(0),
@@ -655,5 +1296,366 @@ mod tests {
         );
         assert_eq!(net.gpu_bytes_sent(), 32);
         assert_eq!(net.cpu_bytes_sent(), 160);
+    }
+
+    // ----------------------------------------------------------------
+    // Routed-topology tests.
+
+    #[test]
+    fn all_to_all_is_single_hop_with_historic_edge_order() {
+        let topo = Topology::build(TopologySpec::AllToAll, 3, 8.0, 10, 4.0, 20).expect("valid");
+        assert!(topo.is_single_hop());
+        assert_eq!(topo.num_switches(), 0);
+        // GPU pairs row-major, then per-GPU to-CPU / from-CPU interleaved:
+        // the historic pairwise table's tick order.
+        let routes: Vec<String> = topo
+            .edges()
+            .iter()
+            .map(|e| format!("{}->{}", topo.node_label(e.from), topo.node_label(e.to)))
+            .collect();
+        assert_eq!(
+            routes,
+            vec![
+                "gpu0->gpu1",
+                "gpu0->gpu2",
+                "gpu1->gpu0",
+                "gpu1->gpu2",
+                "gpu2->gpu0",
+                "gpu2->gpu1",
+                "gpu0->cpu",
+                "cpu->gpu0",
+                "gpu1->cpu",
+                "cpu->gpu1",
+                "gpu2->cpu",
+                "cpu->gpu2",
+            ]
+        );
+    }
+
+    #[test]
+    fn all_to_all_same_tick_delivery_order_matches_pairwise_table() {
+        // Six messages arriving on the same cycle must drain in the
+        // historic order: GPU pairs row-major, then per-GPU CPU pairs.
+        let mut net = LinkNetwork::new(2, 32.0, 10, 32.0, 10).expect("valid");
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 32, Cycle(0));
+        net.send(NodeId::Gpu(1), NodeId::Gpu(0), 2, 32, Cycle(0));
+        net.send(NodeId::Gpu(0), NodeId::Cpu, 3, 32, Cycle(0));
+        net.send(NodeId::Cpu, NodeId::Gpu(0), 4, 32, Cycle(0));
+        net.send(NodeId::Gpu(1), NodeId::Cpu, 5, 32, Cycle(0));
+        net.send(NodeId::Cpu, NodeId::Gpu(1), 6, 32, Cycle(0));
+        let tokens: Vec<u64> = net.tick(Cycle(11)).iter().map(|d| d.token).collect();
+        assert_eq!(tokens, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn switch_topology_pays_two_hops() {
+        let topo = Topology::build(TopologySpec::Switch, 4, 8.0, 100, 4.0, 200).expect("valid");
+        assert!(!topo.is_single_hop());
+        assert_eq!(topo.num_switches(), 1);
+        assert_eq!(topo.hop_count(NodeId::Gpu(0), NodeId::Gpu(1)), 2);
+        assert_eq!(
+            topo.route_labels(NodeId::Gpu(2), NodeId::Cpu),
+            vec!["gpu2", "sw0", "cpu"]
+        );
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 7, 160, Cycle(0));
+        // Hop 1: 160/8 = 20 ser + 100 latency -> arrives at sw0 at 120.
+        // Hop 2: starts at 120, 20 ser + 100 latency -> arrives at 240.
+        let mut seen = Vec::new();
+        for c in 0..=239u64 {
+            seen.extend(net.tick(Cycle(c)));
+        }
+        assert!(seen.is_empty(), "multi-hop delivery must pay both hops");
+        assert_eq!(
+            net.tick(Cycle(240)),
+            vec![Delivery {
+                token: 7,
+                src: NodeId::Gpu(0),
+                dst: NodeId::Gpu(1)
+            }]
+        );
+        assert!(net.is_idle());
+        // One transit hop at the switch, conserved.
+        assert_eq!(net.transit_counts()[5], (1, 1));
+        assert_eq!(net.message_counts(), (1, 1));
+    }
+
+    #[test]
+    fn multi_hop_event_horizon_tracks_forwarded_messages() {
+        let topo = Topology::build(TopologySpec::Switch, 2, 8.0, 100, 4.0, 200).expect("valid");
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 160, Cycle(0));
+        // First hop arrives at 120.
+        assert_eq!(net.next_event(Cycle(0)), Some(Cycle(120)));
+        assert!(net.tick(Cycle(120)).is_empty());
+        // The forward is now in flight; the horizon must point at it,
+        // not report idle (the event-skip engine would stall otherwise).
+        assert_eq!(net.next_event(Cycle(120)), Some(Cycle(240)));
+        assert_eq!(net.tick(Cycle(240)).len(), 1);
+        assert_eq!(net.next_event(Cycle(240)), None);
+    }
+
+    #[test]
+    fn ring_routes_shortest_direction_clockwise_on_ties() {
+        let topo = Topology::build(TopologySpec::Ring, 4, 8.0, 10, 4.0, 20).expect("valid");
+        // One hop to the clockwise neighbour.
+        assert_eq!(
+            topo.route_labels(NodeId::Gpu(0), NodeId::Gpu(1)),
+            vec!["gpu0", "gpu1"]
+        );
+        // One hop counter-clockwise (not three hops around).
+        assert_eq!(
+            topo.route_labels(NodeId::Gpu(0), NodeId::Gpu(3)),
+            vec!["gpu0", "gpu3"]
+        );
+        // Two hops either way: the tie breaks clockwise.
+        assert_eq!(
+            topo.route_labels(NodeId::Gpu(0), NodeId::Gpu(2)),
+            vec!["gpu0", "gpu1", "gpu2"]
+        );
+        // CPU links are dedicated, one hop, and never used for transit.
+        assert_eq!(topo.hop_count(NodeId::Gpu(2), NodeId::Cpu), 1);
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.send(NodeId::Gpu(0), NodeId::Gpu(2), 9, 160, Cycle(0));
+        let mut got = Vec::new();
+        for c in 0..200u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].src, NodeId::Gpu(0));
+        assert_eq!(got[0].dst, NodeId::Gpu(2));
+        // GPU 1 forwarded one transit message.
+        assert_eq!(net.transit_counts()[1], (1, 1));
+    }
+
+    #[test]
+    fn hierarchical_pods_route_direct_inside_and_via_switches_between() {
+        let topo = Topology::build(
+            TopologySpec::Hierarchical { pod_size: 4 },
+            8,
+            8.0,
+            10,
+            4.0,
+            20,
+        )
+        .expect("valid");
+        assert_eq!(topo.num_switches(), 2);
+        // Intra-pod: direct link.
+        assert_eq!(topo.hop_count(NodeId::Gpu(0), NodeId::Gpu(3)), 1);
+        // Inter-pod: gpu -> pod switch -> peer switch -> gpu.
+        assert_eq!(
+            topo.route_labels(NodeId::Gpu(1), NodeId::Gpu(6)),
+            vec!["gpu1", "sw0", "sw1", "gpu6"]
+        );
+        // The inter-pod backplane runs slower than the in-pod mesh.
+        let backplane = topo
+            .edges()
+            .iter()
+            .find(|e| e.from == 9 && e.to == 10)
+            .expect("sw0->sw1 edge");
+        assert!((backplane.bytes_per_cycle - 8.0 * INTER_POD_BW_FACTOR).abs() < 1e-12);
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.send(NodeId::Gpu(1), NodeId::Gpu(6), 1, 160, Cycle(0));
+        net.send(NodeId::Gpu(6), NodeId::Gpu(1), 2, 160, Cycle(0));
+        let mut got = Vec::new();
+        for c in 0..1000u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        assert_eq!(got.len(), 2);
+        assert!(net.is_idle());
+        // Each direction transited both switches once.
+        assert_eq!(net.transit_counts()[9], (2, 2));
+        assert_eq!(net.transit_counts()[10], (2, 2));
+        let (tr, tf) = net.transit_totals();
+        assert_eq!((tr, tf), (4, 4));
+        assert_eq!(net.message_counts(), (2, 2));
+    }
+
+    #[test]
+    fn cpu_never_forwards_transit_traffic() {
+        // A pathological custom graph where the only 2-hop gpu0->gpu1
+        // path runs through the CPU must be rejected as unroutable.
+        let err = Topology::custom(
+            2,
+            0,
+            vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 0,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 2,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 1,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+            ],
+        )
+        .expect_err("cpu is a leaf");
+        assert!(err.to_string().contains("no route"), "{err}");
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected_with_actionable_message() {
+        let err = Topology::custom(
+            2,
+            0,
+            vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 0,
+                    to: 2,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 0,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 2,
+                    to: 1,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+            ],
+        )
+        .expect_err("gpu1 cannot reach anyone");
+        let msg = err.to_string();
+        assert!(msg.contains("no route from gpu1"), "{msg}");
+        assert!(msg.contains("connected"), "{msg}");
+    }
+
+    #[test]
+    fn zero_bandwidth_edge_is_rejected() {
+        let err = Topology::custom(
+            1,
+            0,
+            vec![
+                EdgeSpec {
+                    from: 0,
+                    to: 1,
+                    bytes_per_cycle: 0.0,
+                    latency: 10,
+                },
+                EdgeSpec {
+                    from: 1,
+                    to: 0,
+                    bytes_per_cycle: 8.0,
+                    latency: 10,
+                },
+            ],
+        )
+        .expect_err("zero bandwidth");
+        assert!(
+            err.to_string().contains("link bandwidth must be positive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_and_degenerate_specs_are_rejected() {
+        let err =
+            Topology::build(TopologySpec::AllToAll, 0, 8.0, 10, 4.0, 20).expect_err("zero gpus");
+        assert!(err.to_string().contains("num_gpus"), "{err}");
+        let err = Topology::build(TopologySpec::AllToAll, MAX_GPUS + 1, 8.0, 10, 4.0, 20)
+            .expect_err("too many gpus");
+        assert!(err.to_string().contains("at most 64"), "{err}");
+        let err = Topology::build(
+            TopologySpec::Hierarchical { pod_size: 3 },
+            8,
+            8.0,
+            10,
+            4.0,
+            20,
+        )
+        .expect_err("pod size must tile");
+        assert!(err.to_string().contains("pod_size"), "{err}");
+        let err =
+            Topology::build(TopologySpec::Switch, 4, -1.0, 10, 4.0, 20).expect_err("negative bw");
+        assert!(
+            err.to_string().contains("link bandwidth must be positive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn every_generator_scales_to_64_gpus() {
+        for spec in [
+            TopologySpec::AllToAll,
+            TopologySpec::Switch,
+            TopologySpec::Ring,
+            TopologySpec::Hierarchical { pod_size: 8 },
+        ] {
+            let topo = Topology::build(spec, 64, 8.0, 10, 4.0, 20)
+                .unwrap_or_else(|e| panic!("{spec:?} at 64 GPUs: {e}"));
+            let mut net = LinkNetwork::from_topology(topo).expect("valid");
+            // Cross-machine traffic drains fully on every shape.
+            net.send(NodeId::Gpu(0), NodeId::Gpu(63), 1, 160, Cycle(0));
+            net.send(NodeId::Gpu(63), NodeId::Cpu, 2, 160, Cycle(0));
+            net.send(NodeId::Cpu, NodeId::Gpu(31), 3, 160, Cycle(0));
+            let mut got = Vec::new();
+            for c in 0..100_000u64 {
+                if net.is_idle() {
+                    break;
+                }
+                got.extend(net.tick(Cycle(c)));
+            }
+            assert_eq!(got.len(), 3, "{spec:?}");
+            assert_eq!(net.message_counts(), (3, 3), "{spec:?}");
+            let (tr, tf) = net.transit_totals();
+            assert_eq!(tr, tf, "{spec:?} transit conservation");
+        }
+    }
+
+    #[test]
+    fn switch_snapshot_reports_queued_transit() {
+        let topo = Topology::build(TopologySpec::Switch, 2, 8.0, 100, 4.0, 200).expect("valid");
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 160, Cycle(0));
+        net.tick(Cycle(120)); // lands on sw0, forwarded
+        let snap = net.snapshot();
+        assert_eq!(snap.switches.len(), 1);
+        assert_eq!(snap.switches[0].node, "sw0");
+        assert_eq!(snap.switches[0].transit_received, 1);
+        assert_eq!(snap.switches[0].transit_forwarded, 1);
+        assert_eq!(snap.switches[0].queued, 1);
+        assert!(net
+            .occupancy_report()
+            .iter()
+            .any(|l| l.contains("switch sw0")));
+    }
+
+    #[test]
+    fn congestion_uses_first_hop_backlog() {
+        let topo = Topology::build(TopologySpec::Switch, 2, 1.0, 0, 1.0, 0).expect("valid");
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        for i in 0..10 {
+            net.send(NodeId::Gpu(0), NodeId::Gpu(1), i, 128, Cycle(0));
+        }
+        assert!(net.congested(NodeId::Gpu(0), NodeId::Gpu(1), Cycle(0), 100));
+        // The reverse direction injects on its own uplink.
+        assert!(!net.congested(NodeId::Gpu(1), NodeId::Gpu(0), Cycle(0), 100));
     }
 }

@@ -150,9 +150,9 @@ impl PageTable {
     ///
     /// # Panics
     ///
-    /// Panics if `num_gpus` is 0 or > 16 or `page_size` is 0.
+    /// Panics if `num_gpus` is 0 or > 64 or `page_size` is 0.
     pub fn new(num_gpus: usize, page_size: u64, policy: PlacementPolicy) -> PageTable {
-        assert!(num_gpus > 0 && num_gpus <= 16);
+        assert!(num_gpus > 0 && num_gpus <= 64);
         assert!(page_size > 0);
         PageTable {
             num_gpus,

@@ -13,19 +13,20 @@ use crate::sched::gpu_of_cta;
 use carve_trace::{Op, WorkloadSpec};
 use sim_core::ScaledConfig;
 
-/// A set of GPUs, as a bitmask (supports up to 16 GPUs).
+/// A set of GPUs, as a bitmask (supports up to 64 GPUs, the routed
+/// fabric's ceiling — `carve_noc::MAX_GPUS`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct GpuMask(pub u16);
+pub struct GpuMask(pub u64);
 
 impl GpuMask {
     /// Adds GPU `g` to the set.
     ///
     /// # Panics
     ///
-    /// Panics if `g >= 16`.
+    /// Panics if `g >= 64`.
     #[inline]
     pub fn set(&mut self, g: usize) {
-        assert!(g < 16, "GpuMask supports at most 16 GPUs");
+        assert!(g < 64, "GpuMask supports at most 64 GPUs");
         self.0 |= 1 << g;
     }
 
@@ -338,9 +339,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 16")]
+    #[should_panic(expected = "at most 64")]
     fn mask_bounds_checked() {
-        GpuMask::default().set(16);
+        GpuMask::default().set(64);
     }
 
     #[test]

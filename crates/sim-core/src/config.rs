@@ -13,6 +13,66 @@
 
 use crate::units::{gbs_to_bytes_per_cycle, GIB, KIB, MIB};
 
+/// Shape of the inter-GPU interconnect (consumed by `carve-noc`'s
+/// topology generators).
+///
+/// The paper's 4-GPU machine uses [`TopologySpec::AllToAll`] — a
+/// dedicated link per GPU pair per direction — which stops being
+/// buildable hardware well before 64 GPUs (64×63 = 4032 links). The
+/// other variants trade link count for hops so scaling questions beyond
+/// the paper's machine become askable. `AllToAll` is the default and
+/// reproduces the pairwise-link behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TopologySpec {
+    /// Dedicated link per GPU pair per direction, plus a private CPU link
+    /// pair per GPU (the paper's Table III mesh).
+    #[default]
+    AllToAll,
+    /// One central crossbar switch; every GPU (and the CPU) hangs off it,
+    /// so all traffic takes two hops and shares the switch's links.
+    Switch,
+    /// Bidirectional ring over the GPUs (shortest direction, clockwise on
+    /// ties), with a private CPU link pair per GPU.
+    Ring,
+    /// DGX-style pods: all-to-all links inside each pod, one switch per
+    /// pod, and slower pairwise links between pod switches
+    /// (`INTER_POD_BW_FACTOR` in `carve-noc`). Private CPU link pair per
+    /// GPU.
+    Hierarchical {
+        /// GPUs per pod; must divide the GPU count evenly.
+        pod_size: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Short label used in CLI flags and campaign journal keys:
+    /// `all-to-all`, `switch`, `ring`, `hier<pod_size>`.
+    pub fn label(self) -> String {
+        match self {
+            TopologySpec::AllToAll => "all-to-all".into(),
+            TopologySpec::Switch => "switch".into(),
+            TopologySpec::Ring => "ring".into(),
+            TopologySpec::Hierarchical { pod_size } => format!("hier{pod_size}"),
+        }
+    }
+
+    /// Inverse of [`TopologySpec::label`] (`None` for unknown labels).
+    pub fn from_label(label: &str) -> Option<TopologySpec> {
+        match label {
+            "all-to-all" => Some(TopologySpec::AllToAll),
+            "switch" => Some(TopologySpec::Switch),
+            "ring" => Some(TopologySpec::Ring),
+            _ => {
+                let pods = label.strip_prefix("hier")?;
+                pods.parse::<usize>()
+                    .ok()
+                    .filter(|&p| p > 0)
+                    .map(|pod_size| TopologySpec::Hierarchical { pod_size })
+            }
+        }
+    }
+}
+
 /// The paper's baseline multi-GPU system (Table III), unscaled.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaselineConfig {
@@ -147,6 +207,9 @@ pub struct ScaledConfig {
     pub cpu_link_bytes_per_cycle: f64,
     /// CPU link + system memory access latency in cycles.
     pub cpu_link_latency: u64,
+    /// Interconnect shape (never scaled; default
+    /// [`TopologySpec::AllToAll`] reproduces the paper's pairwise mesh).
+    pub topology: TopologySpec,
     /// GPU memory capacity per GPU in bytes after capacity scaling.
     pub mem_bytes_per_gpu: u64,
     /// RDC carve-out per GPU in bytes after capacity scaling (0 = no RDC).
@@ -227,6 +290,7 @@ impl ScaledConfig {
             link_latency: 200,
             cpu_link_bytes_per_cycle: gbs_to_bytes_per_cycle(base.cpu_gpu_link_gbs, freq) / ws,
             cpu_link_latency: 500,
+            topology: TopologySpec::AllToAll,
             mem_bytes_per_gpu: base.dram_capacity_per_gpu / capacity_scale,
             rdc_bytes_per_gpu: base.rdc_bytes_per_gpu / capacity_scale,
             capacity_scale,
@@ -327,6 +391,23 @@ mod tests {
     #[should_panic(expected = "scales must be positive")]
     fn zero_scale_panics() {
         let _ = ScaledConfig::from_baseline(&BaselineConfig::default(), 0, 1);
+    }
+
+    #[test]
+    fn topology_labels_round_trip() {
+        for t in [
+            TopologySpec::AllToAll,
+            TopologySpec::Switch,
+            TopologySpec::Ring,
+            TopologySpec::Hierarchical { pod_size: 4 },
+            TopologySpec::Hierarchical { pod_size: 16 },
+        ] {
+            assert_eq!(TopologySpec::from_label(&t.label()), Some(t));
+        }
+        assert_eq!(TopologySpec::from_label("bogus"), None);
+        assert_eq!(TopologySpec::from_label("hier0"), None);
+        assert_eq!(TopologySpec::from_label("hierX"), None);
+        assert_eq!(ScaledConfig::default().topology, TopologySpec::AllToAll);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod telemetry;
 pub mod units;
 pub mod watchdog;
 
-pub use config::{BaselineConfig, ScaledConfig};
+pub use config::{BaselineConfig, ScaledConfig, TopologySpec};
 pub use cycle::Cycle;
 pub use error::SimError;
 pub use event::NextEvent;

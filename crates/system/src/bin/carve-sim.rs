@@ -13,7 +13,10 @@
 //!   --rdc <bytes-per-gpu>        RDC carve-out override (scaled bytes)
 //!   --spill <fraction>           UM cold-page spill fraction (0..1)
 //!   --link-gbs <gbs>             inter-GPU link bandwidth, paper-equivalent GB/s
-//!   --gpus <n>                   GPU count (default 4)
+//!   --gpus <n>                   GPU count (default 4, max 64)
+//!   --topology <t>               interconnect: all-to-all (default), switch,
+//!                                ring, or hier<pod> (e.g. hier4 = DGX-style
+//!                                pods of 4 joined by slower inter-pod links)
 //!   --predictor                  enable the RDC hit predictor
 //!   --directory                  directory coherence instead of broadcast
 //!   --sanitize                   enable the protocol sanitizer shadow checker
@@ -36,7 +39,7 @@ use std::time::Instant;
 
 use carve_system::{
     profile_workload, try_run, try_run_observed, workloads, Design, EngineMode, JsonTraceSink,
-    SimConfig, SimError, SimResult,
+    SimConfig, SimError, SimResult, TopologySpec,
 };
 
 /// Default `trace` sampling interval: fine enough to resolve kernel-scale
@@ -67,6 +70,7 @@ struct RunArgs {
     spill: f64,
     link_gbs: Option<f64>,
     gpus: Option<usize>,
+    topology: Option<TopologySpec>,
     predictor: bool,
     directory: bool,
     /// Enables the protocol sanitizer (see `SimConfig::sanitize`).
@@ -93,6 +97,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         spill: 0.0,
         link_gbs: None,
         gpus: None,
+        topology: None,
         predictor: false,
         directory: false,
         sanitize: false,
@@ -124,10 +129,16 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--gpus" => {
                 let v = it.next().ok_or("--gpus needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --gpus '{v}'"))?;
-                if !(1..=16).contains(&n) {
-                    return Err(format!("--gpus must be 1..=16, got {n}"));
+                if !(1..=64).contains(&n) {
+                    return Err(format!("--gpus must be 1..=64, got {n}"));
                 }
                 out.gpus = Some(n);
+            }
+            "--topology" => {
+                let v = it.next().ok_or("--topology needs a value")?;
+                out.topology = Some(TopologySpec::from_label(v).ok_or_else(|| {
+                    format!("unknown topology '{v}' (try all-to-all, switch, ring, hier<pod>)")
+                })?);
             }
             "--predictor" => out.predictor = true,
             "--directory" => out.directory = true,
@@ -176,6 +187,9 @@ fn sim_config_from(args: &RunArgs) -> SimConfig {
     }
     if let Some(gpus) = args.gpus {
         sim.cfg.num_gpus = gpus;
+    }
+    if let Some(topo) = args.topology {
+        sim.cfg.topology = topo;
     }
     sim
 }
@@ -502,6 +516,8 @@ mod tests {
             "128",
             "--gpus",
             "8",
+            "--topology",
+            "hier4",
             "--predictor",
             "--directory",
         ]))
@@ -511,7 +527,33 @@ mod tests {
         assert!((a.spill - 0.0625).abs() < 1e-12);
         assert_eq!(a.link_gbs, Some(128.0));
         assert_eq!(a.gpus, Some(8));
+        assert_eq!(a.topology, Some(TopologySpec::Hierarchical { pod_size: 4 }));
         assert!(a.predictor && a.directory);
+        let sim = sim_config_from(&a);
+        assert_eq!(sim.cfg.num_gpus, 8);
+        assert_eq!(sim.cfg.topology, TopologySpec::Hierarchical { pod_size: 4 });
+    }
+
+    #[test]
+    fn parses_topology_labels_and_gpu_range() {
+        for (label, topo) in [
+            ("all-to-all", TopologySpec::AllToAll),
+            ("switch", TopologySpec::Switch),
+            ("ring", TopologySpec::Ring),
+            ("hier8", TopologySpec::Hierarchical { pod_size: 8 }),
+        ] {
+            let a = parse_run_args(&strs(&["w", "--topology", label])).unwrap();
+            assert_eq!(a.topology, Some(topo), "{label}");
+        }
+        assert!(parse_run_args(&strs(&["w", "--topology", "torus"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--topology", "hier0"])).is_err());
+        let a = parse_run_args(&strs(&["w", "--gpus", "64"])).unwrap();
+        assert_eq!(a.gpus, Some(64));
+        assert!(parse_run_args(&strs(&["w", "--gpus", "65"])).is_err());
+        // Default stays the paper's all-to-all mesh.
+        let b = parse_run_args(&strs(&["w"])).unwrap();
+        assert_eq!(b.topology, None);
+        assert_eq!(sim_config_from(&b).cfg.topology, TopologySpec::AllToAll);
     }
 
     #[test]

@@ -267,6 +267,18 @@ impl SimConfig {
                 c.link_bytes_per_cycle, c.cpu_link_bytes_per_cycle
             ));
         }
+        // Dry-build the interconnect graph so an unroutable topology
+        // (too many GPUs, pod size not tiling, zero-bandwidth edge) fails
+        // here with the generator's actionable message instead of deep
+        // inside `System::build`.
+        carve_noc::Topology::build(
+            c.topology,
+            self.design.num_gpus(c),
+            c.link_bytes_per_cycle,
+            c.link_latency,
+            c.cpu_link_bytes_per_cycle,
+            c.cpu_link_latency,
+        )?;
         if c.dram_channels == 0 || c.dram_banks_per_channel == 0 {
             return fail(format!(
                 "DRAM geometry is degenerate (dram_channels={}, dram_banks_per_channel={}); \
@@ -402,6 +414,14 @@ mod tests {
         check(|s| s.cfg.l2_bytes_per_gpu = 0, "l2_bytes_per_gpu");
         check(|s| s.cfg.l1_bytes_per_sm = 0, "l1_bytes_per_sm");
         check(|s| s.cfg.link_bytes_per_cycle = 0.0, "link bandwidth");
+        check(|s| s.cfg.num_gpus = 65, "at most 64");
+        check(
+            |s| {
+                s.cfg.num_gpus = 8;
+                s.cfg.topology = sim_core::TopologySpec::Hierarchical { pod_size: 3 };
+            },
+            "pod_size",
+        );
         check(|s| s.cfg.dram_channels = 0, "dram_channels");
         check(|s| s.spill_fraction = 1.5, "spill_fraction");
         check(|s| s.spill_fraction = -0.1, "spill_fraction");
@@ -410,6 +430,23 @@ mod tests {
             |s| s.cfg.dram_write_drain_low = s.cfg.dram_write_drain_high,
             "watermarks",
         );
+    }
+
+    #[test]
+    fn routed_topologies_validate_across_gpu_counts() {
+        use sim_core::TopologySpec;
+        for (gpus, topo) in [
+            (8, TopologySpec::Switch),
+            (16, TopologySpec::Ring),
+            (16, TopologySpec::Hierarchical { pod_size: 4 }),
+            (64, TopologySpec::Hierarchical { pod_size: 8 }),
+        ] {
+            let mut sc = SimConfig::new(Design::CarveHwc);
+            sc.cfg.num_gpus = gpus;
+            sc.cfg.topology = topo;
+            sc.validate()
+                .unwrap_or_else(|e| panic!("{topo:?} at {gpus} GPUs must validate: {e}"));
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! The assembled 4-GPU NUMA system and experiment harness.
+//! The assembled multi-GPU NUMA system and experiment harness.
 //!
 //! This crate wires every substrate together into the machine the paper
-//! evaluates: four [`carve_gpu::GpuCore`]s, four [`carve_dram::DramModel`]s,
-//! an all-to-all [`carve_noc::LinkNetwork`] plus CPU links and system
+//! evaluates: per-GPU [`carve_gpu::GpuCore`]s and [`carve_dram::DramModel`]s,
+//! a routed [`carve_noc::LinkNetwork`] over a [`carve_noc::Topology`]
+//! (default: the paper's 4-GPU all-to-all mesh; scalable to 64 GPUs over
+//! switch, ring, or hierarchical pod fabrics via
+//! [`TopologySpec`](sim_core::TopologySpec)) plus CPU links and system
 //! memory, a [`carve_runtime::PageTable`] with the software placement
 //! policies, and optionally [`carve::Carve`] (RDC + coherence) at the
 //! memory controllers.
@@ -48,4 +51,4 @@ pub use carve_trace::workloads;
 pub use sim_core::telemetry::{
     IntervalRecord, JsonTraceSink, NullTraceSink, Timeline, TraceEvent, TracePhase, TraceSink,
 };
-pub use sim_core::{ScaledConfig, SimError};
+pub use sim_core::{ScaledConfig, SimError, TopologySpec};

@@ -38,6 +38,10 @@
 //!   live slab entry must carry the untracked sentinel slot.
 //! * `noc-conservation` — deliveries never exceed sends, counts are
 //!   monotonic, and a finished run has delivered every sent message.
+//! * `noc-hop-conservation` — per transit node (switches, and GPUs on a
+//!   ring), forwarded messages never exceed those received, the counters
+//!   are monotonic, and a finished run has forwarded every transit
+//!   arrival (nothing dropped inside the fabric).
 //! * `dram-timing` — forwarded from [`carve_dram::TimingAudit`] (bus
 //!   overlap, bank recovery, row-hit legality, CAS floor).
 
@@ -62,11 +66,12 @@ pub(crate) struct Sanitizer {
     policy: Option<CoherencePolicy>,
     directory_mode: bool,
     rdc_caches_sysmem: bool,
-    /// Per home node: line -> bitmask of GPUs granted a remote copy.
-    /// An overapproximation of true copies (in-flight invalidates may
-    /// already have killed one), which is the safe direction for the
-    /// write-target coverage check.
-    granted: Vec<HashMap<u64, u32>>,
+    /// Per home node: line -> bitmask of GPUs granted a remote copy
+    /// (64 bits, matching [`carve_noc::MAX_GPUS`]). An overapproximation
+    /// of true copies (in-flight invalidates may already have killed
+    /// one), which is the safe direction for the write-target coverage
+    /// check.
+    granted: Vec<HashMap<u64, u64>>,
     /// Per GPU: every line inserted into the RDC since its last epoch
     /// clear — a superset of residency, since conflict evictions are
     /// silent and only shrink the cache.
@@ -79,6 +84,8 @@ pub(crate) struct Sanitizer {
     max_token: u64,
     prev_sent: u64,
     prev_delivered: u64,
+    /// Per transit node: `(received, forwarded)` as of the previous poll.
+    prev_hops: Vec<(u64, u64)>,
     violation: Option<Violation>,
 }
 
@@ -101,6 +108,7 @@ impl Sanitizer {
             max_token: 0,
             prev_sent: 0,
             prev_delivered: 0,
+            prev_hops: Vec::new(),
             violation: None,
         }
     }
@@ -200,8 +208,8 @@ impl Sanitizer {
             return;
         }
         let granted = self.granted[home].get(&line).copied().unwrap_or(0);
-        let expected = granted & !(1u32 << writer);
-        let mut tmask = 0u32;
+        let expected = granted & !(1u64 << writer);
+        let mut tmask = 0u64;
         for &t in targets {
             tmask |= 1 << t;
         }
@@ -458,6 +466,70 @@ impl Sanitizer {
         }
     }
 
+    /// Per-tick, per-hop conservation over the network's transit
+    /// counters (`hops[node] = (received, forwarded)`): a conservative
+    /// fabric never forwards a message it has not received, and both
+    /// columns only grow.
+    pub(crate) fn on_hop_counts(&mut self, hops: &[(u64, u64)], cycle: u64) {
+        if self.violation.is_some() {
+            return;
+        }
+        if self.prev_hops.len() != hops.len() {
+            self.prev_hops = vec![(0, 0); hops.len()];
+        }
+        for (node, &(recv, fwd)) in hops.iter().enumerate() {
+            let prev = self.prev_hops[node];
+            if fwd > recv {
+                self.fail(
+                    "noc-hop-conservation",
+                    cycle,
+                    format!(
+                        "node {node} forwarded {fwd} transit messages but received only \
+                         {recv} (duplicated forward)"
+                    ),
+                );
+                return;
+            }
+            if recv < prev.0 || fwd < prev.1 {
+                self.fail(
+                    "noc-hop-conservation",
+                    cycle,
+                    format!(
+                        "node {node} transit counters regressed: received {} -> {recv}, \
+                         forwarded {} -> {fwd}",
+                        prev.0, prev.1
+                    ),
+                );
+                return;
+            }
+            self.prev_hops[node] = (recv, fwd);
+        }
+    }
+
+    /// End-of-run per-hop conservation: a drained fabric has forwarded
+    /// every transit message it received — anything less is a packet
+    /// dropped inside a switch.
+    pub(crate) fn on_hop_run_end(&mut self, hops: &[(u64, u64)], cycle: u64) {
+        if self.violation.is_some() {
+            return;
+        }
+        for (node, &(recv, fwd)) in hops.iter().enumerate() {
+            if recv != fwd {
+                self.fail(
+                    "noc-hop-conservation",
+                    cycle,
+                    format!(
+                        "run ended with node {node} holding {} transit messages it never \
+                         forwarded ({recv} received, {fwd} forwarded): packet dropped at \
+                         a switch",
+                        recv - fwd
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
     /// Forwards a latched DRAM timing-audit breach.
     pub(crate) fn on_dram_violation(&mut self, gpu: usize, msg: &str, cycle: u64) {
         if self.violation.is_some() {
@@ -704,6 +776,58 @@ mod tests {
         let mut san = hwc_sanitizer(false);
         san.on_run_end(10, 9, 99);
         assert_eq!(invariant(&mut san), "noc-conservation");
+    }
+
+    #[test]
+    fn duplicated_forward_breaks_hop_conservation() {
+        let mut san = hwc_sanitizer(false);
+        // Node 5 (a switch) forwards two messages having received one:
+        // a duplicated forward inside the fabric.
+        san.on_hop_counts(&[(0, 0), (1, 1), (0, 0), (0, 0), (0, 0), (1, 2)], 7);
+        let v = san.take_violation().expect("violation latched");
+        assert_eq!(v.invariant, "noc-hop-conservation");
+        assert!(v.detail.contains("node 5"), "{}", v.detail);
+        assert!(v.detail.contains("duplicated forward"), "{}", v.detail);
+    }
+
+    #[test]
+    fn regressed_hop_counters_break_hop_conservation() {
+        let mut san = hwc_sanitizer(false);
+        san.on_hop_counts(&[(3, 3)], 1);
+        san.on_hop_counts(&[(2, 2)], 2);
+        assert_eq!(invariant(&mut san), "noc-hop-conservation");
+    }
+
+    #[test]
+    fn dropped_packet_at_switch_is_reported_at_run_end() {
+        let mut san = hwc_sanitizer(false);
+        // In-flight imbalance is fine mid-run (forwarded <= received)...
+        san.on_hop_counts(&[(0, 0), (4, 3)], 50);
+        assert!(san.violation.is_none());
+        // ...but a drained run must have forwarded everything.
+        san.on_hop_run_end(&[(0, 0), (4, 3)], 99);
+        let v = san.take_violation().expect("violation latched");
+        assert_eq!(v.invariant, "noc-hop-conservation");
+        assert!(v.detail.contains("node 1"), "{}", v.detail);
+        assert!(v.detail.contains("dropped"), "{}", v.detail);
+    }
+
+    #[test]
+    fn balanced_hop_counters_pass_clean() {
+        let mut san = hwc_sanitizer(false);
+        san.on_hop_counts(&[(1, 1), (2, 1)], 10);
+        san.on_hop_counts(&[(2, 2), (2, 2)], 20);
+        san.on_hop_run_end(&[(2, 2), (2, 2)], 30);
+        assert!(san.take_violation().is_none());
+    }
+
+    #[test]
+    fn sharer_masks_cover_64_gpus() {
+        // Granted-copy tracking must hold a bit for gpu 63.
+        let mut san = Sanitizer::new(64, Some(CoherencePolicy::Hardware), false, false);
+        san.on_grant(0, 0x80, 63, SharingState::ReadShared, None, 1);
+        san.on_write(0, 0x80, 0, &[], 2);
+        assert_eq!(invariant(&mut san), "gpu-vi-single-writer");
     }
 
     #[test]

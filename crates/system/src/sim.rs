@@ -28,7 +28,7 @@ use carve_dram::{Completion, DramConfig, DramModel, DramStats, FlatMemory};
 use carve_gpu::{
     CoreReqKind, CoreRequest, CoreStats, Fabric, GpuCore, TranslationOutcome, Translator,
 };
-use carve_noc::{msg, Delivery, LinkNetwork, NodeId};
+use carve_noc::{msg, Delivery, LinkNetwork, NodeId, Topology};
 use carve_runtime::page_table::{PageMigration, PageTable};
 use carve_runtime::sched::cta_range_of_gpu;
 use carve_runtime::sharing::{profile_workload, SharingProfile};
@@ -215,13 +215,18 @@ impl System {
         let drams = (0..num_gpus)
             .map(|_| DramModel::new(DramConfig::from_scaled(&cfg)))
             .collect();
-        let net = LinkNetwork::new(
+        let topo = Topology::build(
+            cfg.topology,
             num_gpus,
             cfg.link_bytes_per_cycle,
             cfg.link_latency,
             cfg.cpu_link_bytes_per_cycle,
             cfg.cpu_link_latency,
         );
+        // audit:allow(tick-path-panics) build-time, not tick: SimConfig::validate dry-built this exact topology
+        let topo = topo.expect("topology vetted by SimConfig::validate");
+        // audit:allow(tick-path-panics) build-time, not tick: a validated topology has only positive-bandwidth edges
+        let net = LinkNetwork::from_topology(topo).expect("validated topology");
         let cpu_mem = FlatMemory::new(
             150,
             cfg.cpu_link_bytes_per_cycle * num_gpus as f64,
@@ -285,17 +290,20 @@ impl System {
         }
         let (sent, delivered) = self.net.message_counts();
         san.on_noc_counts(sent, delivered, now.0);
+        san.on_hop_counts(self.net.transit_counts(), now.0);
         san.poll_tokens(&self.pending, now.0);
         let v = san.take_violation()?;
         Some(self.sanitizer_error(v, now))
     }
 
     /// End-of-run sanitizer checks: a quiescent network must have
-    /// delivered every message it accepted.
+    /// delivered every message it accepted and forwarded every transit
+    /// arrival.
     fn sanitizer_finish(&mut self, now: Cycle) -> Option<SimError> {
         let san = self.san.as_deref_mut()?;
         let (sent, delivered) = self.net.message_counts();
         san.on_run_end(sent, delivered, now.0);
+        san.on_hop_run_end(self.net.transit_counts(), now.0);
         san.poll_tokens(&self.pending, now.0);
         let v = san.take_violation()?;
         Some(self.sanitizer_error(v, now))
@@ -994,9 +1002,14 @@ impl System {
             sig = sig.wrapping_add(s.reads).wrapping_add(s.writes);
         }
         let (sent, delivered) = self.net.message_counts();
+        // Transit hops count as progress too: a long multi-hop flight
+        // crossing switches must not read as a stalled window.
+        let (transit_recv, transit_fwd) = self.net.transit_totals();
         let cpu = self.cpu_mem.stats();
         sig.wrapping_add(sent)
             .wrapping_add(delivered)
+            .wrapping_add(transit_recv)
+            .wrapping_add(transit_fwd)
             .wrapping_add(cpu.reads)
             .wrapping_add(cpu.writes)
     }
@@ -1721,6 +1734,51 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_16_gpu_run_passes_per_hop_conservation() {
+        // Satellite acceptance: a routed multi-hop topology at scale runs
+        // clean under the sanitizer's per-hop conservation invariant, and
+        // both engines agree bit-for-bit on the routed fabric.
+        let spec = quick_spec("Lulesh");
+        let mut cfg = quick_cfg();
+        cfg.num_gpus = 16;
+        cfg.topology = sim_core::TopologySpec::Hierarchical { pod_size: 4 };
+        let mut sim = SimConfig::with_cfg(Design::CarveHwc, cfg);
+        sim.sanitize = Some(true);
+        sim.telemetry_interval = Some(0);
+        let skip = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip)
+            .expect("sanitized hierarchical 16-GPU run must pass per-hop conservation");
+        assert!(skip.completed);
+        let step = try_run_with_profile_mode(&spec, &sim, None, EngineMode::Step)
+            .expect("step engine agrees");
+        assert_eq!(skip.encode_journal_line(), step.encode_journal_line());
+    }
+
+    #[test]
+    fn routed_topologies_change_timing_but_not_work() {
+        // Switching the fabric reshapes latency/bandwidth, never the
+        // amount of work: instructions and remote services must match the
+        // all-to-all run; cycles may differ.
+        let spec = quick_spec("CoMD");
+        let mut base_cfg = quick_cfg();
+        base_cfg.num_gpus = 8;
+        let base = run(
+            &spec,
+            &SimConfig::with_cfg(Design::CarveHwc, base_cfg.clone()),
+        );
+        for topo in [
+            sim_core::TopologySpec::Switch,
+            sim_core::TopologySpec::Ring,
+            sim_core::TopologySpec::Hierarchical { pod_size: 4 },
+        ] {
+            let mut cfg = base_cfg.clone();
+            cfg.topology = topo;
+            let r = run(&spec, &SimConfig::with_cfg(Design::CarveHwc, cfg));
+            assert_eq!(r.instructions, base.instructions, "{topo:?}");
+            assert!(r.completed, "{topo:?}");
+        }
+    }
+
+    #[test]
     fn sanitizer_is_invisible_and_clean_on_all_workloads() {
         // Tentpole acceptance: every workload runs clean under the shadow
         // sanitizer, and a sanitized run's aggregates are bit-identical
@@ -1981,7 +2039,7 @@ mod tests {
 
     #[test]
     fn fabric_reports_congestion_after_saturation() {
-        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0);
+        let mut net = LinkNetwork::new(2, 1.0, 0, 1.0, 0).expect("valid config");
         let fabric_ok = NetFabric { net: &net };
         assert!(fabric_ok.can_send(NodeId::Gpu(0), NodeId::Gpu(1), Cycle(0)));
         for i in 0..100 {

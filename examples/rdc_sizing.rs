@@ -16,8 +16,8 @@ use sim_core::units::fmt_bytes;
 fn main() {
     let spec = workloads::by_name("XSBench").expect("known workload");
     let base = SimConfig::new(Design::CarveHwc);
-    let cfg = base.cfg.clone();
-    let profile = profile_workload(&spec, &cfg, cfg.num_gpus);
+    let cfg = &base.cfg;
+    let profile = profile_workload(&spec, cfg, cfg.num_gpus);
 
     let baseline = run_with_profile(&spec, &SimConfig::new(Design::NumaGpu), Some(&profile));
     println!(

@@ -272,7 +272,7 @@ fn sysmem_rdc_reduces_cpu_link_traffic() {
     let mut base = tiny_sim(Design::CarveHwc);
     base.spill_fraction = 0.3;
     let off = run(&spec, &base);
-    let mut sim = base.clone();
+    let mut sim = base;
     sim.rdc_caches_sysmem = true;
     let on = run(&spec, &sim);
     assert!(on.completed);
