@@ -17,8 +17,11 @@
 //!   time comes from [`Cycle`]s and randomness from the seeded splitmix
 //!   RNG, or replays stop being replays.
 //! * [`tick-path-panics`] — non-test tick-path code must not
-//!   `unwrap`/`expect`/`panic!`; fallible paths route through `SimError`
-//!   so campaigns can journal the failure instead of losing the worker.
+//!   `unwrap`/`expect`/`panic!` — nor `unreachable!`/`todo!`/
+//!   `unimplemented!`, which fault injection turns from "can't happen"
+//!   into crashes; fallible paths route through `SimError` (or the
+//!   sanitizer, for protocol-impossible deliveries) so campaigns journal
+//!   the failure instead of losing the worker.
 //! * [`lossy-cast`] — no silent-truncating `as` casts on cycle/address/
 //!   token-typed values; 20-bit epoch counters taught us how those bite.
 //! * [`equivalence-doc`] — every module carrying an event-horizon
@@ -58,7 +61,8 @@ pub enum Rule {
     TickPathCollections,
     /// Wall-clock time or OS randomness in journal-feeding crates.
     WallClock,
-    /// `unwrap`/`expect`/`panic!` in non-test tick-path code.
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// in non-test tick-path code.
     TickPathPanics,
     /// Truncating `as` casts on cycle/address-typed values.
     LossyCast,
@@ -346,7 +350,19 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                     break;
                 }
             }
-            for pat in [".unwrap()", ".expect(", "panic!("] {
+            // `unreachable!`/`todo!`/`unimplemented!` are panics too — and
+            // the fault-injection layer makes "can't happen" deliveries
+            // happen (a duplicated packet reaching a token whose state
+            // machine already moved on). Such arms must discard-and-report
+            // through the sanitizer, not abort the worker.
+            for pat in [
+                ".unwrap()",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ] {
                 if code.contains(pat) && !allowed(Rule::TickPathPanics, comment, prev_line) {
                     diags.push(Diagnostic {
                         file: rel.to_string(),
@@ -578,6 +594,26 @@ mod tests {
         let src = "fn f(x: Option<u32>) { x.expect(\"set\"); }\nfn g() { panic!(\"no\"); }\n";
         let d = scan_file(TICK, src);
         assert_eq!(rules_of(&d), ["tick-path-panics", "tick-path-panics"]);
+    }
+
+    #[test]
+    fn unreachable_and_friends_flagged_as_panics() {
+        // Fault injection turns "can't happen" deliveries into things that
+        // happen; every aborting macro in the tick path is a fuzz crash
+        // waiting to be found.
+        let src = "fn f(x: u8) { match x { 0 => {} _ => unreachable!(\"only zero\") } }\n\
+                   fn g() { todo!(\"later\") }\n\
+                   fn h() { unimplemented!() }\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(
+            rules_of(&d),
+            ["tick-path-panics", "tick-path-panics", "tick-path-panics"]
+        );
+        assert!(d[0].message.contains("unreachable!("), "{:?}", d[0].message);
+        // An allow-comment with a reason still suppresses it.
+        let allowed = "// audit:allow(tick-path-panics) arm proven dead by the token slab\n\
+                       fn f() { unreachable!() }\n";
+        assert!(scan_file(TICK, allowed).is_empty());
     }
 
     #[test]

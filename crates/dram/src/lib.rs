@@ -347,6 +347,12 @@ pub struct DramModel {
     /// Timing-legality shadow checker; `None` (the default) costs one
     /// pointer check per issued access.
     audit: Option<Box<TimingAudit>>,
+    /// Armed transient faults (fault injection): each one forces the next
+    /// read completion to fail at delivery and retransmit after a full
+    /// re-access penalty. Zero in fault-free runs.
+    pending_transients: u32,
+    /// Read completions retransmitted after an injected transient fault.
+    transient_retries: u64,
 }
 
 impl DramModel {
@@ -377,7 +383,23 @@ impl DramModel {
             channels,
             stats: DramStats::default(),
             audit: None,
+            pending_transients: 0,
+            transient_retries: 0,
         }
+    }
+
+    /// Arms `n` transient faults (fault injection): each forces one read
+    /// completion, at the moment it would deliver, to retransmit after a
+    /// full re-access penalty (precharge + activate + CAS + burst +
+    /// controller pipeline). Bounded by construction — a faulted read
+    /// retries once per armed fault and then delivers.
+    pub fn inject_transient_faults(&mut self, n: u32) {
+        self.pending_transients = self.pending_transients.saturating_add(n);
+    }
+
+    /// Read completions retransmitted after an injected transient fault.
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
     }
 
     /// Enables (or disables) the [`TimingAudit`] shadow checker. Enabling
@@ -471,7 +493,31 @@ impl DramModel {
                 let mut min = u64::MAX;
                 while i < ch.in_service.len() {
                     if ch.in_service[i].1 <= now.0 {
-                        done.push(ch.in_service.swap_remove(i).0);
+                        let (comp, _) = ch.in_service.swap_remove(i);
+                        if !comp.is_write && self.pending_transients != 0 {
+                            // Injected transient fault: the data failed at
+                            // delivery; retransmit after a full re-access
+                            // penalty. Strictly future, so the event
+                            // horizon and both engines see it identically.
+                            self.pending_transients -= 1;
+                            self.transient_retries += 1;
+                            let burst = (cfg.line_size as f64 / cfg.bytes_per_cycle).ceil() as u64;
+                            let penalty =
+                                (cfg.t_rp + cfg.t_rcd + cfg.t_cl + burst + cfg.fixed_latency)
+                                    .max(1);
+                            let refinish = now.0 + penalty;
+                            ch.in_service.push((
+                                Completion {
+                                    token: comp.token,
+                                    at: Cycle(refinish),
+                                    is_write: false,
+                                },
+                                refinish,
+                            ));
+                            min = min.min(refinish);
+                            continue;
+                        }
+                        done.push(comp);
                     } else {
                         min = min.min(ch.in_service[i].1);
                         i += 1;
@@ -755,6 +801,8 @@ pub struct FlatMemory {
     next_slot: f64,
     in_service: Vec<(Completion, u64)>,
     stats: DramStats,
+    pending_transients: u32,
+    transient_retries: u64,
 }
 
 impl FlatMemory {
@@ -768,7 +816,21 @@ impl FlatMemory {
             next_slot: 0.0,
             in_service: Vec::new(),
             stats: DramStats::default(),
+            pending_transients: 0,
+            transient_retries: 0,
         }
+    }
+
+    /// Arms `n` transient faults: each forces one read completion to
+    /// retransmit after a full latency + burst penalty (the flat-model
+    /// analogue of [`DramModel::inject_transient_faults`]).
+    pub fn inject_transient_faults(&mut self, n: u32) {
+        self.pending_transients = self.pending_transients.saturating_add(n);
+    }
+
+    /// Read completions retransmitted after an injected transient fault.
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
     }
 
     /// Enqueues an access; flat model never rejects.
@@ -806,7 +868,25 @@ impl FlatMemory {
         let mut i = 0;
         while i < self.in_service.len() {
             if self.in_service[i].1 <= now.0 {
-                done.push(self.in_service.swap_remove(i).0);
+                let (comp, _) = self.in_service.swap_remove(i);
+                if !comp.is_write && self.pending_transients != 0 {
+                    // Injected transient fault: retransmit strictly in
+                    // the future (see DramModel::tick_into).
+                    self.pending_transients -= 1;
+                    self.transient_retries += 1;
+                    let burst = (self.line_size as f64 / self.bytes_per_cycle).ceil() as u64;
+                    let refinish = now.0 + (self.latency + burst).max(1);
+                    self.in_service.push((
+                        Completion {
+                            token: comp.token,
+                            at: Cycle(refinish),
+                            is_write: false,
+                        },
+                        refinish,
+                    ));
+                    continue;
+                }
+                done.push(comp);
             } else {
                 i += 1;
             }
@@ -1155,6 +1235,65 @@ mod tests {
         assert!(report[0].contains("oldest_arrival=5"));
         run_until_done(&mut dram, 5000);
         assert!(dram.occupancy_report().is_empty());
+    }
+
+    #[test]
+    fn transient_fault_delays_one_read_by_a_full_reaccess() {
+        let mut dram = DramModel::new(small_cfg());
+        dram.inject_transient_faults(1);
+        dram.try_enqueue_read(7, 0, Cycle(0)).unwrap();
+        let done = run_until_done(&mut dram, 5000);
+        assert_eq!(done.len(), 1, "bounded: the retry still delivers");
+        assert_eq!(done[0].token, 7);
+        // Clean finish would be 36 (tRCD+tCL+burst); the retransmission
+        // adds tRP+tRCD+tCL+burst = 14+14+14+8 = 50 on top.
+        assert_eq!(done[0].at, Cycle(86));
+        assert_eq!(dram.transient_retries(), 1);
+        // Subsequent reads are unaffected once the fault is consumed.
+        dram.try_enqueue_read(8, 0x40000, Cycle(1000)).unwrap();
+        let done = run_until_done(&mut dram, 5000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(dram.transient_retries(), 1);
+    }
+
+    #[test]
+    fn transient_fault_skips_writes_and_keeps_event_horizon_exact() {
+        let mut dram = DramModel::new(small_cfg());
+        dram.inject_transient_faults(1);
+        dram.try_enqueue_write(1, 0, Cycle(0)).unwrap();
+        dram.try_enqueue_read(2, 0x10000, Cycle(0)).unwrap();
+        // Event-skip discipline must see the retried completion too.
+        let by_skip = run_skipping(&mut dram, 10_000);
+        assert_eq!(by_skip.len(), 2);
+        assert_eq!(dram.transient_retries(), 1, "only the read was faulted");
+        assert!(dram.is_idle());
+        // Stepping reproduces the same (cycle, token) stream.
+        let mut stepped = DramModel::new(small_cfg());
+        stepped.inject_transient_faults(1);
+        stepped.try_enqueue_write(1, 0, Cycle(0)).unwrap();
+        stepped.try_enqueue_read(2, 0x10000, Cycle(0)).unwrap();
+        let mut by_step = Vec::new();
+        for c in 0..10_000u64 {
+            for done in stepped.tick(Cycle(c)) {
+                by_step.push((c, done.token));
+            }
+        }
+        assert_eq!(by_skip, by_step);
+    }
+
+    #[test]
+    fn flat_memory_transient_fault_retries_reads() {
+        let mut m = FlatMemory::new(100, 16.0, 128);
+        m.inject_transient_faults(1);
+        m.enqueue(1, false, Cycle(0));
+        let mut done = Vec::new();
+        for c in 0..1000u64 {
+            done.extend(m.tick(Cycle(c)));
+        }
+        // Clean: 108. Faulted at delivery, retransmit = +100+8.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, Cycle(216));
+        assert_eq!(m.transient_retries(), 1);
     }
 
     #[test]

@@ -235,28 +235,65 @@ fn key_of(spec: &WorkloadSpec, sim: &SimConfig) -> (String, String) {
     if sim.cfg.topology != sim_core::TopologySpec::AllToAll {
         config.push_str(&format!("|topo={}", sim.cfg.topology.label()));
     }
+    // Fault plans change the simulated run, so a faulted point must not
+    // alias its fault-free twin. Appended only when armed, so journals
+    // written before fault injection existed keep resuming.
+    if let Some(plan) = &sim.fault_plan {
+        if !plan.is_empty() {
+            config.push_str(&format!("|faults={}", plan.encode()));
+        }
+    }
     (spec.name.to_string(), config)
 }
 
+/// Stable 64-bit FNV-1a of a point key, seeding retry-backoff jitter:
+/// the same point backs off identically across runs, independent of any
+/// hasher or thread-schedule state.
+fn jitter_seed(key: &(String, String)) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.0.bytes().chain([0]).chain(key.1.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// One run attempt cycle: `try_run_with_profile` under `catch_unwind`,
-/// retried up to `retries` more times. Returns the result and its
-/// wall-clock, or (attempts made, last error).
+/// retried up to `retries` more times with deterministic exponential
+/// backoff ([`par::backoff_delay`] seeded by the point key). Returns the
+/// result and its wall-clock, or (attempts made, last error).
+///
+/// Failures are classified before retrying: panics and *transient*
+/// `SimError`s (watchdog stalls, checkpoint IO) are worth another
+/// attempt; permanent ones (invalid configuration, sanitizer violations,
+/// cycle-cap exhaustion) are deterministic properties of the point and
+/// fail fast — re-running them would burn a full simulation per retry to
+/// reproduce the same error.
 fn attempt_point(
     spec: &WorkloadSpec,
     sim: &SimConfig,
     profile: &SharingProfile,
     retries: usize,
+    seed: u64,
 ) -> Result<(SimResult, f64), (usize, String)> {
     let mut last = String::new();
     let mut attempts = 0;
-    for _ in 0..=retries {
+    for attempt in 0..=retries {
         attempts += 1;
+        if attempt > 0 {
+            std::thread::sleep(par::backoff_delay(attempt - 1, seed));
+        }
         let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| {
             try_run_with_profile(spec, sim, Some(profile))
         })) {
             Ok(Ok(r)) => return Ok((r, started.elapsed().as_secs_f64() * 1e3)),
-            Ok(Err(e)) => last = e.to_string(),
+            Ok(Err(e)) => {
+                last = e.to_string();
+                if !e.is_transient() {
+                    return Err((attempts, last));
+                }
+            }
             Err(payload) => last = format!("panic: {}", par::panic_message(payload.as_ref())),
         }
     }
@@ -455,22 +492,38 @@ impl Campaign {
         let header = format!("#carve-journal v1 quick={}", self.quick);
         let mut records: Vec<LoadedRecord> = Vec::new();
         let mut malformed = 0usize;
-        match std::fs::read_to_string(path) {
-            Ok(text) => {
-                let mut lines = text.lines();
+        // Read as bytes, not a string: a crash (or disk corruption) can
+        // tear a trailing line mid-UTF-8-sequence, and a journal holding
+        // hours of completed points must not be discarded because its
+        // last line is garbage. Each line is validated independently;
+        // corrupt ones are dropped (and re-run) like truncated ones.
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let mut lines = bytes
+                    .split(|&b| b == b'\n')
+                    .map(|raw| std::str::from_utf8(raw.strip_suffix(b"\r").unwrap_or(raw)));
                 match lines.next() {
                     None => {}
-                    Some(h) if h == header => {
-                        for line in lines.filter(|l| !l.is_empty()) {
-                            match parse_record(line) {
-                                Some(r) => records.push(r),
-                                None => malformed += 1,
+                    Some(Ok(h)) if h == header => {
+                        for line in lines {
+                            match line {
+                                Ok("") => {}
+                                Ok(line) => match parse_record(line) {
+                                    Some(r) => records.push(r),
+                                    None => malformed += 1,
+                                },
+                                Err(_) => malformed += 1,
                             }
                         }
                     }
-                    Some(h) => eprintln!(
+                    Some(Ok(h)) => eprintln!(
                         "warning: journal {} has fingerprint {h:?} but this campaign \
                          is {header:?}; ignoring its contents",
+                        path.display()
+                    ),
+                    Some(Err(_)) => eprintln!(
+                        "warning: journal {} header is not valid UTF-8; \
+                         ignoring its contents",
                         path.display()
                     ),
                 }
@@ -480,8 +533,8 @@ impl Campaign {
         }
         if malformed > 0 {
             eprintln!(
-                "warning: dropping {malformed} malformed line(s) from journal {} \
-                 (crash mid-append?)",
+                "warning: dropping {malformed} malformed or corrupt line(s) from \
+                 journal {} (crash mid-append?)",
                 path.display()
             );
         }
@@ -584,7 +637,7 @@ impl Campaign {
         // single-GPU runs use no profile-driven policy.
         let profile = self.profile_arc(spec, sim.design.num_gpus(&sim.cfg));
         let run_sim = self.sim_for_attempt(sim);
-        match attempt_point(spec, &run_sim, &profile, self.retries) {
+        match attempt_point(spec, &run_sim, &profile, self.retries, jitter_seed(&key)) {
             Ok((r, millis)) => {
                 if let Some(j) = &self.journal {
                     j.append(&ok_line(&key.1, &r));
@@ -683,7 +736,7 @@ impl Campaign {
         // (retries = 0) is only a backstop; no cell can abort the grid.
         let outcomes = par::parallel_map_catch(&jobs, 0, |(spec, sim, profile)| {
             let key = key_of(spec, sim);
-            let outcome = attempt_point(spec, sim, profile, retries);
+            let outcome = attempt_point(spec, sim, profile, retries, jitter_seed(&key));
             // Stream the finished point so a killed campaign resumes here.
             if let Some(j) = journal {
                 match &outcome {
@@ -986,6 +1039,99 @@ mod tests {
         assert_eq!(table_c, table_a);
         assert!(c.timings().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_trailing_line_resumes_to_byte_identical_tables() {
+        let dir = test_dir("corrupt");
+        let path = dir.join("grid.journal");
+        let specs = quick_campaign().specs();
+        let points = vec![
+            (specs[0].clone(), SimConfig::new(Design::NumaGpu)),
+            (specs[1].clone(), SimConfig::new(Design::CarveHwc)),
+        ];
+        let mut a = quick_campaign();
+        a.set_journal_path(&path).expect("attach journal");
+        let table_a = table_of(&a.try_run_parallel(&points));
+
+        // Corrupt the trailing record with invalid UTF-8 mid-line — a
+        // torn write crossing a multi-byte boundary, not a clean cut.
+        let mut bytes = std::fs::read(&path).expect("journal written");
+        let keep = bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .expect("header + first record")
+            + 1;
+        bytes.truncate(keep + 20);
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0x80, b'g', b'a', b'r', 0xC0]);
+        std::fs::write(&path, &bytes).expect("corrupt journal");
+
+        // Resume: the intact record loads, the corrupt one is dropped
+        // with a warning and re-runs, and the table is byte-identical.
+        let mut b = quick_campaign();
+        let n = b
+            .set_journal_path(&path)
+            .expect("resume despite corruption");
+        assert_eq!(n, 1, "only the intact record resumes");
+        let table_b = table_of(&b.try_run_parallel(&points));
+        assert_eq!(table_b, table_a);
+        assert_eq!(b.timings().len(), 1, "exactly the corrupt point re-ran");
+
+        // A journal whose *header* is corrupt degrades to an empty resume
+        // (never an abort): all points re-run, and the rewritten file is
+        // clean again.
+        std::fs::write(&path, [0xFF, 0xFE, b'\n', b'o', b'k', b'\t']).expect("smash header");
+        let mut c = quick_campaign();
+        assert_eq!(c.set_journal_path(&path).expect("attach over garbage"), 0);
+        let table_c = table_of(&c.try_run_parallel(&points));
+        assert_eq!(table_c, table_a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_failures_fail_fast_while_transient_ones_retry() {
+        let mut c = quick_campaign();
+        c.set_retries(3);
+        let spec = c.specs()[0].clone();
+        // ConfigInvalid is deterministic: with 3 retries armed, the point
+        // must still make exactly one attempt. (The broken knob must not
+        // disturb the sharing profile, which is computed before the run.)
+        let mut bad = SimConfig::new(Design::NumaGpu);
+        bad.cfg.link_bytes_per_cycle = -1.0;
+        let f = c.try_result(&spec, &bad).expect_err("invalid config fails");
+        assert_eq!(f.attempts, 1, "permanent error must not retry: {f}");
+        assert!(f.error.contains("link"), "{}", f.error);
+
+        // A watchdog stall is transient: every retry runs (and the
+        // deterministic stall re-trips each time).
+        let mut stall = SimConfig::new(Design::NumaGpu);
+        stall.stall_inject_at = Some(500);
+        stall.watchdog_cycles = Some(5_000);
+        c.set_retries(1);
+        let f = c.try_result(&spec, &stall).expect_err("stall fails");
+        assert_eq!(f.attempts, 2, "transient error retries: {f}");
+        assert!(f.error.contains("watchdog"), "{}", f.error);
+    }
+
+    #[test]
+    fn faulted_points_get_their_own_cache_and_journal_keys() {
+        let spec = quick_campaign().specs()[0].clone();
+        let plain = SimConfig::new(Design::NumaGpu);
+        let mut faulted = plain.clone();
+        faulted.fault_plan =
+            Some(carve_system::FaultPlan::parse("degrade@300:e0*50").expect("plan"));
+        let (_, key_plain) = key_of(&spec, &plain);
+        let (_, key_faulted) = key_of(&spec, &faulted);
+        assert_ne!(key_plain, key_faulted);
+        assert!(key_faulted.ends_with("|faults=degrade@300:e0*50"));
+        // An empty plan keys like no plan at all, so pre-fault journals
+        // keep resuming.
+        let mut empty = plain.clone();
+        empty.fault_plan = Some(carve_system::FaultPlan::new());
+        assert_eq!(key_of(&spec, &empty).1, key_plain);
     }
 
     #[test]

@@ -64,6 +64,29 @@ pub fn retries_from_env() -> usize {
     }
 }
 
+/// Base delay of the first retry; each further retry doubles it.
+const BACKOFF_BASE_MS: u64 = 50;
+/// Ceiling on any single retry delay.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// Delay before retry `attempt` (0-based) of the work item identified by
+/// `seed`: exponential (50ms, 100ms, … capped at 2s) with *deterministic*
+/// equal-jitter — the random half is drawn from a `Stream` keyed on
+/// (seed, attempt), so a re-run of the same campaign sleeps the same
+/// schedule. Jitter de-synchronizes retries across worker threads (a grid
+/// whose points all fail at once must not retry in lockstep) without
+/// introducing wall-clock randomness into an otherwise reproducible run.
+pub fn backoff_delay(attempt: usize, seed: u64) -> std::time::Duration {
+    let exp = u32::try_from(attempt.min(10)).expect("bounded above");
+    let full = BACKOFF_BASE_MS
+        .saturating_mul(1u64 << exp)
+        .min(BACKOFF_CAP_MS);
+    let half = full / 2;
+    let jitter = sim_core::rng::Stream::from_parts(&[seed, attempt as u64, 0x042a_c0ff])
+        .gen_range(0, half + 1);
+    std::time::Duration::from_millis(half + jitter)
+}
+
 /// Renders a `catch_unwind` payload as the panic message it carried.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -90,9 +113,17 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let run_one = |item: &T| -> Result<R, String> {
+    let run_one = |index: usize, item: &T| -> Result<R, String> {
         let mut last = String::new();
-        for _attempt in 0..=retries {
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                // A panic is treated as transient (a poisoned point may be
+                // an environmental hiccup); back off before re-running so
+                // simultaneous failures across workers do not retry in
+                // lockstep. The item index seeds the jitter: deterministic
+                // per cell, different across cells.
+                std::thread::sleep(backoff_delay(attempt - 1, index as u64));
+            }
             match catch_unwind(AssertUnwindSafe(|| f(item))) {
                 Ok(r) => return Ok(r),
                 Err(payload) => last = panic_message(payload.as_ref()),
@@ -103,7 +134,11 @@ where
     let n = items.len();
     let threads = thread_count().min(n);
     if threads <= 1 {
-        return items.iter().map(run_one).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
     }
     let results: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -116,7 +151,7 @@ where
                 }
                 // The catch_unwind inside run_one guarantees no panic can
                 // unwind through this lock, so slots never poison.
-                let out = run_one(&items[i]);
+                let out = run_one(i, &items[i]);
                 *results[i].lock().expect("result slot never poisoned") = Some(out);
             });
         }
@@ -241,6 +276,24 @@ mod tests {
             assert!(x != 3, "boom on {x}");
             x
         });
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        // Same (attempt, seed) → same delay, every run.
+        assert_eq!(backoff_delay(2, 7), backoff_delay(2, 7));
+        // Different seeds de-synchronize within the same attempt window.
+        let spread: std::collections::BTreeSet<_> =
+            (0..32).map(|seed| backoff_delay(3, seed)).collect();
+        assert!(spread.len() > 1, "jitter must vary across seeds");
+        for attempt in 0..12 {
+            let d = backoff_delay(attempt, 1).as_millis() as u64;
+            let full = (BACKOFF_BASE_MS << attempt.min(10)).min(BACKOFF_CAP_MS);
+            // Equal-jitter envelope: [full/2, full].
+            assert!(d >= full / 2 && d <= full, "attempt {attempt}: {d}ms");
+        }
+        // The cap holds even for absurd attempt counts.
+        assert!(backoff_delay(usize::MAX, 0).as_millis() as u64 <= BACKOFF_CAP_MS);
     }
 
     #[test]

@@ -215,6 +215,25 @@ impl Link {
     pub fn bytes_per_cycle(&self) -> f64 {
         self.bytes_per_cycle
     }
+
+    /// Rewrites the effective bandwidth (fault injection: degradation
+    /// windows). Only affects serialization of *future* sends; messages
+    /// already on the wire keep their computed arrival cycles, exactly
+    /// like a real link renegotiating speed.
+    pub(crate) fn set_bytes_per_cycle(&mut self, bytes_per_cycle: f64) {
+        debug_assert!(bytes_per_cycle > 0.0 && bytes_per_cycle.is_finite());
+        self.bytes_per_cycle = bytes_per_cycle;
+    }
+
+    /// Rewrites every in-flight token through `f`, preserving arrival
+    /// cycles. Used when a link outage flips a single-hop graph to
+    /// routed mode mid-run: raw endpoint tokens already on the wire are
+    /// migrated into the flow table so one code path handles arrivals.
+    pub(crate) fn retag_in_flight(&mut self, mut f: impl FnMut(u64) -> u64) {
+        for entry in &mut self.in_flight {
+            entry.0 = f(entry.0);
+        }
+    }
 }
 
 impl NextEvent for Link {
@@ -517,8 +536,6 @@ impl Topology {
         edges: Vec<EdgeSpec>,
     ) -> Result<Topology, SimError> {
         let nodes = num_gpus + 1 + num_switches;
-        let endpoints = num_gpus + 1;
-        let cpu = num_gpus;
         let node_name = |i: usize| node_label_of(num_gpus, i);
         for e in &edges {
             if e.from >= nodes || e.to >= nodes {
@@ -545,72 +562,16 @@ impl Topology {
                 )));
             }
         }
-        // Reverse adjacency: incoming edge indices per node, in edge
-        // order (the tie-break order).
-        let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); nodes];
-        let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nodes];
-        for (i, e) in edges.iter().enumerate() {
-            incoming[e.to].push(i as u32);
-            outgoing[e.from].push(i as u32);
-        }
-        let mut next_hop = vec![NO_ROUTE; nodes * endpoints];
-        let mut dist = vec![u32::MAX; nodes];
-        let mut queue: Vec<usize> = Vec::with_capacity(nodes);
-        for dst in 0..endpoints {
-            dist.iter_mut().for_each(|d| *d = u32::MAX);
-            dist[dst] = 0;
-            queue.clear();
-            queue.push(dst);
-            let mut head = 0;
-            while head < queue.len() {
-                let m = queue[head];
-                head += 1;
-                // The CPU is a leaf endpoint: it never forwards transit
-                // traffic, so no route may pass *through* it.
-                if m == cpu && dst != cpu {
-                    continue;
-                }
-                for &ei in &incoming[m] {
-                    let u = edges[ei as usize].from;
-                    if dist[u] == u32::MAX {
-                        dist[u] = dist[m] + 1;
-                        queue.push(u);
-                    }
-                }
-            }
-            for u in 0..nodes {
-                if u == dst || dist[u] == u32::MAX {
-                    continue;
-                }
-                for &ei in &outgoing[u] {
-                    let to = edges[ei as usize].to;
-                    // Never step onto the CPU unless it is the target.
-                    if to == cpu && dst != cpu {
-                        continue;
-                    }
-                    if dist[to] == dist[u] - 1 {
-                        next_hop[u * endpoints + dst] = ei;
-                        break;
-                    }
-                }
-            }
-        }
+        let (next_hop, unroutable) = route_table(num_gpus, nodes, &edges, None);
         // Every endpoint pair (except CPU→CPU) must be routable.
-        for a in 0..endpoints {
-            for b in 0..endpoints {
-                if a == b || (a == cpu && b == cpu) {
-                    continue;
-                }
-                if next_hop[a * endpoints + b] == NO_ROUTE {
-                    return Err(SimError::config(format!(
-                        "topology '{label}' has no route from {} to {}; every GPU must \
-                         reach every other GPU and the CPU — add edges until the \
-                         graph is connected",
-                        node_name(a),
-                        node_name(b)
-                    )));
-                }
-            }
+        if let Some((a, b)) = unroutable {
+            return Err(SimError::config(format!(
+                "topology '{label}' has no route from {} to {}; every GPU must \
+                 reach every other GPU and the CPU — add edges until the \
+                 graph is connected",
+                node_name(a),
+                node_name(b)
+            )));
         }
         let mut topo = Topology {
             label,
@@ -620,10 +581,18 @@ impl Topology {
             next_hop,
             single_hop: false,
         };
-        topo.single_hop = (0..endpoints).all(|a| {
-            (0..endpoints).all(|b| a == b || (a == cpu && b == cpu) || topo.hops(a, b) == 1)
-        });
+        topo.recompute_single_hop();
         Ok(topo)
+    }
+
+    /// Recomputes the single-hop fast-path flag from the current route
+    /// table (at build time and after a fault reroute).
+    fn recompute_single_hop(&mut self) {
+        let endpoints = self.num_gpus + 1;
+        let cpu = self.num_gpus;
+        self.single_hop = (0..endpoints).all(|a| {
+            (0..endpoints).all(|b| a == b || (a == cpu && b == cpu) || self.hops(a, b) == 1)
+        });
     }
 
     fn hops(&self, mut at: usize, dst: usize) -> usize {
@@ -713,6 +682,89 @@ impl Topology {
     }
 }
 
+/// Computes the deterministic shortest-hop next-hop table over the live
+/// subgraph (edges whose `dead` flag is unset; `None` = all alive), plus
+/// the first endpoint pair left unroutable, if any. Shared by
+/// [`Topology::finalize`] (build-time validation) and
+/// [`LinkNetwork::fail_link`] (on-the-fly reroute around an injected
+/// outage). Tie-breaks stay lowest-edge-index, so fault-free tables are
+/// identical to the historic build-time computation.
+fn route_table(
+    num_gpus: usize,
+    nodes: usize,
+    edges: &[EdgeSpec],
+    dead: Option<&[bool]>,
+) -> (Vec<u32>, Option<(usize, usize)>) {
+    let endpoints = num_gpus + 1;
+    let cpu = num_gpus;
+    let alive = |i: usize| dead.is_none_or(|d| !d[i]);
+    // Reverse adjacency: incoming edge indices per node, in edge
+    // order (the tie-break order).
+    let mut incoming: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+    let mut outgoing: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+    for (i, e) in edges.iter().enumerate() {
+        if alive(i) {
+            incoming[e.to].push(i as u32);
+            outgoing[e.from].push(i as u32);
+        }
+    }
+    let mut next_hop = vec![NO_ROUTE; nodes * endpoints];
+    let mut dist = vec![u32::MAX; nodes];
+    let mut queue: Vec<usize> = Vec::with_capacity(nodes);
+    for dst in 0..endpoints {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        dist[dst] = 0;
+        queue.clear();
+        queue.push(dst);
+        let mut head = 0;
+        while head < queue.len() {
+            let m = queue[head];
+            head += 1;
+            // The CPU is a leaf endpoint: it never forwards transit
+            // traffic, so no route may pass *through* it.
+            if m == cpu && dst != cpu {
+                continue;
+            }
+            for &ei in &incoming[m] {
+                let u = edges[ei as usize].from;
+                if dist[u] == u32::MAX {
+                    dist[u] = dist[m] + 1;
+                    queue.push(u);
+                }
+            }
+        }
+        for u in 0..nodes {
+            if u == dst || dist[u] == u32::MAX {
+                continue;
+            }
+            for &ei in &outgoing[u] {
+                let to = edges[ei as usize].to;
+                // Never step onto the CPU unless it is the target.
+                if to == cpu && dst != cpu {
+                    continue;
+                }
+                if dist[to] == dist[u] - 1 {
+                    next_hop[u * endpoints + dst] = ei;
+                    break;
+                }
+            }
+        }
+    }
+    let mut unroutable = None;
+    'pairs: for a in 0..endpoints {
+        for b in 0..endpoints {
+            if a == b || (a == cpu && b == cpu) {
+                continue;
+            }
+            if next_hop[a * endpoints + b] == NO_ROUTE {
+                unroutable = Some((a, b));
+                break 'pairs;
+            }
+        }
+    }
+    (next_hop, unroutable)
+}
+
 fn node_label_of(num_gpus: usize, node: usize) -> String {
     if node < num_gpus {
         format!("gpu{node}")
@@ -756,6 +808,22 @@ pub struct LinkNetwork {
     delivered: u64,
     // Reused per-link drain buffer for `tick_into`.
     drain_scratch: Vec<u64>,
+    // --- fault-injection state (all zero in fault-free runs; the hot
+    // path pays one compare per delivery when quiescent) ---
+    // Per-edge flags: killed by an injected outage / currently throttled.
+    dead: Vec<bool>,
+    degraded: Vec<bool>,
+    // Armed lossy injections, consumed at the next matching event.
+    pending_drops: u32,
+    pending_fwd_drops: u32,
+    pending_dups: u32,
+    // Consumed-injection counters for RecoverySnapshot.
+    dropped: u64,
+    duplicated: u64,
+    // Arrived wire tokens with no flow entry: impossible in conservative
+    // operation, counted instead of panicking so a desync degrades
+    // gracefully (the conservation sanitizer then reports it).
+    flow_desync: u64,
 }
 
 impl LinkNetwork {
@@ -798,6 +866,7 @@ impl LinkNetwork {
             .map(|e| Link::new(e.bytes_per_cycle, e.latency))
             .collect::<Result<Vec<_>, _>>()?;
         let transit = vec![(0, 0); topo.num_nodes()];
+        let num_edges = topo.edges().len();
         Ok(LinkNetwork {
             topo,
             links,
@@ -806,6 +875,14 @@ impl LinkNetwork {
             injected: 0,
             delivered: 0,
             drain_scratch: Vec::new(),
+            dead: vec![false; num_edges],
+            degraded: vec![false; num_edges],
+            pending_drops: 0,
+            pending_fwd_drops: 0,
+            pending_dups: 0,
+            dropped: 0,
+            duplicated: 0,
+            flow_desync: 0,
         })
     }
 
@@ -892,9 +969,16 @@ impl LinkNetwork {
                 let e = self.topo.edges[i];
                 let src = self.node_id_of(e.from);
                 let dst = self.node_id_of(e.to);
-                self.delivered += scratch.len() as u64;
                 for &token in &scratch {
+                    if self.take_drop() {
+                        continue;
+                    }
+                    self.delivered += 1;
                     out.push(Delivery { token, src, dst });
+                    if self.take_dup() {
+                        self.delivered += 1;
+                        out.push(Delivery { token, src, dst });
+                    }
                 }
             }
         } else {
@@ -906,28 +990,86 @@ impl LinkNetwork {
                 self.links[i].tick_into(now, &mut scratch);
                 let at = self.topo.edges[i].to;
                 for &flow_token in &scratch {
-                    // audit:allow(tick-path-panics) flow-table invariant: every in-flight link token was minted by `send`
-                    let flow = *self.flows.get(flow_token).expect("routed flow entry");
+                    let Some(&flow) = self.flows.get(flow_token) else {
+                        // A wire token without a flow entry is impossible
+                        // in conservative operation (every in-flight token
+                        // is minted by `send` / migrated by `fail_link`).
+                        // Count and drop instead of panicking: the run
+                        // degrades and the conservation sanitizer reports
+                        // the imbalance at its next check.
+                        self.flow_desync += 1;
+                        continue;
+                    };
                     if at as u32 == flow.dst {
                         self.flows.remove(flow_token);
+                        if self.take_drop() {
+                            continue;
+                        }
                         self.delivered += 1;
-                        out.push(Delivery {
+                        let d = Delivery {
                             token: flow.token,
                             src: self.node_id_of(flow.src as usize),
                             dst: self.node_id_of(flow.dst as usize),
-                        });
+                        };
+                        out.push(d);
+                        if self.take_dup() {
+                            self.delivered += 1;
+                            out.push(d);
+                        }
                     } else {
-                        let t = &mut self.transit[at];
-                        t.0 += 1;
-                        t.1 += 1;
-                        let next = self.topo.next_hop_edge(at, flow.dst as usize);
-                        debug_assert!(next != NO_ROUTE, "transit node lost its route");
-                        self.links[next as usize].send(flow_token, flow.bytes, now);
+                        self.transit[at].0 += 1;
+                        if self.take_fwd_drop() {
+                            // Lost in transit: the flow dies at this node
+                            // (received but never forwarded — the per-hop
+                            // conservation invariant's bait).
+                            self.flows.remove(flow_token);
+                        } else {
+                            self.transit[at].1 += 1;
+                            let next = self.topo.next_hop_edge(at, flow.dst as usize);
+                            debug_assert!(next != NO_ROUTE, "transit node lost its route");
+                            self.links[next as usize].send(flow_token, flow.bytes, now);
+                        }
                     }
                 }
             }
         }
         self.drain_scratch = scratch;
+    }
+
+    /// Consumes one armed packet drop, if any (fault injection).
+    #[inline]
+    fn take_drop(&mut self) -> bool {
+        if self.pending_drops != 0 {
+            self.pending_drops -= 1;
+            self.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one armed transit-forward drop, if any (fault injection).
+    #[inline]
+    fn take_fwd_drop(&mut self) -> bool {
+        if self.pending_fwd_drops != 0 {
+            self.pending_fwd_drops -= 1;
+            self.dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one armed packet duplication, if any (fault injection).
+    #[inline]
+    fn take_dup(&mut self) -> bool {
+        if self.pending_dups != 0 {
+            self.pending_dups -= 1;
+            self.duplicated += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Total bytes sent over GPU-class links (every edge not touching the
@@ -993,6 +1135,170 @@ impl LinkNetwork {
         self.transit
             .iter()
             .fold((0, 0), |(r, f), &(tr, tf)| (r + tr, f + tf))
+    }
+
+    /// Number of directional edges (links) in the topology; fault plans
+    /// resolve their edge hints modulo this.
+    pub fn num_edges(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Human-readable route of edge `e`, e.g. `"gpu0->gpu1"`.
+    pub fn edge_label(&self, e: usize) -> String {
+        let edge = self.topo.edges[e];
+        format!(
+            "{}->{}",
+            self.topo.node_label(edge.from),
+            self.topo.node_label(edge.to)
+        )
+    }
+
+    /// Throttles edge `e` to `percent`% (1..=100) of its built bandwidth
+    /// (fault injection: a degradation window). Affects only future
+    /// serialization; in-flight arrivals keep their cycles. 100 restores
+    /// full speed. No effect on a dead link.
+    pub fn set_link_bandwidth_factor(&mut self, e: usize, percent: u32) {
+        if self.dead[e] {
+            return;
+        }
+        let pct = percent.clamp(1, 100);
+        let base = self.topo.edges[e].bytes_per_cycle;
+        self.links[e].set_bytes_per_cycle(base * pct as f64 / 100.0);
+        self.degraded[e] = pct != 100;
+    }
+
+    /// Kills edge `e` permanently (fault injection: a link outage) and
+    /// recomputes the route table around it. Messages already serialized
+    /// onto the dead wire still arrive (they are physically in transit);
+    /// no new traffic is routed over it. If the outage flips a
+    /// single-hop graph into routed mode, raw in-flight tokens are
+    /// migrated into the flow table so arrivals keep one code path.
+    ///
+    /// Returns the number of next-hop table entries that changed
+    /// (reroute accounting), 0 if the edge was already dead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FabricPartitioned`] naming the first severed
+    /// endpoint pair when the surviving graph is unroutable; the network
+    /// is left unchanged (beyond marking the edge dead) and the caller
+    /// terminates the run.
+    pub fn fail_link(&mut self, e: usize, now: Cycle) -> Result<u64, SimError> {
+        if self.dead[e] {
+            return Ok(0);
+        }
+        self.dead[e] = true;
+        let (next_hop, unroutable) = route_table(
+            self.topo.num_gpus,
+            self.topo.num_nodes(),
+            &self.topo.edges,
+            Some(&self.dead),
+        );
+        if let Some((a, b)) = unroutable {
+            return Err(SimError::FabricPartitioned {
+                from: self.topo.node_label(a),
+                to: self.topo.node_label(b),
+                cycle: now.0,
+            });
+        }
+        let changed = self
+            .topo
+            .next_hop
+            .iter()
+            .zip(&next_hop)
+            .filter(|(old, new)| old != new)
+            .count() as u64;
+        self.topo.next_hop = next_hop;
+        let was_single_hop = self.topo.single_hop;
+        self.topo.recompute_single_hop();
+        if was_single_hop && !self.topo.single_hop {
+            // Mid-run fast-path exit: tokens already on the wire were
+            // sent raw (no flow entry). Migrate them so the routed
+            // arrival path can look every one of them up. Each is one
+            // hop from its destination by construction, so src/dst are
+            // the edge endpoints and the byte size is never needed
+            // again (it only matters for forwarding).
+            let LinkNetwork {
+                topo, links, flows, ..
+            } = self;
+            for (i, link) in links.iter_mut().enumerate() {
+                let edge = topo.edges[i];
+                link.retag_in_flight(|token| {
+                    flows.insert(Flow {
+                        token,
+                        src: edge.from as u32,
+                        dst: edge.to as u32,
+                        bytes: 0,
+                    })
+                });
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Arms `n` packet drops: the next `n` final-hop deliveries vanish
+    /// (fault injection; deliberately violates NoC conservation).
+    pub fn inject_packet_drops(&mut self, n: u32) {
+        self.pending_drops = self.pending_drops.saturating_add(n);
+    }
+
+    /// Arms `n` transit-forward drops: the next `n` messages arriving at
+    /// a forwarding node die there (violates per-hop conservation).
+    /// Consumed only on multi-hop fabrics — single-hop graphs have no
+    /// transit hops.
+    pub fn inject_forward_drops(&mut self, n: u32) {
+        self.pending_fwd_drops = self.pending_fwd_drops.saturating_add(n);
+    }
+
+    /// Arms `n` packet duplications: the next `n` final-hop deliveries
+    /// arrive twice (violates conservation and token lifecycle).
+    pub fn inject_packet_dups(&mut self, n: u32) {
+        self.pending_dups = self.pending_dups.saturating_add(n);
+    }
+
+    /// Packets dropped by consumed injections (final-hop + transit).
+    pub fn dropped_packet_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra deliveries produced by consumed duplication injections.
+    pub fn duplicated_packet_count(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Arrived wire tokens that had no flow entry (always 0 in
+    /// conservative operation; counted instead of panicking).
+    pub fn flow_desync_count(&self) -> u64 {
+        self.flow_desync
+    }
+
+    /// Number of links currently dead or throttled below full bandwidth.
+    pub fn impaired_link_count(&self) -> usize {
+        (0..self.links.len())
+            .filter(|&i| self.dead[i] || self.degraded[i])
+            .count()
+    }
+
+    /// One line per impaired link (dead or degraded), for watchdog stall
+    /// diagnostics and fault-state reports. Empty when the fabric is
+    /// healthy.
+    pub fn fault_report(&self) -> Vec<String> {
+        (0..self.links.len())
+            .filter_map(|i| {
+                if self.dead[i] {
+                    Some(format!("link {} [e{i}]: DEAD (outage)", self.edge_label(i)))
+                } else if self.degraded[i] {
+                    Some(format!(
+                        "link {} [e{i}]: degraded to {:.2} B/cyc (built {:.2})",
+                        self.edge_label(i),
+                        self.links[i].bytes_per_cycle(),
+                        self.topo.edges[i].bytes_per_cycle,
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 
     /// One diagnostic line per link with traffic in flight: route, queue
@@ -1657,5 +1963,141 @@ mod tests {
         assert!(net.congested(NodeId::Gpu(0), NodeId::Gpu(1), Cycle(0), 100));
         // The reverse direction injects on its own uplink.
         assert!(!net.congested(NodeId::Gpu(1), NodeId::Gpu(0), Cycle(0), 100));
+    }
+
+    #[test]
+    fn degraded_link_serializes_slower_and_restores() {
+        // 2-GPU all-to-all: edge 0 is gpu0->gpu1.
+        let mut net = LinkNetwork::new(2, 8.0, 100, 4.0, 200).expect("valid");
+        net.set_link_bandwidth_factor(0, 25); // 8.0 -> 2.0 B/cyc
+        assert_eq!(net.impaired_link_count(), 1);
+        assert!(net.fault_report()[0].contains("gpu0->gpu1"));
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 160, Cycle(0));
+        // 160/2 = 80 ser + 100 latency -> 180 (vs 120 at full speed).
+        assert!(net.tick(Cycle(179)).is_empty());
+        assert_eq!(net.tick(Cycle(180)).len(), 1);
+        net.set_link_bandwidth_factor(0, 100);
+        assert_eq!(net.impaired_link_count(), 0);
+        assert!(net.fault_report().is_empty());
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 2, 160, Cycle(1000));
+        assert_eq!(net.tick(Cycle(1120)).len(), 1);
+    }
+
+    #[test]
+    fn outage_on_all_to_all_reroutes_through_a_peer() {
+        // 3-GPU all-to-all: edge 0 is gpu0->gpu1. Killing it forces the
+        // route gpu0 -> gpu2 -> gpu1 and exits the single-hop fast path.
+        let mut net = LinkNetwork::new(3, 8.0, 10, 4.0, 20).expect("valid");
+        assert!(net.topology().is_single_hop());
+        let rerouted = net.fail_link(0, Cycle(5)).expect("still routable");
+        assert!(rerouted > 0, "route table must change");
+        assert!(!net.topology().is_single_hop());
+        assert_eq!(
+            net.topology()
+                .route_labels(NodeId::Gpu(0), NodeId::Gpu(1))
+                .len(),
+            3,
+            "two hops now"
+        );
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 7, 160, Cycle(10));
+        let mut got = Vec::new();
+        for c in 10..200u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 7);
+        assert_eq!(got[0].dst, NodeId::Gpu(1));
+        // gpu2 forwarded the transit hop, conserved.
+        assert_eq!(net.transit_counts()[2], (1, 1));
+        assert_eq!(net.message_counts(), (1, 1));
+        assert_eq!(net.flow_desync_count(), 0);
+        // Killing the same edge again is a no-op.
+        assert_eq!(net.fail_link(0, Cycle(50)).expect("idempotent"), 0);
+    }
+
+    #[test]
+    fn outage_migrates_raw_in_flight_tokens_to_flows() {
+        // Put a raw token on the wire of a single-hop graph, then kill a
+        // different link so the graph flips to routed mode mid-flight.
+        let mut net = LinkNetwork::new(3, 8.0, 100, 4.0, 200).expect("valid");
+        net.send(NodeId::Gpu(1), NodeId::Gpu(2), 42, 160, Cycle(0));
+        net.fail_link(0, Cycle(3)).expect("still routable");
+        assert!(!net.topology().is_single_hop());
+        // 160/8 = 20 ser + 100 latency -> 120; the migrated token must
+        // still deliver with its original token and endpoints.
+        let got = net.tick(Cycle(120));
+        assert_eq!(
+            got,
+            vec![Delivery {
+                token: 42,
+                src: NodeId::Gpu(1),
+                dst: NodeId::Gpu(2)
+            }]
+        );
+        assert_eq!(net.flow_desync_count(), 0);
+        assert_eq!(net.message_counts(), (1, 1));
+    }
+
+    #[test]
+    fn partitioning_outage_names_the_severed_pair() {
+        // 2-GPU all-to-all edge order: e0 g0->g1, e1 g1->g0, e2 g0->cpu,
+        // e3 cpu->g0, e4 g1->cpu, e5 cpu->g1. Killing e0 leaves gpu0 able
+        // to reach gpu1 only via the CPU — which never forwards — so the
+        // fabric is partitioned.
+        let mut net = LinkNetwork::new(2, 8.0, 10, 4.0, 20).expect("valid");
+        let err = net.fail_link(0, Cycle(9)).expect_err("cpu cannot forward");
+        match err {
+            SimError::FabricPartitioned { from, to, cycle } => {
+                assert_eq!(from, "gpu0");
+                assert_eq!(to, "gpu1");
+                assert_eq!(cycle, 9);
+            }
+            other => panic!("expected FabricPartitioned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_drops_and_dups_skew_the_conservation_counters() {
+        let mut net = LinkNetwork::new(2, 8.0, 10, 4.0, 20).expect("valid");
+        net.inject_packet_drops(1);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 32, Cycle(0));
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 2, 32, Cycle(0));
+        let mut got = Vec::new();
+        for c in 0..40u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        // First delivery vanished; the second survived.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 2);
+        assert_eq!(net.dropped_packet_count(), 1);
+        assert_eq!(net.message_counts(), (2, 1), "delivered < injected");
+        net.inject_packet_dups(1);
+        net.send(NodeId::Gpu(1), NodeId::Gpu(0), 3, 32, Cycle(100));
+        let mut got = Vec::new();
+        for c in 100..140u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        assert_eq!(got.len(), 2, "duplicated delivery arrives twice");
+        assert_eq!(got[0].token, 3);
+        assert_eq!(got[1].token, 3);
+        assert_eq!(net.duplicated_packet_count(), 1);
+        assert_eq!(net.message_counts(), (3, 3), "dup re-balanced the drop");
+    }
+
+    #[test]
+    fn injected_forward_drop_breaks_hop_conservation() {
+        let topo = Topology::build(TopologySpec::Switch, 2, 8.0, 100, 4.0, 200).expect("valid");
+        let mut net = LinkNetwork::from_topology(topo).expect("valid");
+        net.inject_forward_drops(1);
+        net.send(NodeId::Gpu(0), NodeId::Gpu(1), 1, 160, Cycle(0));
+        let mut got = Vec::new();
+        for c in 0..400u64 {
+            got.extend(net.tick(Cycle(c)));
+        }
+        assert!(got.is_empty(), "message died at the switch");
+        assert_eq!(net.dropped_packet_count(), 1);
+        // Received but never forwarded: the hop-conservation gap.
+        assert_eq!(net.transit_counts()[3], (1, 0));
+        assert!(net.is_idle(), "no flow left dangling");
     }
 }

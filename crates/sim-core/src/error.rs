@@ -46,6 +46,18 @@ pub enum SimError {
         /// The underlying I/O error, stringified.
         message: String,
     },
+    /// An injected link outage (fault plan) severed the fabric: some
+    /// endpoint pair no longer has any route, so the run cannot degrade
+    /// gracefully and terminates cleanly instead of hanging.
+    FabricPartitioned {
+        /// Label of the source node of the first unroutable pair
+        /// (e.g. `gpu0`, `cpu`).
+        from: String,
+        /// Label of the destination node of the first unroutable pair.
+        to: String,
+        /// Cycle at which the partitioning outage was applied.
+        cycle: u64,
+    },
     /// The protocol sanitizer (`CARVE_SANITIZE=1` / `SimConfig::sanitize`)
     /// caught a coherence, lifecycle, or timing invariant being broken.
     /// Only the *first* violation of a run is reported: later checks may
@@ -77,6 +89,20 @@ impl SimError {
             message: err.to_string(),
         }
     }
+
+    /// Whether retrying the same run could plausibly succeed. Watchdog
+    /// stalls (timing/livelock, may clear under a different interleaving
+    /// of host threads' wall-clock) and checkpoint I/O (transient file
+    /// system pressure) are transient; configuration, sanitizer,
+    /// resource-cap, and fabric-partition failures are deterministic
+    /// properties of the (config, seed) pair and fail the same way every
+    /// time — campaign retry loops fail fast on those.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::WatchdogStall { .. } | SimError::CheckpointIo { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -102,6 +128,13 @@ impl fmt::Display for SimError {
             }
             SimError::CheckpointIo { path, message } => {
                 write!(f, "checkpoint I/O failed for {path}: {message}")
+            }
+            SimError::FabricPartitioned { from, to, cycle } => {
+                write!(
+                    f,
+                    "fabric partitioned: injected link outage at cycle {cycle} left no route \
+                     from {from} to {to}"
+                )
             }
             SimError::SanitizerViolation {
                 invariant,
@@ -156,6 +189,49 @@ mod tests {
         assert!(s.contains("gpu-vi-single-writer"));
         assert!(s.contains("cycle 420"));
         assert!(s.contains("0x80"));
+        let e = SimError::FabricPartitioned {
+            from: "gpu0".into(),
+            to: "gpu3".into(),
+            cycle: 777,
+        };
+        let s = e.to_string();
+        assert!(s.contains("gpu0"));
+        assert!(s.contains("gpu3"));
+        assert!(s.contains("cycle 777"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(SimError::WatchdogStall {
+            cycle: 1,
+            stalled_since: 0,
+            budget: 1,
+            diagnostic: String::new(),
+        }
+        .is_transient());
+        assert!(SimError::CheckpointIo {
+            path: "x".into(),
+            message: "y".into(),
+        }
+        .is_transient());
+        assert!(!SimError::config("bad").is_transient());
+        assert!(!SimError::SanitizerViolation {
+            invariant: "noc-conservation".into(),
+            cycle: 1,
+            detail: String::new(),
+        }
+        .is_transient());
+        assert!(!SimError::FabricPartitioned {
+            from: "gpu0".into(),
+            to: "cpu".into(),
+            cycle: 1,
+        }
+        .is_transient());
+        assert!(!SimError::ResourceExhausted {
+            what: "cycles".into(),
+            limit: 1,
+        }
+        .is_transient());
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Deterministic fault injection: cycle-stamped schedules of hardware
+//! faults and the recovery accounting the system keeps while degrading
+//! gracefully around them.
+//!
+//! A [`FaultPlan`] is a sorted schedule of [`FaultEvent`]s — link
+//! bandwidth degradation windows, full link outages (the system re-routes
+//! around the dead edge or fails with a clean
+//! `SimError::FabricPartitioned`), transient DRAM faults forcing bounded
+//! retransmission, NoC packet drop/duplication (sanitizer bait for the
+//! chaos fuzzer), and freeze windows generalizing the old hidden
+//! `--stall-inject-at` hook. The plan is applied by the system at *exact*
+//! cycles: the engine folds [`FaultPlan::next_event_cycle`] into its
+//! event-skip horizon, so same-seed runs are byte-identical under both
+//! engines.
+//!
+//! Plans round-trip through a compact text DSL (used by `--faults`, the
+//! campaign journal key, and chaos fixture files):
+//!
+//! ```text
+//! degrade@1000:e3*25        # at cycle 1000, link 3 drops to 25% bandwidth
+//! restore@5000:e3           # at cycle 5000, link 3 returns to full speed
+//! outage@2000:e7            # at cycle 2000, link 7 dies; routes recompute
+//! dramfault@1500:g2n4       # force the next 4 DRAM read retries on GPU 2
+//! drop@3000:n2              # drop the next 2 final-hop packet deliveries
+//! dropfwd@3000:n1           # drop the next transit forward (at a switch)
+//! dup@3500:n1               # duplicate the next packet delivery
+//! freeze@4000+500           # no ticks for cycles 4000..4500
+//! freeze@4000               # freeze forever (the --stall-inject-at hook)
+//! ```
+//!
+//! Events are comma-separated; edge and GPU indices are *hints* resolved
+//! modulo the machine's actual edge/GPU count when the plan is armed, so
+//! a randomly generated plan is valid on any topology.
+
+use crate::rng::Stream;
+
+/// One kind of injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Throttle one link to `percent`% of its built bandwidth
+    /// (1..=100). Lasts until a [`FaultKind::LinkRestore`] of the same
+    /// edge (or the end of the run).
+    LinkDegrade {
+        /// Edge index hint (resolved modulo the edge count at arm time).
+        edge: u64,
+        /// Remaining bandwidth as a percentage of the built value.
+        percent: u32,
+    },
+    /// Restore one link to its built bandwidth.
+    LinkRestore {
+        /// Edge index hint.
+        edge: u64,
+    },
+    /// Permanently kill one link. The system recomputes routes around
+    /// the dead edge; if any endpoint pair becomes unroutable the run
+    /// terminates with `SimError::FabricPartitioned`.
+    LinkOutage {
+        /// Edge index hint.
+        edge: u64,
+    },
+    /// Force the next `count` DRAM read completions on one GPU to fail
+    /// transiently and retransmit after a full re-access penalty.
+    DramTransient {
+        /// GPU index hint (resolved modulo the GPU count at arm time).
+        gpu: u64,
+        /// How many read completions to fault.
+        count: u32,
+    },
+    /// Silently drop the next `count` final-hop packet deliveries
+    /// (violates NoC conservation — fuzzer bait, not graceful).
+    PacketDrop {
+        /// How many deliveries to drop.
+        count: u32,
+    },
+    /// Silently drop the next `count` transit *forwards* at a
+    /// non-destination node (violates hop conservation — fuzzer bait).
+    ForwardDrop {
+        /// How many forwards to drop.
+        count: u32,
+    },
+    /// Duplicate the next `count` final-hop packet deliveries (violates
+    /// conservation and token lifecycle — fuzzer bait).
+    PacketDup {
+        /// How many deliveries to duplicate.
+        count: u32,
+    },
+    /// Freeze the system: no component ticks for `cycles` cycles
+    /// (`u64::MAX` = forever, subsuming the hidden `--stall-inject-at`
+    /// watchdog test hook).
+    Freeze {
+        /// Freeze duration in cycles (`u64::MAX` = forever).
+        cycles: u64,
+    },
+}
+
+impl FaultKind {
+    /// Whether the fault is *graceful*: the system is expected to absorb
+    /// it and complete (possibly slower, possibly with a clean
+    /// `FabricPartitioned` error). Packet drop/duplication are not —
+    /// they deliberately break conservation invariants so the sanitizer
+    /// and watchdog oracles can be exercised.
+    pub fn is_graceful(self) -> bool {
+        !matches!(
+            self,
+            FaultKind::PacketDrop { .. }
+                | FaultKind::ForwardDrop { .. }
+                | FaultKind::PacketDup { .. }
+        )
+    }
+}
+
+/// One scheduled fault: a [`FaultKind`] stamped with the exact cycle at
+/// which the system applies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the fault is applied (before the tick of that
+    /// cycle, identically under both engines).
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, cycle-stamped schedule of fault events.
+///
+/// Events are kept sorted by cycle (stable: same-cycle events apply in
+/// insertion order). The plan itself is immutable at run time — the
+/// system tracks its own cursor — so one plan value can key a campaign
+/// cache entry and drive many runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` at cycle `at`, keeping events sorted by cycle
+    /// (stable insertion order for equal cycles).
+    pub fn push(&mut self, at: u64, kind: FaultKind) -> &mut Self {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+        self
+    }
+
+    /// The schedule, sorted by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Cycle of the first event at index ≥ `cursor`, for folding into
+    /// the engine's event-skip horizon.
+    pub fn next_event_cycle(&self, cursor: usize) -> Option<u64> {
+        self.events.get(cursor).map(|e| e.at)
+    }
+
+    /// A copy of the plan with the event at `index` removed (used by the
+    /// chaos fuzzer's greedy minimizer).
+    pub fn without_event(&self, index: usize) -> FaultPlan {
+        let mut events = self.events.clone();
+        events.remove(index);
+        FaultPlan { events }
+    }
+
+    /// Whether every event is graceful (see [`FaultKind::is_graceful`]).
+    pub fn is_graceful(&self) -> bool {
+        self.events.iter().all(|e| e.kind.is_graceful())
+    }
+
+    /// Encodes the plan as the comma-separated DSL (round-trips through
+    /// [`FaultPlan::parse`] byte-exactly).
+    pub fn encode(&self) -> String {
+        self.events
+            .iter()
+            .map(encode_event)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the comma-separated DSL (see the module docs for the
+    /// grammar). The empty string is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the first malformed
+    /// event.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (at, kind) = parse_event(part)?;
+            plan.push(at, kind);
+        }
+        Ok(plan)
+    }
+
+    /// Generates a random plan from a seeded stream: `intensity` scales
+    /// the expected event count (≈ `1 + 7 * intensity` events) spread
+    /// over `0..horizon` cycles. `allow_lossy` additionally draws the
+    /// non-graceful packet drop/duplication kinds (fuzzer mode); without
+    /// it every event is graceful and a run is expected to complete.
+    /// Edge/GPU indices are hints resolved modulo the machine at arm
+    /// time, so the plan is valid on any topology.
+    pub fn random(rng: &mut Stream, horizon: u64, intensity: f64, allow_lossy: bool) -> FaultPlan {
+        let horizon = horizon.max(2);
+        let n = 1 + ((7.0 * intensity.clamp(0.0, 1.0)) as u64);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let at = rng.gen_range(1, horizon);
+            let kinds = if allow_lossy { 8 } else { 5 };
+            let kind = match rng.gen_range(0, kinds) {
+                0 => FaultKind::LinkDegrade {
+                    edge: rng.next_u64() & 0xFFFF,
+                    percent: rng.gen_range(1, 10) as u32 * 10,
+                },
+                1 => FaultKind::LinkRestore {
+                    edge: rng.next_u64() & 0xFFFF,
+                },
+                2 => FaultKind::LinkOutage {
+                    edge: rng.next_u64() & 0xFFFF,
+                },
+                3 => FaultKind::DramTransient {
+                    gpu: rng.next_u64() & 0xFF,
+                    count: rng.gen_range(1, 8) as u32,
+                },
+                4 => FaultKind::Freeze {
+                    cycles: rng.gen_range(1, horizon / 2 + 2),
+                },
+                5 => FaultKind::PacketDrop {
+                    count: rng.gen_range(1, 4) as u32,
+                },
+                6 => FaultKind::ForwardDrop {
+                    count: rng.gen_range(1, 4) as u32,
+                },
+                _ => FaultKind::PacketDup {
+                    count: rng.gen_range(1, 3) as u32,
+                },
+            };
+            plan.push(at, kind);
+        }
+        plan
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+fn encode_event(e: &FaultEvent) -> String {
+    let at = e.at;
+    match e.kind {
+        FaultKind::LinkDegrade { edge, percent } => format!("degrade@{at}:e{edge}*{percent}"),
+        FaultKind::LinkRestore { edge } => format!("restore@{at}:e{edge}"),
+        FaultKind::LinkOutage { edge } => format!("outage@{at}:e{edge}"),
+        FaultKind::DramTransient { gpu, count } => format!("dramfault@{at}:g{gpu}n{count}"),
+        FaultKind::PacketDrop { count } => format!("drop@{at}:n{count}"),
+        FaultKind::ForwardDrop { count } => format!("dropfwd@{at}:n{count}"),
+        FaultKind::PacketDup { count } => format!("dup@{at}:n{count}"),
+        FaultKind::Freeze { cycles } if cycles == u64::MAX => format!("freeze@{at}"),
+        FaultKind::Freeze { cycles } => format!("freeze@{at}+{cycles}"),
+    }
+}
+
+fn parse_u64(what: &str, s: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("fault plan: bad {what} {s:?}"))
+}
+
+fn parse_event(part: &str) -> Result<(u64, FaultKind), String> {
+    let (name, rest) = part
+        .split_once('@')
+        .ok_or_else(|| format!("fault plan: event {part:?} is missing '@<cycle>'"))?;
+    // Freeze is the one event with no ':<args>' segment, so it parses
+    // before the generic '@<cycle>:<args>' split below.
+    if name == "freeze" {
+        let (at, cycles) = match rest.split_once('+') {
+            Some((at, dur)) => (
+                parse_u64("cycle", at)?,
+                parse_u64("freeze duration", dur)?.max(1),
+            ),
+            None => (parse_u64("cycle", rest)?, u64::MAX),
+        };
+        return Ok((at, FaultKind::Freeze { cycles }));
+    }
+    let (at, args) = rest
+        .split_once(':')
+        .ok_or_else(|| format!("fault plan: event {part:?} is missing ':<args>'"))?;
+    let at = parse_u64("cycle", at)?;
+    let kind = match name {
+        "degrade" => {
+            let (edge, pct) = args
+                .strip_prefix('e')
+                .and_then(|a| a.split_once('*'))
+                .ok_or_else(|| format!("fault plan: degrade args {args:?}; want e<edge>*<pct>"))?;
+            let percent = parse_u64("percent", pct)?;
+            if !(1..=100).contains(&percent) {
+                return Err(format!(
+                    "fault plan: degrade percent {percent} out of range 1..=100"
+                ));
+            }
+            FaultKind::LinkDegrade {
+                edge: parse_u64("edge", edge)?,
+                percent: percent as u32,
+            }
+        }
+        "restore" => FaultKind::LinkRestore {
+            edge: parse_u64(
+                "edge",
+                args.strip_prefix('e')
+                    .ok_or_else(|| format!("fault plan: restore args {args:?}; want e<edge>"))?,
+            )?,
+        },
+        "outage" => FaultKind::LinkOutage {
+            edge: parse_u64(
+                "edge",
+                args.strip_prefix('e')
+                    .ok_or_else(|| format!("fault plan: outage args {args:?}; want e<edge>"))?,
+            )?,
+        },
+        "dramfault" => {
+            let (gpu, count) = args
+                .strip_prefix('g')
+                .and_then(|a| a.split_once('n'))
+                .ok_or_else(|| {
+                    format!("fault plan: dramfault args {args:?}; want g<gpu>n<count>")
+                })?;
+            FaultKind::DramTransient {
+                gpu: parse_u64("gpu", gpu)?,
+                count: parse_u64("count", count)?.max(1) as u32,
+            }
+        }
+        "drop" | "dropfwd" | "dup" => {
+            let count = parse_u64(
+                "count",
+                args.strip_prefix('n')
+                    .ok_or_else(|| format!("fault plan: {name} args {args:?}; want n<count>"))?,
+            )?
+            .max(1) as u32;
+            match name {
+                "drop" => FaultKind::PacketDrop { count },
+                "dropfwd" => FaultKind::ForwardDrop { count },
+                _ => FaultKind::PacketDup { count },
+            }
+        }
+        other => return Err(format!("fault plan: unknown event kind {other:?}")),
+    };
+    Ok((at, kind))
+}
+
+/// Recovery accounting for one faulted run: how much graceful
+/// degradation the system absorbed. Fed to the watchdog's stall
+/// diagnostics and reported on `SimResult::recovery` (never part of the
+/// journal encoding — like the telemetry timeline, it is observe-only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Fault events applied so far.
+    pub faults_applied: u64,
+    /// Next-hop route entries rewritten by link-outage recomputation.
+    pub reroutes: u64,
+    /// Link outages absorbed (the topology stayed routable).
+    pub outages: u64,
+    /// DRAM read completions retransmitted after a transient fault.
+    pub dram_retries: u64,
+    /// Packets dropped by injection (non-graceful fuzzer faults).
+    pub dropped_packets: u64,
+    /// Packets duplicated by injection (non-graceful fuzzer faults).
+    pub duplicated_packets: u64,
+    /// Cycles spent with at least one link degraded or dead.
+    pub degraded_cycles: u64,
+    /// Cycles spent frozen by injected stalls.
+    pub frozen_cycles: u64,
+}
+
+impl RecoverySnapshot {
+    /// One-line human rendering used in diagnostics and CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults={} reroutes={} outages={} dram_retries={} dropped={} duplicated={} \
+             degraded_cycles={} frozen_cycles={}",
+            self.faults_applied,
+            self.reroutes,
+            self.outages,
+            self.dram_retries,
+            self.dropped_packets,
+            self.duplicated_packets,
+            self.degraded_cycles,
+            self.frozen_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_events_sorted_and_stable() {
+        let mut p = FaultPlan::new();
+        p.push(50, FaultKind::LinkOutage { edge: 1 });
+        p.push(10, FaultKind::Freeze { cycles: 5 });
+        p.push(50, FaultKind::LinkOutage { edge: 2 });
+        let at: Vec<u64> = p.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, [10, 50, 50]);
+        // Same-cycle events stay in insertion order (edge 1 before 2).
+        assert_eq!(p.events()[1].kind, FaultKind::LinkOutage { edge: 1 });
+        assert_eq!(p.events()[2].kind, FaultKind::LinkOutage { edge: 2 });
+    }
+
+    #[test]
+    fn dsl_round_trips_every_kind() {
+        let text = "degrade@1000:e3*25,restore@5000:e3,outage@2000:e7,\
+                    dramfault@1500:g2n4,drop@3000:n2,dropfwd@3100:n1,dup@3500:n1,\
+                    freeze@4000+500,freeze@6000";
+        let plan = FaultPlan::parse(text).expect("valid DSL");
+        assert_eq!(plan.len(), 9);
+        let reparsed = FaultPlan::parse(&plan.encode()).expect("round trip");
+        assert_eq!(plan, reparsed);
+        // Sorted encode order, not input order.
+        assert!(plan
+            .encode()
+            .starts_with("degrade@1000:e3*25,dramfault@1500"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        for bad in [
+            "outage",
+            "outage@x:e1",
+            "outage@5:q1",
+            "degrade@5:e1",
+            "degrade@5:e1*0",
+            "degrade@5:e1*101",
+            "dramfault@5:g1",
+            "warp@5:n1",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(err.contains("fault plan:"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn empty_string_is_empty_plan() {
+        let p = FaultPlan::parse("").expect("empty ok");
+        assert!(p.is_empty());
+        assert_eq!(p.encode(), "");
+        assert_eq!(p.next_event_cycle(0), None);
+    }
+
+    #[test]
+    fn next_event_cycle_follows_cursor() {
+        let p = FaultPlan::parse("freeze@10+5,outage@20:e1").expect("valid");
+        assert_eq!(p.next_event_cycle(0), Some(10));
+        assert_eq!(p.next_event_cycle(1), Some(20));
+        assert_eq!(p.next_event_cycle(2), None);
+    }
+
+    #[test]
+    fn without_event_removes_exactly_one() {
+        let p = FaultPlan::parse("freeze@10+5,outage@20:e1,drop@30:n1").expect("valid");
+        let q = p.without_event(1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.encode(), "freeze@10+5,drop@30:n1");
+        assert_eq!(p.len(), 3, "original untouched");
+    }
+
+    #[test]
+    fn gracefulness_classification() {
+        assert!(
+            FaultPlan::parse("degrade@1:e0*50,outage@2:e1,dramfault@3:g0n1,freeze@4+9")
+                .unwrap()
+                .is_graceful()
+        );
+        for lossy in ["drop@1:n1", "dropfwd@1:n1", "dup@1:n1"] {
+            assert!(!FaultPlan::parse(lossy).unwrap().is_graceful(), "{lossy}");
+        }
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let mut a = Stream::from_seed(99);
+        let mut b = Stream::from_seed(99);
+        let pa = FaultPlan::random(&mut a, 10_000, 0.8, true);
+        let pb = FaultPlan::random(&mut b, 10_000, 0.8, true);
+        assert_eq!(pa, pb);
+        assert!(!pa.is_empty());
+        // And round-trip through the DSL.
+        assert_eq!(FaultPlan::parse(&pa.encode()).unwrap(), pa);
+    }
+
+    #[test]
+    fn random_graceful_plans_have_no_lossy_events() {
+        for seed in 0..32 {
+            let mut rng = Stream::from_seed(seed);
+            let p = FaultPlan::random(&mut rng, 50_000, 1.0, false);
+            assert!(p.is_graceful(), "seed {seed}: {}", p.encode());
+        }
+    }
+
+    #[test]
+    fn recovery_summary_names_every_counter() {
+        let r = RecoverySnapshot {
+            faults_applied: 3,
+            reroutes: 12,
+            outages: 1,
+            dram_retries: 4,
+            ..RecoverySnapshot::default()
+        };
+        let s = r.summary();
+        for key in [
+            "faults=3",
+            "reroutes=12",
+            "outages=1",
+            "dram_retries=4",
+            "degraded_cycles=0",
+        ] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

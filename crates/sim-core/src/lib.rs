@@ -8,6 +8,8 @@
 //! * [`stats`] — counters, histograms and summary math (geometric mean),
 //! * [`queue`] — bounded FIFO queues used to connect pipeline stages,
 //! * [`config`] — the scaled system configuration shared by all components,
+//! * [`fault`] — deterministic cycle-stamped fault schedules ([`FaultPlan`])
+//!   and recovery accounting for the chaos layer,
 //! * [`units`] — byte-size / bandwidth formatting helpers,
 //! * [`telemetry`] — interval sampling ([`Timeline`]) and structured event
 //!   tracing ([`TraceSink`]) for the observability layer.
@@ -41,6 +43,7 @@ pub mod cycle;
 pub mod error;
 pub mod event;
 pub mod fast;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -53,6 +56,7 @@ pub use cycle::Cycle;
 pub use error::SimError;
 pub use event::NextEvent;
 pub use fast::{FastMap, FastSet, Slab, TagTable};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, RecoverySnapshot};
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};

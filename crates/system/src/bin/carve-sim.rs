@@ -7,6 +7,7 @@
 //! carve-sim compare <workload>            # all designs side by side
 //! carve-sim profile <workload>            # Figure-4 style sharing profile
 //! carve-sim audit [WORKSPACE_ROOT]        # run the carve-audit lint wall
+//! carve-sim fuzz [options]                # randomized fault-injection fuzzer
 //!
 //! options for `run` and `trace`:
 //!   --design <1-gpu|numa|numa-migrate|numa-repl|ideal|carve-nc|carve-swc|carve-hwc>
@@ -20,6 +21,16 @@
 //!   --predictor                  enable the RDC hit predictor
 //!   --directory                  directory coherence instead of broadcast
 //!   --sanitize                   enable the protocol sanitizer shadow checker
+//!   --faults <plan>              inject a fault schedule, e.g.
+//!                                "degrade@1000:e3*25,outage@2000:e7,freeze@4000+500"
+//!   --fault-seed <n>             inject a random graceful fault plan drawn
+//!                                deterministically from seed n
+//!
+//! options for `fuzz`:
+//!   --seed <n>                   base seed (default 1)
+//!   --runs <k>                   scenarios to generate (default 16)
+//!   --out <dir>                  dump minimized oracle-fired scenarios as
+//!                                replayable .chaos fixture files
 //!
 //! options for `trace` only:
 //!   --out <dir>                  output directory (default results/trace/<workload>)
@@ -38,14 +49,20 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use carve_system::{
-    profile_workload, try_run, try_run_observed, workloads, Design, EngineMode, JsonTraceSink,
-    SimConfig, SimError, SimResult, TopologySpec,
+    chaos, profile_workload, try_run, try_run_observed, workloads, ChaosFixture, ChaosOutcome,
+    ChaosScenario, Design, EngineMode, FaultPlan, JsonTraceSink, SimConfig, SimError, SimResult,
+    TopologySpec,
 };
+use sim_core::rng::Stream;
 
 /// Default `trace` sampling interval: fine enough to resolve kernel-scale
 /// dynamics on scaled workloads (10^4..10^5-cycle kernels) without
 /// ballooning the CSV.
 const DEFAULT_TRACE_INTERVAL: u64 = 5_000;
+
+/// Horizon for `--fault-seed` generated plans: inside the runtime of every
+/// scaled workload, so the drawn events land while the run is still going.
+const FAULT_SEED_HORIZON: u64 = 20_000;
 
 fn parse_design(s: &str) -> Option<Design> {
     Some(match s {
@@ -78,6 +95,9 @@ struct RunArgs {
     /// Hidden test hook: freeze the system at this cycle so the watchdog
     /// path (exit code 3) can be exercised deterministically.
     stall_inject_at: Option<u64>,
+    /// Fault-injection schedule (parsed at flag time so a bad plan is a
+    /// usage error, not a simulation failure).
+    faults: Option<FaultPlan>,
     /// `trace` only: output directory for timeline.csv + trace.json.
     out: Option<String>,
     /// `trace` only: telemetry sampling interval in cycles.
@@ -102,6 +122,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         directory: false,
         sanitize: false,
         stall_inject_at: None,
+        faults: None,
         out: None,
         interval: None,
     };
@@ -152,6 +173,24 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .map_err(|_| format!("bad --stall-inject-at '{v}'"))?,
                 );
             }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                if out.faults.is_some() {
+                    return Err("--faults and --fault-seed are mutually exclusive".to_string());
+                }
+                out.faults = Some(FaultPlan::parse(v)?);
+            }
+            "--fault-seed" => {
+                let v = it.next().ok_or("--fault-seed needs a value")?;
+                let seed: u64 = v.parse().map_err(|_| format!("bad --fault-seed '{v}'"))?;
+                if out.faults.is_some() {
+                    return Err("--faults and --fault-seed are mutually exclusive".to_string());
+                }
+                // Graceful plans only: a seeded run must always be able to
+                // complete or partition cleanly, never lose packets.
+                let mut rng = Stream::from_parts(&[seed]);
+                out.faults = Some(FaultPlan::random(&mut rng, FAULT_SEED_HORIZON, 0.5, false));
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a value")?;
                 out.out = Some(v.clone());
@@ -180,6 +219,7 @@ fn sim_config_from(args: &RunArgs) -> SimConfig {
         sim.sanitize = Some(true);
     }
     sim.stall_inject_at = args.stall_inject_at;
+    sim.fault_plan = args.faults.clone();
     if let Some(gbs) = args.link_gbs {
         // Paper-equivalent GB/s, divided by the width scale like the
         // default 64 GB/s is.
@@ -212,6 +252,9 @@ fn print_result(r: &carve_system::SimResult) {
         r.read_latency.percentile(50.0).unwrap_or(0),
         r.read_latency.percentile(99.0).unwrap_or(0)
     );
+    if let Some(rec) = &r.recovery {
+        println!("recovery:           {}", rec.summary());
+    }
     println!("completed:          {}", r.completed);
 }
 
@@ -236,6 +279,142 @@ fn summary_line(r: &SimResult, wall: std::time::Duration) -> String {
     )
 }
 
+/// Parsed `fuzz` options (exposed for unit testing).
+#[derive(Debug, Clone, PartialEq)]
+struct FuzzArgs {
+    /// Base seed; scenario `i` is `ChaosScenario::random(seed, i)`.
+    seed: u64,
+    /// Number of scenarios to generate and run.
+    runs: u64,
+    /// Directory for minimized oracle-fired fixture dumps.
+    out: Option<String>,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut out = FuzzArgs {
+        seed: 1,
+        runs: 16,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                out.runs = v.parse().map_err(|_| format!("bad --runs '{v}'"))?;
+                if out.runs == 0 {
+                    return Err("--runs must be > 0".to_string());
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out.out = Some(v.clone());
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// The fuzz loop. Each scenario runs under both engines; the contract:
+///
+/// - engine divergence is always a failure;
+/// - a *graceful* plan (no packet loss) must complete or partition
+///   cleanly — a watchdog stall or sanitizer violation under one is a
+///   simulator bug;
+/// - a *lossy* plan is oracle bait: when the watchdog or sanitizer
+///   catches the injected misbehaviour, the scenario is minimized and
+///   (with `--out`) dumped as a replayable `.chaos` fixture.
+fn run_fuzz(args: &FuzzArgs) -> ExitCode {
+    let mut completed = 0u64;
+    let mut partitioned = 0u64;
+    let mut oracle_fired = 0u64;
+    let mut failures = 0u64;
+    for i in 0..args.runs {
+        let scenario = ChaosScenario::random(args.seed, i);
+        let outcome = match scenario.run_both_engines() {
+            Ok(o) => o,
+            Err(divergence) => {
+                eprintln!("FAIL run {i}: {divergence}");
+                failures += 1;
+                continue;
+            }
+        };
+        println!(
+            "run {i}: {} -> {}",
+            scenario.encode_compact(),
+            outcome.encode()
+        );
+        let graceful = scenario.plan.is_graceful();
+        match &outcome {
+            ChaosOutcome::Completed => completed += 1,
+            ChaosOutcome::Partitioned => partitioned += 1,
+            ChaosOutcome::Watchdog | ChaosOutcome::Sanitizer(_) if !graceful => {
+                // An oracle caught the injected loss: the finding we fuzz
+                // for. Shrink it and keep it as a regression fixture.
+                oracle_fired += 1;
+                let min = chaos::minimize(&scenario, &outcome, EngineMode::from_env());
+                match min.run_both_engines() {
+                    Ok(o) if o == outcome => {
+                        println!("  minimized: faults={}", min.plan.encode());
+                        if let Some(dir) = &args.out {
+                            let fixture = ChaosFixture {
+                                scenario: min,
+                                expect: outcome.clone(),
+                            };
+                            let path = format!("{dir}/seed{}-run{i}.chaos", args.seed);
+                            if let Err(e) = std::fs::create_dir_all(dir)
+                                .and_then(|()| std::fs::write(&path, fixture.encode()))
+                            {
+                                eprintln!("FAIL run {i}: cannot write '{path}': {e}");
+                                failures += 1;
+                            } else {
+                                println!("  dumped: {path}");
+                            }
+                        }
+                    }
+                    Ok(o) => {
+                        eprintln!(
+                            "FAIL run {i}: minimized scenario changed outcome to {}",
+                            o.encode()
+                        );
+                        failures += 1;
+                    }
+                    Err(divergence) => {
+                        eprintln!("FAIL run {i}: {divergence}");
+                        failures += 1;
+                    }
+                }
+            }
+            _ => {
+                // Graceful plan tripping an oracle, or any plan exhausting
+                // the cycle cap / failing some other way: simulator bug.
+                eprintln!(
+                    "FAIL run {i}: {} plan ended '{}' on {}",
+                    if graceful { "graceful" } else { "lossy" },
+                    outcome.encode(),
+                    scenario.encode_compact()
+                );
+                failures += 1;
+            }
+        }
+    }
+    eprintln!(
+        "fuzz: {} runs: {completed} completed, {partitioned} partitioned, \
+         {oracle_fired} oracle-fired, {failures} failures",
+        args.runs
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Exit code for usage errors (bad flags, unknown subcommand/workload).
 const EXIT_USAGE: u8 = 2;
 /// Exit code distinguishing an engine watchdog stall from other failures,
@@ -254,7 +433,7 @@ fn run_error_code(e: &SimError) -> u8 {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: carve-sim <list|run|trace|compare|profile|audit> [args]  (see --help in source header)"
+        "usage: carve-sim <list|run|trace|compare|profile|audit|fuzz> [args]  (see --help in source header)"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -435,6 +614,16 @@ fn main() -> ExitCode {
                 p.replication_footprint_multiplier()
             );
             ExitCode::SUCCESS
+        }
+        Some("fuzz") => {
+            let parsed = match parse_fuzz_args(&args[1..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            };
+            run_fuzz(&parsed)
         }
         Some("audit") => {
             if args.len() > 2 {
@@ -617,6 +806,57 @@ mod tests {
         assert_eq!(sim_config_from(&b).sanitize, None);
         assert!(parse_run_args(&strs(&["w", "--stall-inject-at"])).is_err());
         assert!(parse_run_args(&strs(&["w", "--stall-inject-at", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let a = parse_run_args(&strs(&[
+            "Lulesh",
+            "--faults",
+            "degrade@1000:e3*25,freeze@4000+500",
+        ]))
+        .unwrap();
+        let plan = a.faults.as_ref().expect("plan parsed");
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            sim_config_from(&a).fault_plan.as_ref().map(FaultPlan::len),
+            Some(2)
+        );
+        assert!(parse_run_args(&strs(&["w", "--faults", "explode@9"])).is_err());
+        assert!(parse_run_args(&strs(&["w", "--faults"])).is_err());
+
+        let b = parse_run_args(&strs(&["Lulesh", "--fault-seed", "7"])).unwrap();
+        let seeded = b.faults.as_ref().expect("seeded plan");
+        assert!(!seeded.is_empty());
+        assert!(seeded.is_graceful(), "seeded plans must never lose packets");
+        // Same seed, same plan.
+        let b2 = parse_run_args(&strs(&["Lulesh", "--fault-seed", "7"])).unwrap();
+        assert_eq!(b.faults, b2.faults);
+        assert!(
+            parse_run_args(&strs(&["w", "--faults", "freeze@10", "--fault-seed", "1"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_fuzz_args() {
+        let d = parse_fuzz_args(&[]).unwrap();
+        assert_eq!(d.seed, 1);
+        assert_eq!(d.runs, 16);
+        assert_eq!(d.out, None);
+        let a = parse_fuzz_args(&strs(&[
+            "--seed",
+            "42",
+            "--runs",
+            "3",
+            "--out",
+            "results/chaos",
+        ]))
+        .unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.out.as_deref(), Some("results/chaos"));
+        assert!(parse_fuzz_args(&strs(&["--runs", "0"])).is_err());
+        assert!(parse_fuzz_args(&strs(&["--bogus"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Chaos harness: randomized fault-injection scenarios with the protocol
+//! sanitizer and the watchdog as oracles.
+//!
+//! A [`ChaosScenario`] is one (workload × design × machine × fault plan)
+//! draw. [`ChaosScenario::random`] generates them deterministically from a
+//! seed; [`ChaosScenario::run_both_engines`] executes one under event-skip
+//! *and* stepping, demands the engines agree (byte-identical journals on
+//! success, same outcome class on failure), and classifies the result as a
+//! [`ChaosOutcome`]. Scenarios whose oracle fired are shrunk by
+//! [`minimize`] (greedy fault-event removal) and serialized as replayable
+//! fixture files (`#carve-chaos v1` key=value format) that
+//! `tests/chaos.rs` replays as a regression corpus.
+//!
+//! The contract being fuzzed: *graceful* fault plans (no packet
+//! drop/dup) must either complete or fail cleanly with
+//! `FabricPartitioned`; any watchdog stall or sanitizer violation under a
+//! graceful plan — and any engine divergence at all — is a simulator bug.
+//! Lossy plans are oracle bait: the sanitizer or watchdog is expected to
+//! catch the injected misbehaviour, and the dumped fixtures pin that the
+//! oracles keep catching it.
+
+use carve_trace::WorkloadSpec;
+use sim_core::rng::Stream;
+use sim_core::{FaultPlan, SimError, TopologySpec};
+
+use crate::design::{Design, SimConfig};
+use crate::sim::{try_run_with_profile_mode, EngineMode};
+
+/// Workloads the fuzzer draws from: a mix of sharing patterns (stencil,
+/// random-access, streaming, graph) keeps the fault surface broad while
+/// every run stays sub-second after shrinking.
+const WORKLOAD_POOL: [&str; 5] = ["Lulesh", "XSBench", "CoMD", "stream-triad", "SSSP"];
+
+/// Designs the fuzzer draws from: the plain NUMA baseline plus both
+/// coherent CARVE flavours (hardware coherence exercises invalidate
+/// traffic, software coherence exercises epoch flushes).
+const DESIGN_POOL: [Design; 3] = [Design::NumaGpu, Design::CarveHwc, Design::CarveSwc];
+
+/// Machine shapes the fuzzer draws from. Every pair is valid by
+/// construction (`SimConfig::validate` accepts all of them), covering
+/// single-hop meshes, a switched fabric, a ring, and hierarchical pods.
+const MACHINE_POOL: [(usize, TopologySpec); 6] = [
+    (2, TopologySpec::AllToAll),
+    (3, TopologySpec::AllToAll),
+    (4, TopologySpec::AllToAll),
+    (4, TopologySpec::Switch),
+    (8, TopologySpec::Ring),
+    (8, TopologySpec::Hierarchical { pod_size: 4 }),
+];
+
+/// Fault-plan horizon for generated scenarios: inside the runtime of
+/// every shrunk workload, so events actually land mid-run.
+const PLAN_HORIZON: u64 = 20_000;
+
+/// Watchdog budget for chaos runs: small enough that a hung scenario is
+/// classified in well under a second, large enough that no healthy
+/// (even heavily degraded) shrunk run comes near it.
+const CHAOS_WATCHDOG: u64 = 60_000;
+
+/// Cycle cap for chaos runs (shrunk runs finish in tens of thousands).
+const CHAOS_MAX_CYCLES: u64 = 4_000_000;
+
+/// One randomized or replayed chaos draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    /// Workload name (shrunk to the fixture shape by [`ChaosScenario::spec`]).
+    pub workload: String,
+    /// System design under test.
+    pub design: Design,
+    /// GPU count.
+    pub gpus: usize,
+    /// Interconnect topology.
+    pub topology: TopologySpec,
+    /// Whether the protocol sanitizer oracle is armed (always true for
+    /// fuzzer-generated scenarios).
+    pub sanitize: bool,
+    /// The injected fault schedule.
+    pub plan: FaultPlan,
+}
+
+/// How a chaos run ended, as one comparable class per oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The run completed (graceful degradation absorbed the plan).
+    Completed,
+    /// The watchdog caught a hang (e.g. a dropped response starved a
+    /// requester forever).
+    Watchdog,
+    /// A link outage severed the fabric; the run aborted cleanly.
+    Partitioned,
+    /// The sanitizer caught the named invariant being broken.
+    Sanitizer(String),
+    /// The run hit the hard cycle cap before any oracle fired.
+    Exhausted,
+    /// Anything else (configuration rejection mid-fuzz is a harness bug).
+    Other(String),
+}
+
+impl ChaosOutcome {
+    /// Stable text form used in fixture `expect=` lines.
+    pub fn encode(&self) -> String {
+        match self {
+            ChaosOutcome::Completed => "ok".into(),
+            ChaosOutcome::Watchdog => "watchdog".into(),
+            ChaosOutcome::Partitioned => "partitioned".into(),
+            ChaosOutcome::Sanitizer(invariant) => format!("sanitizer:{invariant}"),
+            ChaosOutcome::Exhausted => "exhausted".into(),
+            ChaosOutcome::Other(msg) => format!("other:{msg}"),
+        }
+    }
+
+    /// Inverse of [`ChaosOutcome::encode`].
+    pub fn parse(s: &str) -> ChaosOutcome {
+        match s {
+            "ok" => ChaosOutcome::Completed,
+            "watchdog" => ChaosOutcome::Watchdog,
+            "partitioned" => ChaosOutcome::Partitioned,
+            "exhausted" => ChaosOutcome::Exhausted,
+            _ => match s.split_once(':') {
+                Some(("sanitizer", inv)) => ChaosOutcome::Sanitizer(inv.to_string()),
+                Some(("other", msg)) => ChaosOutcome::Other(msg.to_string()),
+                _ => ChaosOutcome::Other(s.to_string()),
+            },
+        }
+    }
+
+    fn classify(result: &Result<crate::SimResult, SimError>) -> ChaosOutcome {
+        match result {
+            Ok(_) => ChaosOutcome::Completed,
+            Err(SimError::WatchdogStall { .. }) => ChaosOutcome::Watchdog,
+            Err(SimError::FabricPartitioned { .. }) => ChaosOutcome::Partitioned,
+            Err(SimError::SanitizerViolation { invariant, .. }) => {
+                ChaosOutcome::Sanitizer(invariant.clone())
+            }
+            Err(SimError::ResourceExhausted { .. }) => ChaosOutcome::Exhausted,
+            Err(e) => ChaosOutcome::Other(e.to_string()),
+        }
+    }
+}
+
+impl ChaosScenario {
+    /// Deterministically generates scenario `index` of seed `seed`.
+    /// Fault plans are lossy-enabled (oracle bait) with probability ~1/2.
+    pub fn random(seed: u64, index: u64) -> ChaosScenario {
+        let mut rng = Stream::from_parts(&[seed, index]);
+        let workload = WORKLOAD_POOL[rng.gen_range(0, WORKLOAD_POOL.len() as u64) as usize];
+        let design = DESIGN_POOL[rng.gen_range(0, DESIGN_POOL.len() as u64) as usize];
+        let (gpus, topology) = MACHINE_POOL[rng.gen_range(0, MACHINE_POOL.len() as u64) as usize];
+        let allow_lossy = rng.gen_bool(0.5);
+        let intensity = rng.gen_f64();
+        let plan = FaultPlan::random(&mut rng, PLAN_HORIZON, intensity, allow_lossy);
+        ChaosScenario {
+            workload: workload.to_string(),
+            design,
+            gpus,
+            topology,
+            sanitize: true,
+            plan,
+        }
+    }
+
+    /// The shrunk workload spec this scenario runs (the `v1` fixture
+    /// shape: ≤2 kernels, 16 CTAs, 60 instructions per warp).
+    pub fn spec(&self) -> Option<WorkloadSpec> {
+        let mut spec = crate::workloads::by_name(&self.workload)?;
+        spec.shape.kernels = spec.shape.kernels.min(2);
+        spec.shape.ctas = 16;
+        spec.shape.instrs_per_warp = 60;
+        Some(spec)
+    }
+
+    /// The simulation config this scenario runs (the `v1` quick machine:
+    /// 2 SMs × 8 warps per GPU, chaos watchdog/cap, telemetry off).
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = sim_core::ScaledConfig {
+            sms_per_gpu: 2,
+            warps_per_sm: 8,
+            ..sim_core::ScaledConfig::default()
+        };
+        cfg.num_gpus = self.gpus;
+        cfg.topology = self.topology;
+        let mut sim = SimConfig::with_cfg(self.design, cfg);
+        sim.sanitize = Some(self.sanitize);
+        sim.telemetry_interval = Some(0);
+        sim.watchdog_cycles = Some(CHAOS_WATCHDOG);
+        sim.max_cycles = CHAOS_MAX_CYCLES;
+        sim.fault_plan = Some(self.plan.clone());
+        sim
+    }
+
+    /// Runs the scenario under one engine and classifies the result.
+    pub fn run(&self, mode: EngineMode) -> ChaosOutcome {
+        let Some(spec) = self.spec() else {
+            return ChaosOutcome::Other(format!("unknown workload {:?}", self.workload));
+        };
+        match run_guarded(&spec, &self.sim_config(), mode) {
+            Ok(result) => ChaosOutcome::classify(&result),
+            Err(panic_msg) => ChaosOutcome::Other(format!("panic: {panic_msg}")),
+        }
+    }
+
+    /// Runs the scenario under *both* engines and demands they agree:
+    /// same outcome class, and byte-identical journal lines when both
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the divergence — always a simulator bug,
+    /// never an acceptable fuzz finding.
+    pub fn run_both_engines(&self) -> Result<ChaosOutcome, String> {
+        let Some(spec) = self.spec() else {
+            return Err(format!("unknown workload {:?}", self.workload));
+        };
+        let sim = self.sim_config();
+        let skip = run_guarded(&spec, &sim, EngineMode::EventSkip)
+            .map_err(|m| format!("panic under event-skip on {}: {m}", self.encode_compact()))?;
+        let step = run_guarded(&spec, &sim, EngineMode::Step)
+            .map_err(|m| format!("panic under step on {}: {m}", self.encode_compact()))?;
+        let (o_skip, o_step) = (ChaosOutcome::classify(&skip), ChaosOutcome::classify(&step));
+        if o_skip != o_step {
+            return Err(format!(
+                "engine divergence on {}: event-skip {} vs step {}",
+                self.encode_compact(),
+                o_skip.encode(),
+                o_step.encode()
+            ));
+        }
+        if let (Ok(a), Ok(b)) = (&skip, &step) {
+            if a.encode_journal_line() != b.encode_journal_line() {
+                return Err(format!(
+                    "engine divergence on {}: completed with different journals",
+                    self.encode_compact()
+                ));
+            }
+            if a.recovery != b.recovery {
+                return Err(format!(
+                    "engine divergence on {}: different recovery accounting",
+                    self.encode_compact()
+                ));
+            }
+        }
+        Ok(o_skip)
+    }
+
+    /// One-line rendering for fuzz logs.
+    pub fn encode_compact(&self) -> String {
+        format!(
+            "{} design={} gpus={} topo={} faults={}",
+            self.workload,
+            self.design.label(),
+            self.gpus,
+            self.topology.label(),
+            self.plan.encode()
+        )
+    }
+}
+
+/// Runs one engine with a panic guard, so a simulator panic becomes a
+/// reported fuzz failure (with its message) instead of killing the whole
+/// fuzz loop — the scenario that triggered it is the finding.
+fn run_guarded(
+    spec: &WorkloadSpec,
+    sim: &SimConfig,
+    mode: EngineMode,
+) -> Result<Result<crate::SimResult, SimError>, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        try_run_with_profile_mode(spec, sim, None, mode)
+    }))
+    .map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// A scenario plus its recorded outcome: the unit of the replay corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosFixture {
+    /// The scenario to replay.
+    pub scenario: ChaosScenario,
+    /// The outcome the replay must reproduce (under both engines).
+    pub expect: ChaosOutcome,
+}
+
+impl ChaosFixture {
+    /// Serializes the fixture as the `#carve-chaos v1` key=value format.
+    pub fn encode(&self) -> String {
+        let s = &self.scenario;
+        format!(
+            "#carve-chaos v1\nworkload={}\ndesign={}\ngpus={}\ntopology={}\nsanitize={}\nfaults={}\nexpect={}\n",
+            s.workload,
+            s.design.label(),
+            s.gpus,
+            s.topology.label(),
+            s.sanitize,
+            s.plan.encode(),
+            self.expect.encode(),
+        )
+    }
+
+    /// Parses a fixture file produced by [`ChaosFixture::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line or missing key.
+    pub fn parse(text: &str) -> Result<ChaosFixture, String> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header.trim() != "#carve-chaos v1" {
+            return Err(format!("chaos fixture: bad header {header:?}"));
+        }
+        let mut workload = None;
+        let mut design = None;
+        let mut gpus = None;
+        let mut topology = None;
+        let mut sanitize = None;
+        let mut faults = None;
+        let mut expect = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("chaos fixture: line {line:?} is not key=value"))?;
+            match key {
+                "workload" => workload = Some(value.to_string()),
+                "design" => {
+                    design = Some(
+                        Design::from_label(value)
+                            .ok_or_else(|| format!("chaos fixture: unknown design {value:?}"))?,
+                    );
+                }
+                "gpus" => {
+                    gpus = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| format!("chaos fixture: bad gpus {value:?}"))?,
+                    );
+                }
+                "topology" => {
+                    topology = Some(
+                        TopologySpec::from_label(value)
+                            .ok_or_else(|| format!("chaos fixture: unknown topology {value:?}"))?,
+                    );
+                }
+                "sanitize" => sanitize = Some(value == "true"),
+                "faults" => faults = Some(FaultPlan::parse(value)?),
+                "expect" => expect = Some(ChaosOutcome::parse(value)),
+                other => return Err(format!("chaos fixture: unknown key {other:?}")),
+            }
+        }
+        let missing = |what: &str| format!("chaos fixture: missing {what}=");
+        Ok(ChaosFixture {
+            scenario: ChaosScenario {
+                workload: workload.ok_or_else(|| missing("workload"))?,
+                design: design.ok_or_else(|| missing("design"))?,
+                gpus: gpus.ok_or_else(|| missing("gpus"))?,
+                topology: topology.ok_or_else(|| missing("topology"))?,
+                sanitize: sanitize.ok_or_else(|| missing("sanitize"))?,
+                plan: faults.ok_or_else(|| missing("faults"))?,
+            },
+            expect: expect.ok_or_else(|| missing("expect"))?,
+        })
+    }
+}
+
+/// Greedily shrinks a scenario's fault plan: repeatedly drops any single
+/// event whose removal preserves the outcome, until no event can be
+/// removed. Deterministic (first-removable-event order), and every probe
+/// runs under one engine only — the caller re-verifies the minimized
+/// scenario under both.
+pub fn minimize(
+    scenario: &ChaosScenario,
+    expect: &ChaosOutcome,
+    mode: EngineMode,
+) -> ChaosScenario {
+    let mut current = scenario.clone();
+    'shrink: loop {
+        for i in 0..current.plan.len() {
+            let mut candidate = current.clone();
+            candidate.plan = current.plan.without_event(i);
+            if candidate.run(mode) == *expect {
+                current = candidate;
+                continue 'shrink;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_encoding_round_trips() {
+        for o in [
+            ChaosOutcome::Completed,
+            ChaosOutcome::Watchdog,
+            ChaosOutcome::Partitioned,
+            ChaosOutcome::Sanitizer("noc-conservation".into()),
+            ChaosOutcome::Exhausted,
+            ChaosOutcome::Other("boom".into()),
+        ] {
+            assert_eq!(ChaosOutcome::parse(&o.encode()), o);
+        }
+    }
+
+    #[test]
+    fn fixture_round_trips_through_text() {
+        let fixture = ChaosFixture {
+            scenario: ChaosScenario {
+                workload: "Lulesh".into(),
+                design: Design::CarveHwc,
+                gpus: 4,
+                topology: TopologySpec::Switch,
+                sanitize: true,
+                plan: FaultPlan::parse("dup@500:n1,freeze@900+50").unwrap(),
+            },
+            expect: ChaosOutcome::Sanitizer("noc-conservation".into()),
+        };
+        let text = fixture.encode();
+        assert!(text.starts_with("#carve-chaos v1\n"));
+        let back = ChaosFixture::parse(&text).expect("round trip");
+        assert_eq!(back, fixture);
+    }
+
+    #[test]
+    fn fixture_parse_rejects_malformed_input() {
+        assert!(ChaosFixture::parse("").is_err());
+        assert!(ChaosFixture::parse("#carve-chaos v2\n").is_err());
+        let ok = ChaosFixture {
+            scenario: ChaosScenario {
+                workload: "Lulesh".into(),
+                design: Design::NumaGpu,
+                gpus: 2,
+                topology: TopologySpec::AllToAll,
+                sanitize: true,
+                plan: FaultPlan::new(),
+            },
+            expect: ChaosOutcome::Completed,
+        }
+        .encode();
+        // Dropping any one required line must fail with a named key.
+        for skip in 1..7 {
+            let broken: String = ok
+                .lines()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            assert!(ChaosFixture::parse(&broken).is_err(), "line {skip}");
+        }
+        assert!(ChaosFixture::parse("#carve-chaos v1\nnonsense\n").is_err());
+    }
+
+    #[test]
+    fn random_scenarios_are_seed_deterministic_and_valid() {
+        for i in 0..12 {
+            let a = ChaosScenario::random(7, i);
+            let b = ChaosScenario::random(7, i);
+            assert_eq!(a, b);
+            assert!(a.spec().is_some(), "unknown workload {:?}", a.workload);
+            a.sim_config()
+                .validate()
+                .unwrap_or_else(|e| panic!("scenario {i} invalid: {e}"));
+            assert!(!a.plan.is_empty());
+        }
+        assert_ne!(ChaosScenario::random(7, 0), ChaosScenario::random(8, 0));
+    }
+
+    #[test]
+    fn minimizer_strips_irrelevant_events() {
+        // A partition outage on a 2-GPU all-to-all plus two no-op degrade
+        // events: the minimizer must shrink the plan to the single outage.
+        let scenario = ChaosScenario {
+            workload: "stream-triad".into(),
+            design: Design::NumaGpu,
+            gpus: 2,
+            topology: TopologySpec::AllToAll,
+            sanitize: false,
+            plan: FaultPlan::parse("degrade@100:e2*50,outage@600:e0,degrade@800:e3*90").unwrap(),
+        };
+        let expect = scenario.run(EngineMode::EventSkip);
+        assert_eq!(expect, ChaosOutcome::Partitioned);
+        let min = minimize(&scenario, &expect, EngineMode::EventSkip);
+        assert_eq!(min.plan.encode(), "outage@600:e0");
+        assert_eq!(min.run(EngineMode::EventSkip), ChaosOutcome::Partitioned);
+    }
+}

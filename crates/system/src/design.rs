@@ -2,7 +2,7 @@
 
 use carve::{CoherencePolicy, WritePolicy};
 use carve_runtime::page_table::{PlacementPolicy, Replication};
-use sim_core::{ScaledConfig, SimError};
+use sim_core::{FaultPlan, ScaledConfig, SimError};
 
 /// One of the system designs the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,9 +166,17 @@ pub struct SimConfig {
     /// Like telemetry, the sanitizer is read-only: aggregates are
     /// bit-identical either way.
     pub sanitize: Option<bool>,
+    /// Deterministic fault-injection schedule (see [`sim_core::fault`]).
+    /// Events are applied at their exact cycles under both engines, so a
+    /// faulted run is still byte-identical across `EventSkip`/`Step`.
+    /// Edge/GPU indices in the plan are *hints*, resolved modulo the
+    /// machine's actual edge/GPU counts when the run is armed. `None`
+    /// (or an empty plan) leaves the fault machinery entirely off.
+    pub fault_plan: Option<FaultPlan>,
     /// Test hook: freeze every component (skip all ticks) once the clock
     /// reaches this cycle, simulating a livelocked engine so watchdog
-    /// detection can be exercised deterministically.
+    /// detection can be exercised deterministically. Subsumed by the
+    /// fault plan's `freeze@<cycle>` event; kept as a convenience knob.
     #[doc(hidden)]
     pub stall_inject_at: Option<u64>,
 }
@@ -194,6 +202,7 @@ impl SimConfig {
             watchdog_cycles: None,
             telemetry_interval: None,
             sanitize: None,
+            fault_plan: None,
             stall_inject_at: None,
         }
     }

@@ -33,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod design;
 pub mod metrics;
 mod sanitize;
 pub mod sim;
 
+pub use chaos::{ChaosFixture, ChaosOutcome, ChaosScenario};
 pub use design::{Design, SimConfig};
 pub use metrics::SimResult;
 pub use sim::{
@@ -51,4 +53,4 @@ pub use carve_trace::workloads;
 pub use sim_core::telemetry::{
     IntervalRecord, JsonTraceSink, NullTraceSink, Timeline, TraceEvent, TracePhase, TraceSink,
 };
-pub use sim_core::{ScaledConfig, SimError, TopologySpec};
+pub use sim_core::{FaultKind, FaultPlan, RecoverySnapshot, ScaledConfig, SimError, TopologySpec};

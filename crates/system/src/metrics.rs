@@ -4,7 +4,7 @@ use crate::design::Design;
 use carve::RdcStats;
 use carve_dram::DramStats;
 use sim_core::telemetry::Timeline;
-use sim_core::Histogram;
+use sim_core::{Histogram, RecoverySnapshot};
 
 /// Everything measured by one [`crate::run`] invocation.
 #[derive(Debug, Clone)]
@@ -65,6 +65,12 @@ pub struct SimResult {
     /// 36-field line format is a stable resume contract, and timelines can
     /// be arbitrarily large. Results decoded from a journal carry `None`.
     pub timeline: Option<Timeline>,
+    /// Recovery accounting, present when a fault plan was armed
+    /// (`SimConfig::fault_plan` / `--faults`). Like the timeline it is
+    /// excluded from the 36-field journal encoding — the faulted-ness of
+    /// a campaign point lives in its *key*, not its result line — so
+    /// results decoded from a journal carry `None`.
+    pub recovery: Option<RecoverySnapshot>,
 }
 
 impl SimResult {
@@ -259,6 +265,7 @@ impl SimResult {
             read_latency,
             completed,
             timeline: None,
+            recovery: None,
         })
     }
 }
@@ -294,6 +301,7 @@ mod tests {
             read_latency: Histogram::new(),
             completed: true,
             timeline: None,
+            recovery: None,
         }
     }
 
@@ -336,11 +344,18 @@ mod tests {
         let mut r = result("w", 10);
         let without = r.encode_journal_line();
         r.timeline = Some(Timeline::new(100));
+        r.recovery = Some(RecoverySnapshot {
+            faults_applied: 3,
+            reroutes: 2,
+            ..RecoverySnapshot::default()
+        });
         let with = r.encode_journal_line();
-        // The timeline must not leak into the stable journal format.
+        // Neither the timeline nor the recovery accounting may leak into
+        // the stable 36-field journal format.
         assert_eq!(with, without);
         let back = SimResult::decode_journal_line(&with).expect("well-formed");
         assert!(back.timeline.is_none());
+        assert!(back.recovery.is_none());
     }
 
     #[test]

@@ -418,6 +418,24 @@ impl Sanitizer {
         }
     }
 
+    /// A delivery reached a *live* token whose state machine had already
+    /// consumed the message it was waiting for. Only injected packet
+    /// duplication can produce this (the endpoint discards the stale
+    /// copy); it is still a token-lifecycle breach the oracle must flag.
+    pub(crate) fn on_stale_delivery(&mut self, kind: &'static str, token: u64, cycle: u64) {
+        if self.violation.is_some() {
+            return;
+        }
+        self.fail(
+            "token-lifecycle",
+            cycle,
+            format!(
+                "{kind} for live token {token:#x} whose state machine already \
+                 consumed its message (duplicated packet)"
+            ),
+        );
+    }
+
     // -----------------------------------------------------------------
     // NoC conservation and DRAM timing
 

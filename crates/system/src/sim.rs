@@ -36,7 +36,7 @@ use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
 use sim_core::fast::{FastSet, Slab, TagTable};
 use sim_core::telemetry::{self, IntervalRecord, NullTraceSink, Timeline, TraceEvent, TraceSink};
-use sim_core::{Cycle, ScaledConfig, SimError, Watchdog};
+use sim_core::{Cycle, FaultEvent, FaultKind, RecoverySnapshot, ScaledConfig, SimError, Watchdog};
 
 use crate::design::{Design, SimConfig};
 use crate::metrics::SimResult;
@@ -124,6 +124,26 @@ impl Fabric for NetFabric<'_> {
     }
 }
 
+/// The armed fault schedule and its progress through a run. Hints from
+/// the plan are resolved against the real machine at arm time, so every
+/// event here names an existing edge/GPU.
+struct FaultState {
+    /// Resolved schedule, sorted by cycle.
+    events: Vec<FaultEvent>,
+    /// Index of the next unapplied event; everything before it has fired.
+    cursor: usize,
+    /// Absolute cycle until which ticks are skipped (`u64::MAX` =
+    /// frozen forever, the `--stall-inject-at` behaviour).
+    frozen_until: u64,
+    /// Cycle at which the impaired-link count last went 0 → >0; open
+    /// degradation window closed by the next healthy transition or at
+    /// run end.
+    impaired_since: Option<u64>,
+    /// Accumulated recovery counters (live counters from the NoC/DRAM
+    /// models are merged in by [`System::recovery_snapshot`]).
+    recovery: RecoverySnapshot,
+}
+
 #[derive(Debug, Default)]
 struct Traffic {
     local: u64,
@@ -177,6 +197,9 @@ struct System {
     /// is a single `Option` check when off, so sanitized and unsanitized
     /// runs retire identical work.
     san: Option<Box<Sanitizer>>,
+    /// Armed fault schedule (`None` for fault-free runs: one `Option`
+    /// check per tick keeps the fault-free hot path untouched).
+    faults: Option<Box<FaultState>>,
 }
 
 impl System {
@@ -237,6 +260,49 @@ impl System {
         } else {
             Vec::new()
         };
+        // Arm the fault schedule: plan hints resolve modulo the real
+        // machine here, and the legacy `stall_inject_at` hook becomes a
+        // forever-freeze event on the same schedule.
+        let faults = if sim.fault_plan.is_some() || sim.stall_inject_at.is_some() {
+            let mut plan = sim.fault_plan.clone().unwrap_or_default();
+            if let Some(at) = sim.stall_inject_at {
+                plan.push(at, FaultKind::Freeze { cycles: u64::MAX });
+            }
+            let num_edges = net.num_edges().max(1) as u64;
+            let events = plan
+                .events()
+                .iter()
+                .map(|e| FaultEvent {
+                    at: e.at,
+                    kind: match e.kind {
+                        FaultKind::LinkDegrade { edge, percent } => FaultKind::LinkDegrade {
+                            edge: edge % num_edges,
+                            percent,
+                        },
+                        FaultKind::LinkRestore { edge } => FaultKind::LinkRestore {
+                            edge: edge % num_edges,
+                        },
+                        FaultKind::LinkOutage { edge } => FaultKind::LinkOutage {
+                            edge: edge % num_edges,
+                        },
+                        FaultKind::DramTransient { gpu, count } => FaultKind::DramTransient {
+                            gpu: gpu % num_gpus as u64,
+                            count,
+                        },
+                        other => other,
+                    },
+                })
+                .collect();
+            Some(Box::new(FaultState {
+                events,
+                cursor: 0,
+                frozen_until: 0,
+                impaired_since: None,
+                recovery: RecoverySnapshot::default(),
+            }))
+        } else {
+            None
+        };
         System {
             design: sim.design,
             num_gpus,
@@ -261,6 +327,7 @@ impl System {
             comp_scratch: Vec::new(),
             deliv_scratch: Vec::new(),
             san: None,
+            faults,
             cfg,
         }
     }
@@ -320,6 +387,100 @@ impl System {
                 self.stall_diagnostic(now)
             ),
         }
+    }
+
+    /// Applies every scheduled fault stamped at or before `now`. Called
+    /// at the top of the engine loop, before the tick of `now`, so both
+    /// engines apply each event at the exact same cycle
+    /// ([`System::next_activity`] folds the schedule into the event-skip
+    /// horizon). One `Option` check when no plan is armed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FabricPartitioned`] when a link outage leaves
+    /// the topology unroutable — the one fault the system cannot degrade
+    /// gracefully around.
+    fn apply_faults(&mut self, now: Cycle) -> Result<(), SimError> {
+        let Some(mut f) = self.faults.take() else {
+            return Ok(());
+        };
+        let result = self.apply_faults_inner(&mut f, now);
+        self.faults = Some(f);
+        result
+    }
+
+    fn apply_faults_inner(&mut self, f: &mut FaultState, now: Cycle) -> Result<(), SimError> {
+        while let Some(&FaultEvent { at, kind }) = f.events.get(f.cursor) {
+            if at > now.0 {
+                break;
+            }
+            f.cursor += 1;
+            f.recovery.faults_applied += 1;
+            match kind {
+                FaultKind::LinkDegrade { edge, percent } => {
+                    self.net.set_link_bandwidth_factor(edge as usize, percent);
+                }
+                FaultKind::LinkRestore { edge } => {
+                    self.net.set_link_bandwidth_factor(edge as usize, 100);
+                }
+                FaultKind::LinkOutage { edge } => {
+                    f.recovery.reroutes += self.net.fail_link(edge as usize, now)?;
+                    f.recovery.outages += 1;
+                }
+                FaultKind::DramTransient { gpu, count } => {
+                    self.drams[gpu as usize].inject_transient_faults(count);
+                }
+                FaultKind::PacketDrop { count } => self.net.inject_packet_drops(count),
+                FaultKind::ForwardDrop { count } => self.net.inject_forward_drops(count),
+                FaultKind::PacketDup { count } => self.net.inject_packet_dups(count),
+                FaultKind::Freeze { cycles } => {
+                    let end = if cycles == u64::MAX {
+                        u64::MAX
+                    } else {
+                        now.0.saturating_add(cycles)
+                    };
+                    if end > f.frozen_until {
+                        // Overlapping windows: only the extension counts,
+                        // so frozen-cycle accounting stays exact.
+                        if end != u64::MAX {
+                            f.recovery.frozen_cycles += end - now.0.max(f.frozen_until);
+                        }
+                        f.frozen_until = end;
+                    }
+                }
+            }
+            // Degradation-window accounting: transitions only ever happen
+            // here, at exact fault cycles, identically under both engines.
+            match (f.impaired_since, self.net.impaired_link_count() > 0) {
+                (None, true) => f.impaired_since = Some(now.0),
+                (Some(t0), false) => {
+                    f.recovery.degraded_cycles += now.0 - t0;
+                    f.impaired_since = None;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether injected freezes currently suppress ticking.
+    fn is_frozen(&self, now: Cycle) -> bool {
+        self.faults.as_ref().is_some_and(|f| now.0 < f.frozen_until)
+    }
+
+    /// Point-in-time recovery accounting: the accumulated fault-loop
+    /// counters merged with the live NoC/DRAM injection counters and any
+    /// still-open degradation window. `None` when no plan is armed.
+    fn recovery_snapshot(&self, now: Cycle) -> Option<RecoverySnapshot> {
+        let f = self.faults.as_deref()?;
+        let mut r = f.recovery;
+        r.dram_retries = self.drams.iter().map(DramModel::transient_retries).sum();
+        r.dropped_packets = self.net.dropped_packet_count();
+        r.duplicated_packets = self.net.duplicated_packet_count();
+        if let Some(t0) = f.impaired_since {
+            r.degraded_cycles += now.0.saturating_sub(t0);
+        }
+        Some(r)
     }
 
     /// Completes a warp-visible read miss and records its latency.
@@ -626,8 +787,12 @@ impl System {
                             self.send_remote_read(gpu, home, tag, line, now);
                         }
                     }
-                    Some(other) => {
-                        unreachable!("DRAM read completion for {other:?}")
+                    Some(_) => {
+                        self.on_stale_delivery(
+                            "DRAM read completion in a non-memory phase",
+                            comp.token,
+                            now,
+                        );
                     }
                     None => {
                         // Untracked tokens belong to posted writes; a read
@@ -670,6 +835,23 @@ impl System {
             }
         }
         self.comp_scratch = comps;
+    }
+
+    /// A message arrived for a live token whose state machine cannot
+    /// accept it. Fault-free, the protocol never re-delivers a consumed
+    /// request, so this is a hard bug; under injected packet duplication
+    /// it is the duplicate arriving after the original advanced the state
+    /// machine. The endpoint discards the stale copy and reports it to
+    /// the sanitizer, which flags it as a token-lifecycle breach.
+    fn on_stale_delivery(&mut self, kind: &'static str, token: u64, now: Cycle) {
+        assert!(
+            self.faults.is_some(),
+            "protocol bug: {kind} for token {token:#x} at cycle {} with no fault injection armed",
+            now.0
+        );
+        if let Some(san) = self.san.as_deref_mut() {
+            san.on_stale_delivery(kind, token, now.0);
+        }
     }
 
     fn handle_deliveries(&mut self, now: Cycle) {
@@ -759,7 +941,7 @@ impl System {
                     self.finish_read(requester, tag, now);
                 }
                 Pending::RemoteRead { .. } => {
-                    unreachable!("delivery in AtHome phase")
+                    self.on_stale_delivery("link delivery in AtHome phase", d.token, now);
                 }
                 Pending::CpuRead {
                     gpu,
@@ -796,7 +978,9 @@ impl System {
                     }
                     self.finish_read(gpu, tag, now);
                 }
-                Pending::CpuRead { .. } => unreachable!("CPU read delivered mid-memory"),
+                Pending::CpuRead { .. } => {
+                    self.on_stale_delivery("link delivery mid-CPU-memory", d.token, now);
+                }
                 Pending::WriteArrive { home, line, writer } => {
                     self.pending.remove(d.token);
                     self.write_at_home(home, line, writer, now);
@@ -806,7 +990,7 @@ impl System {
                     self.apply_invalidate(target, line, now);
                 }
                 Pending::LocalRead { .. } | Pending::RdcProbe { .. } => {
-                    unreachable!("DRAM flows never ride the links")
+                    self.on_stale_delivery("link delivery for a DRAM-only flow", d.token, now);
                 }
             }
         }
@@ -983,6 +1167,17 @@ impl System {
         if let Some(&Reverse((due, _))) = self.delayed.peek() {
             horizon = earliest(horizon, Some(Cycle(due.max(floor))));
         }
+        // Fault schedule: the next unapplied event and the end of any
+        // freeze window must be hit at their exact cycles, or the two
+        // engines would apply/unfreeze at different times.
+        if let Some(f) = self.faults.as_deref() {
+            if let Some(&FaultEvent { at, .. }) = f.events.get(f.cursor) {
+                horizon = earliest(horizon, Some(Cycle(at.max(floor))));
+            }
+            if f.frozen_until != u64::MAX && f.frozen_until > now.0 {
+                horizon = earliest(horizon, Some(Cycle(f.frozen_until)));
+            }
+        }
         horizon
     }
 
@@ -1058,6 +1253,21 @@ impl System {
                 "cpu memory: {} accesses in service",
                 self.cpu_mem.in_flight()
             ));
+        }
+        if let Some(f) = self.faults.as_deref() {
+            lines.push(format!(
+                "fault state: {} of {} events applied; {}",
+                f.cursor,
+                f.events.len(),
+                // audit:allow(tick-path-panics) guarded: recovery_snapshot is Some whenever faults is Some
+                self.recovery_snapshot(now).expect("faults armed").summary()
+            ));
+            if f.frozen_until == u64::MAX {
+                lines.push("frozen: forever (injected freeze)".into());
+            } else if f.frozen_until > now.0 {
+                lines.push(format!("frozen until cycle {}", f.frozen_until));
+            }
+            lines.extend(self.net.fault_report());
         }
         if lines.is_empty() {
             lines.push("no component reports occupancy (engine spinning while idle)".into());
@@ -1446,10 +1656,15 @@ pub fn try_run_observed(
             if let Some(s) = sampler.as_mut() {
                 s.advance_to(now, &sys);
             }
-            // Stall-injection hook: once the clock reaches the requested
-            // cycle every component is frozen (ticks skipped, time still
-            // advancing) — indistinguishable from a livelocked engine.
-            let frozen = sim.stall_inject_at.is_some_and(|at| now >= at);
+            // Fault schedule: every event stamped at or before `now`
+            // fires here, before the tick — at the exact same cycle
+            // under both engines (`next_activity` folds the schedule
+            // into the horizon). An unroutable outage aborts cleanly.
+            sys.apply_faults(Cycle(now))?;
+            // Freeze windows suppress ticking (time still advances) —
+            // indistinguishable from a livelocked engine, which is what
+            // the forever-freeze watchdog test hook relies on.
+            let frozen = sys.is_frozen(Cycle(now));
             if !frozen {
                 sys.tick(Cycle(now));
                 if let Some(err) = sys.sanitizer_poll(Cycle(now)) {
@@ -1672,6 +1887,7 @@ pub fn try_run_observed(
         read_latency: std::mem::take(&mut sys.read_latency),
         completed: true,
         timeline,
+        recovery: sys.recovery_snapshot(Cycle(now)),
     };
     Ok(result)
 }
@@ -2124,6 +2340,141 @@ mod tests {
         sim.cfg.sms_per_gpu = 0;
         let err = try_run(&spec, &sim).expect_err("zero SMs must be rejected");
         assert!(matches!(err, SimError::ConfigInvalid { .. }));
+    }
+
+    #[test]
+    fn faulted_runs_are_byte_identical_across_engines() {
+        // Tentpole acceptance: with a graceful fault plan armed, the same
+        // seed/config produces byte-identical journals under event-skip
+        // and stepping — fault events fire at exact cycles in both.
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        sim.fault_plan = Some(
+            sim_core::FaultPlan::parse(
+                "degrade@300:e0*25,dramfault@500:g1n3,freeze@700+200,outage@900:e1,\
+                 restore@1200:e0",
+            )
+            .expect("valid plan"),
+        );
+        let skip = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip)
+            .expect("graceful plan must complete");
+        let step = try_run_with_profile_mode(&spec, &sim, None, EngineMode::Step)
+            .expect("step engine agrees");
+        assert_eq!(skip.encode_journal_line(), step.encode_journal_line());
+        let (rs, rt) = (skip.recovery.expect("armed"), step.recovery.expect("armed"));
+        assert_eq!(rs, rt, "recovery accounting diverged between engines");
+        assert_eq!(rs.faults_applied, 5);
+        assert_eq!(rs.outages, 1);
+        assert!(rs.reroutes > 0, "outage must rewrite routes");
+        assert!(rs.dram_retries > 0, "transients must force retransmission");
+        assert_eq!(rs.frozen_cycles, 200);
+        assert!(rs.degraded_cycles > 0);
+    }
+
+    #[test]
+    fn outage_on_routable_topology_degrades_gracefully() {
+        // Kill g0->g1 on the 4-GPU all-to-all: traffic re-routes through
+        // a peer and the run completes with the same retired work.
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        let base = try_run(&spec, &sim).expect("fault-free baseline");
+        assert!(base.recovery.is_none(), "no plan armed");
+        sim.fault_plan = Some(sim_core::FaultPlan::parse("outage@800:e0").expect("valid"));
+        let r = try_run(&spec, &sim).expect("routable outage must complete");
+        assert!(r.completed);
+        assert_eq!(r.instructions, base.instructions, "work must be preserved");
+        let rec = r.recovery.expect("plan armed");
+        assert_eq!(rec.outages, 1);
+        assert!(rec.reroutes > 0);
+        assert!(rec.degraded_cycles > 0, "dead link counts as degraded");
+        assert!(
+            r.cycles >= base.cycles,
+            "losing a link cannot speed things up"
+        );
+    }
+
+    #[test]
+    fn partitioning_outage_fails_cleanly_not_hanging() {
+        // On a 2-GPU all-to-all the CPU never forwards, so killing
+        // g0->g1 severs the pair: clean FabricPartitioned, never a hang.
+        let spec = quick_spec("Lulesh");
+        let mut cfg = quick_cfg();
+        cfg.num_gpus = 2;
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, cfg);
+        sim.fault_plan = Some(sim_core::FaultPlan::parse("outage@600:e0").expect("valid"));
+        let err = try_run(&spec, &sim).expect_err("partition must abort");
+        match err {
+            SimError::FabricPartitioned { from, to, cycle } => {
+                assert_eq!((from.as_str(), to.as_str()), ("gpu0", "gpu1"));
+                assert_eq!(cycle, 600);
+            }
+            other => panic!("expected FabricPartitioned, got {other}"),
+        }
+    }
+
+    #[test]
+    fn throttled_link_does_not_false_positive_the_watchdog() {
+        // Satellite acceptance: a declared degradation window slows the
+        // run but never reads as a stall — progress continues throughout.
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        sim.watchdog_cycles = Some(50_000);
+        let base = try_run(&spec, &sim).expect("baseline");
+        sim.fault_plan = Some(sim_core::FaultPlan::parse("degrade@200:e0*5").expect("valid"));
+        let r = try_run(&spec, &sim).expect("throttled run must not trip the watchdog");
+        assert_eq!(r.instructions, base.instructions);
+        let rec = r.recovery.expect("plan armed");
+        assert!(rec.degraded_cycles > 0, "window stayed open to run end");
+        assert_eq!(rec.faults_applied, 1);
+    }
+
+    #[test]
+    fn stall_diagnostic_reports_active_fault_state() {
+        // Satellite acceptance: a freeze injected via the fault plan
+        // trips the watchdog, and the diagnostic names the fault state.
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.watchdog_cycles = Some(20_000);
+        sim.fault_plan = Some(sim_core::FaultPlan::parse("freeze@2000").expect("valid"));
+        let err = try_run(&spec, &sim).expect_err("forever freeze must trip the watchdog");
+        match err {
+            SimError::WatchdogStall { diagnostic, .. } => {
+                assert!(
+                    diagnostic.contains("fault state: 1 of 1 events applied"),
+                    "diagnostic lacks fault state:\n{diagnostic}"
+                );
+                assert!(
+                    diagnostic.contains("frozen: forever"),
+                    "diagnostic lacks freeze state:\n{diagnostic}"
+                );
+            }
+            other => panic!("expected WatchdogStall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_freeze_delays_but_completes() {
+        let spec = quick_spec("stream-triad");
+        let mut sim = SimConfig::with_cfg(Design::NumaGpu, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        sim.watchdog_cycles = Some(50_000);
+        let base = try_run(&spec, &sim).expect("baseline");
+        sim.fault_plan = Some(sim_core::FaultPlan::parse("freeze@1000+3000").expect("valid"));
+        let r = try_run(&spec, &sim).expect("bounded freeze must complete");
+        assert_eq!(r.instructions, base.instructions);
+        assert_eq!(r.recovery.expect("armed").frozen_cycles, 3_000);
+        // The freeze overlaps with already-scheduled memory latency
+        // (in-flight completions deliver at unfreeze), so the wall-clock
+        // stretch is positive but may be less than the window itself.
+        assert!(
+            r.cycles > base.cycles,
+            "freeze did not stretch the run: {} -> {}",
+            base.cycles,
+            r.cycles
+        );
     }
 
     #[test]

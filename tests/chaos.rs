@@ -1,0 +1,95 @@
+//! Replays the checked-in chaos fixture corpus (`tests/chaos/*.chaos`).
+//!
+//! Each fixture is a minimized fault-injection scenario — found by
+//! `carve-sim fuzz` or written by hand — together with the outcome it
+//! must produce. Replaying pins two properties at once: the graceful
+//! degradation contract (graceful plans complete or partition cleanly;
+//! lossy plans are caught by the watchdog or sanitizer oracles, never a
+//! hang or panic), and fault-path engine equivalence (every scenario
+//! runs under event-skip *and* stepping and must agree).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use carve_system::{ChaosFixture, ChaosOutcome};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/chaos")
+}
+
+fn corpus() -> Vec<(String, ChaosFixture)> {
+    let dir = corpus_dir();
+    let mut fixtures = Vec::new();
+    for entry in std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read corpus dir {}: {e}", dir.display()))
+    {
+        let path = entry.expect("corpus dir entry").path();
+        if path.extension().and_then(|s| s.to_str()) != Some("chaos") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .expect("fixture file name")
+            .to_string_lossy()
+            .into_owned();
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+        let fixture =
+            ChaosFixture::parse(&text).unwrap_or_else(|e| panic!("cannot parse {name}: {e}"));
+        fixtures.push((name, fixture));
+    }
+    // Deterministic replay order regardless of directory iteration order.
+    fixtures.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!fixtures.is_empty(), "chaos corpus is empty");
+    fixtures
+}
+
+/// Every fixture must reproduce its recorded outcome, with both engines
+/// agreeing (run_both_engines also compares journal bytes and recovery
+/// accounting when the run completes).
+#[test]
+fn corpus_replays_to_recorded_outcomes_under_both_engines() {
+    for (name, fixture) in corpus() {
+        let outcome = fixture
+            .scenario
+            .run_both_engines()
+            .unwrap_or_else(|divergence| panic!("{name}: {divergence}"));
+        assert_eq!(
+            outcome, fixture.expect,
+            "{name}: replay produced {:?}, fixture records {:?}",
+            outcome, fixture.expect
+        );
+    }
+}
+
+/// The corpus must keep exercising every oracle-visible outcome class:
+/// graceful completion, clean partition, watchdog stall, and a sanitizer
+/// violation. A class silently dropping out would mean that failure mode
+/// is no longer regression-tested.
+#[test]
+fn corpus_covers_every_oracle_class() {
+    let classes: BTreeSet<String> = corpus()
+        .iter()
+        .map(|(_, f)| match &f.expect {
+            ChaosOutcome::Sanitizer(_) => "sanitizer".to_string(),
+            other => other.encode(),
+        })
+        .collect();
+    for required in ["ok", "partitioned", "watchdog", "sanitizer"] {
+        assert!(
+            classes.contains(required),
+            "corpus covers {classes:?} but is missing the '{required}' class"
+        );
+    }
+}
+
+/// Serialization sanity on the real corpus: parse -> encode -> parse is
+/// the identity, so fixtures survive round trips through the fuzzer.
+#[test]
+fn corpus_round_trips_through_encode() {
+    for (name, fixture) in corpus() {
+        let reparsed = ChaosFixture::parse(&fixture.encode())
+            .unwrap_or_else(|e| panic!("{name}: re-parse failed: {e}"));
+        assert_eq!(reparsed, fixture, "{name}");
+    }
+}

@@ -95,6 +95,92 @@ fn sanitized_run_succeeds_and_matches_plain_run() {
 }
 
 #[test]
+fn partitioning_outage_exits_1_naming_the_severed_pair() {
+    // On a 2-GPU mesh, edge e0 is the only gpu0->gpu1 path, so killing it
+    // severs the fabric: a clean FabricPartitioned failure (exit 1), not
+    // a hang masked later by the watchdog (exit 3).
+    let out = carve_sim(&[
+        "run",
+        "stream-triad",
+        "--design",
+        "numa",
+        "--gpus",
+        QUICK_GPUS,
+        "--faults",
+        "outage@600:e0",
+    ])
+    .output()
+    .expect("spawn carve-sim");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "partitioned run should exit 1, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("gpu0") && err.contains("gpu1") && err.contains("partition"),
+        "stderr lacks the severed pair:\n{err}"
+    );
+}
+
+#[test]
+fn faulted_run_survives_and_reports_recovery() {
+    let out = carve_sim(&[
+        "run",
+        "stream-triad",
+        "--design",
+        "numa",
+        "--gpus",
+        QUICK_GPUS,
+        "--sanitize",
+        "--faults",
+        "degrade@300:e0*25,dramfault@500:g1n3,freeze@700+200,restore@1200:e0",
+    ])
+    .output()
+    .expect("spawn carve-sim");
+    assert!(
+        out.status.success(),
+        "graceful faults should be absorbed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("recovery:")
+            && text.contains("faults=4")
+            && text.contains("frozen_cycles=200"),
+        "report lacks recovery accounting:\n{text}"
+    );
+    // A malformed plan is a usage error, caught before any simulation.
+    let bad = carve_sim(&["run", "stream-triad", "--faults", "explode@99"])
+        .output()
+        .expect("spawn carve-sim");
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn fuzz_smoke_batch_stays_in_contract() {
+    // A small fixed-seed batch: every scenario must complete, partition,
+    // or be caught by an oracle, under both engines — exit 0. Any panic,
+    // hang, or engine divergence fails the batch.
+    let out = carve_sim(&["fuzz", "--seed", "1", "--runs", "4"])
+        .output()
+        .expect("spawn carve-sim");
+    assert!(
+        out.status.success(),
+        "fuzz batch failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("fuzz: 4 runs:") && err.contains("0 failures"),
+        "unexpected fuzz summary:\n{err}"
+    );
+}
+
+#[test]
 fn audit_subcommand_scans_this_workspace_clean() {
     let root = env!("CARGO_MANIFEST_DIR"); // crates/system
     let root = std::path::Path::new(root)
