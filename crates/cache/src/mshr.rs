@@ -98,6 +98,17 @@ impl<W> MshrFile<W> {
         self.entries.is_empty()
     }
 
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when every entry is occupied: the next *primary* miss will
+    /// stall (secondaries to in-flight lines may still merge).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
     /// Count of merged secondary misses.
     pub fn merged(&self) -> u64 {
         self.merged
@@ -147,6 +158,18 @@ mod tests {
         let mut m: MshrFile<u8> = MshrFile::new(4, 2);
         assert!(m.complete(0xdead).is_empty());
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_and_fullness_visible() {
+        let mut m: MshrFile<u8> = MshrFile::new(2, 4);
+        assert_eq!(m.capacity(), 2);
+        assert!(!m.is_full());
+        m.allocate(0x0, 0);
+        m.allocate(0x80, 1);
+        assert!(m.is_full());
+        m.complete(0x0);
+        assert!(!m.is_full());
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use coherence::{Carve, CoherencePolicy};
 pub use directory::Directory;
 pub use imst::{Imst, ImstDecision, SharingState};
 pub use predictor::HitPredictor;
-pub use rdc::{Rdc, RdcConfig, RdcStats, WritePolicy};
+pub use rdc::{ProbeKind, Rdc, RdcConfig, RdcStats, WritePolicy};
 pub use swc::{coherence_delay_model, CoherenceDelays};

@@ -72,6 +72,26 @@ impl RdcStats {
     }
 }
 
+/// Outcome of an RDC probe, distinguishing *why* it missed so the
+/// cycle-accounting profiler can attribute the resulting remote fetch
+/// (capacity miss vs software-coherence epoch flush).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// The line was resident under the current epoch.
+    Hit,
+    /// Tag mismatch or empty frame (capacity/conflict miss).
+    Miss,
+    /// Resident data made stale by a kernel-boundary epoch bump.
+    StaleEpoch,
+}
+
+impl ProbeKind {
+    /// Whether the probe hit.
+    pub fn is_hit(self) -> bool {
+        self == ProbeKind::Hit
+    }
+}
+
 /// One GPU's Remote Data Cache.
 ///
 /// A thin policy layer over the Alloy tags-with-data array: it owns the
@@ -105,18 +125,25 @@ impl Rdc {
     /// Probes for `line_addr` under the current epoch. One probe models one
     /// local DRAM access (tags travel with data in the spare ECC bits).
     pub fn probe(&mut self, line_addr: u64) -> bool {
+        self.probe_kind(line_addr).is_hit()
+    }
+
+    /// Like [`Rdc::probe`] (same statistics side effects) but reports the
+    /// miss *kind*, so callers can attribute the remote fetch to a
+    /// capacity miss vs a stale software-coherence epoch.
+    pub fn probe_kind(&mut self, line_addr: u64) -> ProbeKind {
         match self.array.probe(line_addr, self.epoch) {
             AlloyProbe::Hit => {
                 self.stats.hits += 1;
-                true
+                ProbeKind::Hit
             }
             AlloyProbe::Miss => {
                 self.stats.misses += 1;
-                false
+                ProbeKind::Miss
             }
             AlloyProbe::StaleEpoch => {
                 self.stats.stale_misses += 1;
-                false
+                ProbeKind::StaleEpoch
             }
         }
     }
@@ -296,6 +323,20 @@ mod tests {
         r.insert(stride); // same set
         assert!(!r.probe(0));
         assert!(r.probe(stride));
+    }
+
+    #[test]
+    fn probe_kind_distinguishes_stale_from_capacity() {
+        let mut r = rdc();
+        assert_eq!(r.probe_kind(0x80), ProbeKind::Miss);
+        r.insert(0x80);
+        assert_eq!(r.probe_kind(0x80), ProbeKind::Hit);
+        r.kernel_boundary_flush();
+        assert_eq!(r.probe_kind(0x80), ProbeKind::StaleEpoch);
+        assert_eq!(r.stats().hits, 1);
+        assert_eq!(r.stats().misses, 1);
+        assert_eq!(r.stats().stale_misses, 1);
+        assert!(ProbeKind::Hit.is_hit() && !ProbeKind::StaleEpoch.is_hit());
     }
 
     #[test]

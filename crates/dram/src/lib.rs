@@ -34,7 +34,7 @@
 #![warn(missing_docs)]
 
 use sim_core::event::{earliest, NextEvent};
-use sim_core::{BoundedQueue, Cycle, ScaledConfig};
+use sim_core::{BoundedQueue, Cycle, DramChannelProfile, ScaledConfig};
 
 /// Geometry and timing of one GPU's DRAM subsystem.
 #[derive(Debug, Clone, PartialEq)]
@@ -147,6 +147,13 @@ struct Channel {
     issue_floor: u64,
     bus_free_at: f64,
     draining: bool,
+    /// Occupancy accounting for the cycle-accounting profiler: bank-time
+    /// spent on row-hit vs row-miss accesses and serialized bus time.
+    /// Always-on plain additions at the issue site (no journal impact —
+    /// these never feed `DramStats`).
+    row_hit_cycles: u64,
+    row_miss_cycles: u64,
+    bus_cycles: f64,
 }
 
 impl Channel {
@@ -376,6 +383,9 @@ impl DramModel {
                 issue_floor: u64::MAX,
                 bus_free_at: 0.0,
                 draining: false,
+                row_hit_cycles: 0,
+                row_miss_cycles: 0,
+                bus_cycles: 0.0,
             })
             .collect();
         DramModel {
@@ -626,6 +636,12 @@ impl DramModel {
                 bank.open_row = Some(row);
                 bank.ready_at = bank_ready as u64;
                 ch.bus_free_at = start + burst;
+                if row_hit {
+                    ch.row_hit_cycles += access_lat;
+                } else {
+                    ch.row_miss_cycles += access_lat;
+                }
+                ch.bus_cycles += burst;
                 self.stats.bytes_transferred += cfg.line_size;
                 if is_write {
                     self.stats.writes += 1;
@@ -671,6 +687,26 @@ impl DramModel {
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Per-channel occupancy breakdowns for the cycle-accounting profiler.
+    /// The caller owns the GPU index ([`DramChannelProfile::gpu`] is left
+    /// 0 here); row-hit/row-miss are bank-time (banks overlap, so their
+    /// sum can exceed wall-clock), bus is serialized channel time, and
+    /// refresh is always 0 because refresh is not modeled.
+    pub fn channel_profiles(&self) -> Vec<DramChannelProfile> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| DramChannelProfile {
+                gpu: 0,
+                channel: i,
+                row_hit_cycles: ch.row_hit_cycles,
+                row_miss_cycles: ch.row_miss_cycles,
+                bus_cycles: ch.bus_cycles,
+                refresh_cycles: 0,
+            })
+            .collect()
     }
 
     /// The configuration this model was built with.
@@ -1045,7 +1081,7 @@ mod tests {
     #[test]
     fn row_hit_is_faster_than_row_miss() {
         let cfg = small_cfg();
-        let mut dram = DramModel::new(cfg.clone());
+        let mut dram = DramModel::new(cfg);
         // Two lines in the same row (consecutive lines on channel 0:
         // addresses 0 and 256 with 2 channels).
         dram.try_enqueue_read(1, 0, Cycle(0)).unwrap();

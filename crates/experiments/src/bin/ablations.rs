@@ -59,6 +59,7 @@ fn prefetch(c: &mut Campaign) {
 fn main() {
     let mut c = Campaign::with_journal("ablations");
     c.enable_timeline_from_args();
+    c.enable_profile_from_args();
     prefetch(&mut c);
     write_policy_ablation(&mut c).emit();
     imst_ablation(&mut c).emit();
@@ -68,6 +69,7 @@ fn main() {
     launch_overhead_ablation(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
     c.report_timeline("ablations");
+    c.report_profile("ablations");
 }
 
 /// Section V-E: broadcast GPU-VI vs a sharer directory at the default

@@ -61,6 +61,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let mut c = Campaign::with_journal("all-figures");
     c.enable_timeline_from_args();
+    c.enable_profile_from_args();
     if c.is_quick() {
         eprintln!("CARVE_QUICK set: running shrunken workloads");
     }
@@ -88,6 +89,7 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
     c.report_timeline("all-figures");
+    c.report_profile("all-figures");
     eprintln!(
         "campaign complete: {} simulation runs in {:.0}s",
         c.cached_runs(),

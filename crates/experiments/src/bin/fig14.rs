@@ -4,7 +4,9 @@ use experiments::{figures, Campaign};
 fn main() {
     let mut c = Campaign::with_journal("fig14");
     c.enable_timeline_from_args();
+    c.enable_profile_from_args();
     figures::fig14(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
     c.report_timeline("fig14");
+    c.report_profile("fig14");
 }

@@ -81,6 +81,7 @@ fn points(c: &mut Campaign) -> Vec<(WorkloadSpec, SimConfig)> {
 fn main() {
     let mut c = Campaign::with_journal("resilience");
     c.enable_timeline_from_args();
+    c.enable_profile_from_args();
     // Fan the grid out first; partitioned cells are legitimate outcomes
     // of the sweep, so the fault-tolerant entry point is the right one.
     let pts = points(&mut c);
@@ -94,6 +95,7 @@ fn main() {
         }
     }
     c.report_timeline("resilience");
+    c.report_profile("resilience");
 }
 
 /// Per-cell slowdown relative to the same design's fault-free run.

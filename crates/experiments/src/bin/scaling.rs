@@ -116,12 +116,14 @@ fn prefetch(c: &mut Campaign) {
 fn main() {
     let mut c = Campaign::with_journal("scaling");
     c.enable_timeline_from_args();
+    c.enable_profile_from_args();
     prefetch(&mut c);
     speedup_scaling(&mut c).emit();
     rdc_sizing(&mut c).emit();
     coherence_scaling(&mut c).emit();
     eprintln!("({} simulation runs)", c.cached_runs());
     c.report_timeline("scaling");
+    c.report_profile("scaling");
 }
 
 /// Geomean CARVE-HWC speedup over one GPU, per machine size × fabric.

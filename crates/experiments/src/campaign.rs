@@ -29,8 +29,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use carve_system::{
-    profile_workload, try_run_with_profile, Design, ScaledConfig, SharingProfile, SimConfig,
-    SimError, SimResult, Timeline,
+    profile_workload, try_run_with_profile, Design, ProfileReport, ScaledConfig, SharingProfile,
+    SimConfig, SimError, SimResult, Timeline,
 };
 use carve_trace::{workloads, WorkloadSpec};
 
@@ -211,6 +211,14 @@ pub struct Campaign {
     /// nothing here: only points actually simulated this run carry a
     /// timeline.
     timelines: Vec<(String, String, Timeline)>,
+    /// When true, every subsequently *simulated* point runs with the
+    /// cycle-accounting profiler on. Absent from [`key_of`] for the same
+    /// reason as the telemetry interval: profiling is read-only and
+    /// cannot change a result.
+    cycle_profile: bool,
+    /// Stall breakdowns collected this process, in point-commit order
+    /// (same determinism contract as `timelines`).
+    stall_profiles: Vec<(String, String, ProfileReport)>,
 }
 
 /// The memoization key of a campaign point: every knob that changes the
@@ -331,6 +339,8 @@ impl Campaign {
             journal: None,
             telemetry_interval: None,
             timelines: Vec::new(),
+            cycle_profile: false,
+            stall_profiles: Vec::new(),
         }
     }
 
@@ -388,27 +398,56 @@ impl Campaign {
         self.telemetry_interval
     }
 
+    /// Turns on the cycle-accounting profiler for every point simulated
+    /// from now on. Profiling is read-only, so results, journal lines,
+    /// and tables are bit-identical to a run without it; only points
+    /// simulated in this process carry a breakdown (journal-resumed
+    /// points do not).
+    pub fn enable_profile(&mut self) {
+        self.cycle_profile = true;
+    }
+
+    /// Wires the campaign binaries' `--profile` CLI flag: enables stall
+    /// profiling iff the flag is present, and reports whether it was.
+    pub fn enable_profile_from_args(&mut self) -> bool {
+        let on = std::env::args().skip(1).any(|a| a == "--profile");
+        if on {
+            self.enable_profile();
+        }
+        on
+    }
+
     /// The configuration a point actually runs with: the caller's `sim`
     /// plus this campaign's telemetry interval (unless the point pins
     /// its own). Never consulted by [`key_of`]. Borrows the caller's
     /// config unchanged in the common case — a clone happens only when
     /// the campaign has to impose its interval on the point.
     fn sim_for_attempt<'a>(&self, sim: &'a SimConfig) -> Cow<'a, SimConfig> {
-        if sim.telemetry_interval.is_none() {
-            if let Some(i) = self.telemetry_interval {
-                let mut run = sim.clone();
-                run.telemetry_interval = Some(i);
-                return Cow::Owned(run);
-            }
+        let impose_interval = sim.telemetry_interval.is_none() && self.telemetry_interval.is_some();
+        let impose_profile = self.cycle_profile && !sim.cycle_profile;
+        if !impose_interval && !impose_profile {
+            return Cow::Borrowed(sim);
         }
-        Cow::Borrowed(sim)
+        let mut run = sim.clone();
+        if impose_interval {
+            run.telemetry_interval = self.telemetry_interval;
+        }
+        if impose_profile {
+            run.cycle_profile = true;
+        }
+        Cow::Owned(run)
     }
 
-    /// Records a freshly simulated point's timeline, if it produced one.
+    /// Records a freshly simulated point's timeline and stall breakdown,
+    /// if the point produced them.
     fn collect_timeline(&mut self, key: &(String, String), r: &SimResult) {
         if let Some(tl) = &r.timeline {
             self.timelines
                 .push((key.0.clone(), key.1.clone(), tl.clone()));
+        }
+        if let Some(p) = &r.profile {
+            self.stall_profiles
+                .push((key.0.clone(), key.1.clone(), p.clone()));
         }
     }
 
@@ -441,6 +480,49 @@ impl Campaign {
             }
         }
         out.flush()
+    }
+
+    /// Writes every stall breakdown collected this process to
+    /// `<results_dir>/<name>.profile.tsv` (`CARVE_RESULTS_DIR`, default
+    /// `results/`): one line per point, `workload\tconfig\t<compact
+    /// profile>` keyed exactly like the journal so `carve-report` can
+    /// join the two. Returns the path, or `None` when nothing was
+    /// collected.
+    pub fn write_profile_tsv(&self, name: &str) -> std::io::Result<Option<PathBuf>> {
+        if self.stall_profiles.is_empty() {
+            return Ok(None);
+        }
+        let dir = std::env::var("CARVE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        std::fs::create_dir_all(&dir)?;
+        let path = Path::new(&dir).join(format!("{name}.profile.tsv"));
+        self.write_profile_tsv_to(&path)?;
+        Ok(Some(path))
+    }
+
+    /// [`Campaign::write_profile_tsv`] with an explicit file path.
+    pub fn write_profile_tsv_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (workload, config, p) in &self.stall_profiles {
+            writeln!(out, "{workload}\t{config}\t{}", p.encode_compact())?;
+        }
+        out.flush()
+    }
+
+    /// [`Campaign::write_profile_tsv`] for binaries: reports the path (or
+    /// the error) on stderr and never fails the campaign.
+    pub fn report_profile(&self, name: &str) {
+        match self.write_profile_tsv(name) {
+            Ok(Some(path)) => eprintln!("profile: {}", path.display()),
+            Ok(None) => {
+                if self.cycle_profile {
+                    eprintln!(
+                        "profile: no points simulated this run (journal-resumed \
+                         points carry no breakdown)"
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: could not write profile tsv: {e}"),
+        }
     }
 
     /// [`Campaign::write_timeline_csv`] for binaries: reports the path
@@ -1129,7 +1211,7 @@ mod tests {
         assert!(key_faulted.ends_with("|faults=degrade@300:e0*50"));
         // An empty plan keys like no plan at all, so pre-fault journals
         // keep resuming.
-        let mut empty = plain.clone();
+        let mut empty = plain;
         empty.fault_plan = Some(carve_system::FaultPlan::new());
         assert_eq!(key_of(&spec, &empty).1, key_plain);
     }
@@ -1241,6 +1323,54 @@ mod tests {
             .sum();
         assert_eq!(text.lines().count(), 1 + rows);
         assert!(text.starts_with(&format!("workload,config,{}", Timeline::CSV_HEADER)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiles_collect_per_point_without_perturbing_results() {
+        let mut plain = quick_campaign();
+        let mut prof = quick_campaign();
+        prof.enable_profile();
+        let specs = plain.specs();
+        let mut points: Vec<(WorkloadSpec, SimConfig)> = Vec::new();
+        for spec in specs.iter().take(2) {
+            for design in [Design::NumaGpu, Design::CarveHwc] {
+                points.push((spec.clone(), SimConfig::new(design)));
+            }
+        }
+        let fanned = prof.try_run_parallel(&points);
+        for (i, (spec, sim)) in points.iter().enumerate() {
+            let expect = plain.result(spec, sim);
+            let got = fanned[i].as_ref().expect("point ran");
+            // Profiling is observe-only: journal lines are bit-identical.
+            assert_eq!(got.encode_journal_line(), expect.encode_journal_line());
+        }
+        // One breakdown per point, keyed like the journal, each obeying
+        // the exclusivity invariant (categories sum to cycles × SMs).
+        assert_eq!(prof.stall_profiles.len(), points.len());
+        for ((w, key, p), (spec, sim)) in prof.stall_profiles.iter().zip(&points) {
+            assert_eq!(w.as_str(), spec.name);
+            assert_eq!(key, &key_of(spec, sim).1);
+            let expect = plain.result(spec, sim);
+            let per_gpu = expect.cycles * sim.cfg.sms_per_gpu as u64;
+            for gpu in &p.gpus {
+                assert_eq!(gpu.iter().sum::<u64>(), per_gpu);
+            }
+            // The TSV round-trips through the compact encoding.
+            let back = ProfileReport::decode_compact(&p.encode_compact()).expect("decode");
+            assert_eq!(back.encode_compact(), p.encode_compact());
+        }
+        let dir = test_dir("profile-tsv");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("grid.profile.tsv");
+        prof.write_profile_tsv_to(&path).expect("write tsv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), points.len());
+        for line in text.lines() {
+            let mut f = line.splitn(3, '\t');
+            let (_w, _k, compact) = (f.next().unwrap(), f.next().unwrap(), f.next().unwrap());
+            assert!(ProfileReport::decode_compact(compact).is_some());
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -569,6 +569,32 @@ impl GpuCore {
         self.gpu_id
     }
 
+    /// Read-only view of the SMs (profiler classification).
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// True when the L2 MSHR file has no free entry: the next primary miss
+    /// is a structural stall.
+    pub fn mshr_is_full(&self) -> bool {
+        self.mshr.is_full()
+    }
+
+    /// Number of outstanding L2 fills.
+    pub fn mshr_outstanding(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// True when the outbox to the fabric is at capacity (back-pressure).
+    pub fn outbox_is_full(&self) -> bool {
+        self.outbox.len() >= self.outbox_cap
+    }
+
+    /// Total requests queued at the L2 banks.
+    pub fn bank_queued(&self) -> usize {
+        self.banks.iter().map(|b| b.queue.len()).sum()
+    }
+
     /// Diagnostic lines describing everything still occupied in this core:
     /// busy SMs (active/memory-waiting warps, queued CTAs), L2 bank queue
     /// depths, outstanding MSHR fills, outbox backlog, and undelivered

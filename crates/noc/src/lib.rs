@@ -44,7 +44,7 @@
 
 use sim_core::event::{earliest, NextEvent};
 use sim_core::fast::Slab;
-use sim_core::{Cycle, SimError, TopologySpec};
+use sim_core::{Cycle, LinkOccupancy, SimError, TopologySpec};
 
 /// Message size constants in bytes.
 ///
@@ -92,6 +92,15 @@ pub struct Link {
     messages_sent: u64,
     messages_delivered: u64,
     busy_until: f64,
+    /// Bandwidth the link was built with; `set_bytes_per_cycle` only moves
+    /// the effective rate, so serialization beyond `bytes / nominal` is
+    /// attributable to fault degradation.
+    nominal_bytes_per_cycle: f64,
+    /// Occupancy accounting for the cycle-accounting profiler (always-on
+    /// plain additions in `send`; never feeds journaled stats).
+    ser_cycles: f64,
+    queue_cycles: f64,
+    degraded_cycles: f64,
 }
 
 impl Link {
@@ -119,6 +128,10 @@ impl Link {
             messages_sent: 0,
             messages_delivered: 0,
             busy_until: 0.0,
+            nominal_bytes_per_cycle: bytes_per_cycle,
+            ser_cycles: 0.0,
+            queue_cycles: 0.0,
+            degraded_cycles: 0.0,
         })
     }
 
@@ -132,6 +145,10 @@ impl Link {
     pub fn send(&mut self, token: u64, bytes: u64, now: Cycle) {
         let start = (now.0 as f64).max(self.next_slot);
         let ser = bytes as f64 / self.bytes_per_cycle;
+        let nominal_ser = bytes as f64 / self.nominal_bytes_per_cycle;
+        self.queue_cycles += start - now.0 as f64;
+        self.ser_cycles += nominal_ser;
+        self.degraded_cycles += (ser - nominal_ser).max(0.0);
         self.next_slot = start + ser;
         self.busy_until = self.next_slot;
         let arrival = (start + ser + self.latency as f64).ceil() as u64;
@@ -214,6 +231,14 @@ impl Link {
     /// Configured bandwidth in bytes/cycle.
     pub fn bytes_per_cycle(&self) -> f64 {
         self.bytes_per_cycle
+    }
+
+    /// Occupancy breakdown for the profiler: `(serialization, queueing,
+    /// fault-degraded)` cycles accumulated over all sends. Serialization
+    /// is at nominal bandwidth; the degraded component is the extra wire
+    /// time caused by bandwidth-degradation faults.
+    pub fn occupancy(&self) -> (f64, f64, f64) {
+        (self.ser_cycles, self.queue_cycles, self.degraded_cycles)
     }
 
     /// Rewrites the effective bandwidth (fault injection: degradation
@@ -1141,6 +1166,25 @@ impl LinkNetwork {
     /// resolve their edge hints modulo this.
     pub fn num_edges(&self) -> usize {
         self.links.len()
+    }
+
+    /// Per-link occupancy breakdowns for the cycle-accounting profiler, in
+    /// edge order: labeled serialization / queueing / fault-degraded wire
+    /// time accumulated over all sends.
+    pub fn link_occupancies(&self) -> Vec<LinkOccupancy> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(e, link)| {
+                let (ser_cycles, queue_cycles, degraded_cycles) = link.occupancy();
+                LinkOccupancy {
+                    label: self.edge_label(e),
+                    ser_cycles,
+                    queue_cycles,
+                    degraded_cycles,
+                }
+            })
+            .collect()
     }
 
     /// Human-readable route of edge `e`, e.g. `"gpu0->gpu1"`.

@@ -1,0 +1,148 @@
+//! `carve-report`: render a campaign journal into a static HTML dashboard.
+//!
+//! ```text
+//! carve-report <journal> [--out FILE] [--timeline FILE] [--profile FILE]
+//!              [--title NAME]
+//! ```
+//!
+//! `<journal>` is a campaign checkpoint journal (`results/<name>.journal`).
+//! Sidecars default to `<name>.timeline.csv` and `<name>.profile.tsv`
+//! next to the journal and are optional: sections whose data is missing
+//! render an explanatory note instead. The output defaults to
+//! `<name>.html` next to the journal.
+//!
+//! Exit codes: 0 on success, 1 on I/O failure, 2 on usage errors —
+//! the same contract as `carve-sim`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use carve_report::{parse_profile_tsv, parse_timeline_csv, CampaignJournal};
+
+struct Args {
+    journal: PathBuf,
+    out: Option<PathBuf>,
+    timeline: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    title: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: carve-report <journal> [--out FILE] [--timeline FILE] \
+         [--profile FILE] [--title NAME]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut journal = None;
+    let mut out = None;
+    let mut timeline = None;
+    let mut profile = None;
+    let mut title = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "--timeline" | "--profile" | "--title" => {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?
+                    .clone();
+                match arg.as_str() {
+                    "--out" => out = Some(PathBuf::from(val)),
+                    "--timeline" => timeline = Some(PathBuf::from(val)),
+                    "--profile" => profile = Some(PathBuf::from(val)),
+                    _ => title = Some(val),
+                }
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            positional => {
+                if journal.is_some() {
+                    return Err(format!("unexpected argument {positional}"));
+                }
+                journal = Some(PathBuf::from(positional));
+            }
+        }
+    }
+    Ok(Args {
+        journal: journal.ok_or("missing journal path")?,
+        out,
+        timeline,
+        profile,
+        title,
+    })
+}
+
+/// The journal's file stem (`results/fig02.journal` → `fig02`).
+fn stem(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "campaign".to_string())
+}
+
+/// Reads an explicitly named sidecar (an error if unreadable) or probes
+/// the default path next to the journal (absence is fine).
+fn read_sidecar(explicit: Option<&Path>, default: &Path) -> Result<Option<String>, String> {
+    match explicit {
+        Some(path) => std::fs::read_to_string(path)
+            .map(Some)
+            .map_err(|e| format!("cannot read {}: {e}", path.display())),
+        None => Ok(std::fs::read_to_string(default).ok()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("carve-report: {e}");
+            return usage();
+        }
+    };
+    match run(&args) {
+        Ok(out) => {
+            eprintln!("wrote {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("carve-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<PathBuf, String> {
+    let text = std::fs::read_to_string(&args.journal)
+        .map_err(|e| format!("cannot read {}: {e}", args.journal.display()))?;
+    let journal = CampaignJournal::parse(&text);
+    let name = stem(&args.journal);
+    let dir = args.journal.parent().unwrap_or(Path::new("."));
+    let timelines = read_sidecar(
+        args.timeline.as_deref(),
+        &dir.join(format!("{name}.timeline.csv")),
+    )?
+    .map(|t| parse_timeline_csv(&t))
+    .unwrap_or_default();
+    let profiles = read_sidecar(
+        args.profile.as_deref(),
+        &dir.join(format!("{name}.profile.tsv")),
+    )?
+    .map(|t| parse_profile_tsv(&t))
+    .unwrap_or_default();
+    if journal.points.is_empty() && journal.failures.is_empty() {
+        eprintln!(
+            "warning: {} holds no records; rendering an empty dashboard",
+            args.journal.display()
+        );
+    }
+    let title = args.title.clone().unwrap_or(name);
+    let html = carve_report::render(&title, &journal, &timelines, &profiles);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| dir.join(format!("{}.html", stem(&args.journal))));
+    std::fs::write(&out, html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    Ok(out)
+}

@@ -10,6 +10,8 @@
 //! * [`config`] — the scaled system configuration shared by all components,
 //! * [`fault`] — deterministic cycle-stamped fault schedules ([`FaultPlan`])
 //!   and recovery accounting for the chaos layer,
+//! * [`profile`] — the cycle-accounting stall taxonomy and occupancy
+//!   breakdowns ([`ProfileReport`]) behind `carve-sim profile`,
 //! * [`units`] — byte-size / bandwidth formatting helpers,
 //! * [`telemetry`] — interval sampling ([`Timeline`]) and structured event
 //!   tracing ([`TraceSink`]) for the observability layer.
@@ -44,6 +46,7 @@ pub mod error;
 pub mod event;
 pub mod fast;
 pub mod fault;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -57,6 +60,10 @@ pub use error::SimError;
 pub use event::NextEvent;
 pub use fast::{FastMap, FastSet, Slab, TagTable};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, RecoverySnapshot};
+pub use profile::{
+    DramChannelProfile, LinkOccupancy, ProfileReport, StallCat, StallIntervalRecord, StallLedger,
+    NUM_STALL_CATS,
+};
 pub use queue::BoundedQueue;
 pub use rng::Stream;
 pub use stats::{geomean, Counter, Histogram};

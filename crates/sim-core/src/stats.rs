@@ -106,13 +106,15 @@ impl Histogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Counters saturate at `u64::MAX` instead of
+    /// wrapping, matching [`Counter`]: a pinned histogram is a visible
+    /// anomaly, a wrapped one silently corrupts percentiles and means.
     #[inline]
     pub fn record(&mut self, v: u64) {
         let b = 63 - (v | 1).leading_zeros() as usize;
-        self.buckets[b] += 1;
-        self.count += 1;
-        self.sum += v;
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -163,13 +165,14 @@ impl Histogram {
         Some(self.max)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one, saturating like
+    /// [`Histogram::record`].
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -242,6 +245,23 @@ pub fn geomean<I: Iterator<Item = f64>>(values: I) -> f64 {
         0.0
     } else {
         (log_sum / n as f64).exp()
+    }
+}
+
+/// `part` as a percentage of `total` (0.0 when `total` is zero).
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::percent;
+/// assert!((percent(1, 4) - 25.0).abs() < 1e-12);
+/// assert_eq!(percent(1, 0), 0.0);
+/// ```
+pub fn percent(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
     }
 }
 
@@ -393,6 +413,37 @@ mod tests {
         assert!(Histogram::decode("1,2,3,4,99:1").is_none()); // bucket out of range
         assert!(Histogram::decode("1,2,3,4,x:1").is_none());
         assert!(Histogram::decode("a,2,3,4").is_none());
+    }
+
+    #[test]
+    fn histogram_saturated_counters_stay_pinned() {
+        // Force the internal counters to the brink, then record more: count,
+        // sum and the hit bucket must pin at u64::MAX, never wrap, and the
+        // derived helpers must stay well-defined.
+        let mut h = Histogram::new();
+        h.count = u64::MAX - 1;
+        h.sum = u64::MAX - 1;
+        h.buckets[1] = u64::MAX;
+        h.record(2); // bucket 1 again
+        h.record(2);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.buckets[1], u64::MAX);
+        assert!(h.mean() >= 0.0 && h.mean().is_finite());
+        assert!(h.percentile(50.0).is_some());
+        // Merging two saturated histograms saturates too.
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.buckets[1], u64::MAX);
+    }
+
+    #[test]
+    fn percent_helper_edges() {
+        assert_eq!(percent(0, 0), 0.0);
+        assert_eq!(percent(5, 0), 0.0);
+        assert!((percent(5, 5) - 100.0).abs() < 1e-12);
+        assert!((percent(1, 3) - 33.333333).abs() < 1e-4);
     }
 
     #[test]

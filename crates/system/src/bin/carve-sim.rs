@@ -5,7 +5,7 @@
 //! carve-sim run <workload> [options]      # simulate one configuration
 //! carve-sim trace <workload> [options]    # run with telemetry + event trace
 //! carve-sim compare <workload>            # all designs side by side
-//! carve-sim profile <workload>            # Figure-4 style sharing profile
+//! carve-sim profile <workload> [options]  # sharing profile + cycle accounting
 //! carve-sim audit [WORKSPACE_ROOT]        # run the carve-audit lint wall
 //! carve-sim fuzz [options]                # randomized fault-injection fuzzer
 //!
@@ -21,6 +21,8 @@
 //!   --predictor                  enable the RDC hit predictor
 //!   --directory                  directory coherence instead of broadcast
 //!   --sanitize                   enable the protocol sanitizer shadow checker
+//!   --profile                    enable the cycle-accounting profiler; the
+//!                                stderr summary gains a top-3 stall breakdown
 //!   --faults <plan>              inject a fault schedule, e.g.
 //!                                "degrade@1000:e3*25,outage@2000:e7,freeze@4000+500"
 //!   --fault-seed <n>             inject a random graceful fault plan drawn
@@ -39,6 +41,12 @@
 //! `trace` writes <dir>/timeline.csv (per-GPU interval records) and
 //! <dir>/trace.json (Chrome chrome://tracing / Perfetto format; open with
 //! https://ui.perfetto.dev or chrome://tracing).
+//!
+//! `profile` accepts the `run` options plus `--out`/`--interval`: it prints
+//! the Figure-4 sharing profile and a top-down cycle-accounting table, and
+//! writes <dir>/profile.folded (flamegraph folded stacks) plus
+//! <dir>/stalls.csv (per-interval stacked stall rows; default dir
+//! results/profile/<workload>).
 //!
 //! exit codes: 0 success, 1 simulation failure (including sanitizer
 //! violations) or audit findings, 2 usage error, 3 watchdog stall.
@@ -92,6 +100,9 @@ struct RunArgs {
     directory: bool,
     /// Enables the protocol sanitizer (see `SimConfig::sanitize`).
     sanitize: bool,
+    /// Enables the cycle-accounting profiler (see
+    /// `SimConfig::cycle_profile`).
+    profile: bool,
     /// Hidden test hook: freeze the system at this cycle so the watchdog
     /// path (exit code 3) can be exercised deterministically.
     stall_inject_at: Option<u64>,
@@ -121,6 +132,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         predictor: false,
         directory: false,
         sanitize: false,
+        profile: false,
         stall_inject_at: None,
         faults: None,
         out: None,
@@ -164,6 +176,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--predictor" => out.predictor = true,
             "--directory" => out.directory = true,
             "--sanitize" => out.sanitize = true,
+            "--profile" => out.profile = true,
             // Undocumented on purpose: only exists so the exit-code
             // integration test can trigger a real WatchdogStall.
             "--stall-inject-at" => {
@@ -218,6 +231,7 @@ fn sim_config_from(args: &RunArgs) -> SimConfig {
     if args.sanitize {
         sim.sanitize = Some(true);
     }
+    sim.cycle_profile = args.profile;
     sim.stall_inject_at = args.stall_inject_at;
     sim.fault_plan = args.faults.clone();
     if let Some(gbs) = args.link_gbs {
@@ -267,7 +281,7 @@ fn summary_line(r: &SimResult, wall: std::time::Duration) -> String {
     } else {
         0.0
     };
-    format!(
+    let mut line = format!(
         "summary: {} on {}: ipc={:.2} remote={:.1}% rdc_hit={:.1}% wall={:.2}s sim={:.2}Mcyc/s",
         r.workload,
         r.design.label(),
@@ -276,7 +290,14 @@ fn summary_line(r: &SimResult, wall: std::time::Duration) -> String {
         100.0 * r.rdc.hit_rate(),
         secs,
         cyc_per_sec / 1e6
-    )
+    );
+    // With `--profile` the one-liner gains the top stall categories, e.g.
+    // `stalls: remote-link 41% | local-dram 22% | coherence-invalidate 9%`.
+    if let Some(p) = &r.profile {
+        line.push(' ');
+        line.push_str(&p.stall_summary(3));
+    }
+    line
 }
 
 /// Parsed `fuzz` options (exposed for unit testing).
@@ -580,18 +601,31 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("profile") => {
-            let Some(name) = args.get(1) else {
-                return usage();
+            let parsed = match parse_run_args(&args[1..]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
             };
-            let Some(spec) = workloads::by_name(name) else {
-                eprintln!("error: unknown workload '{name}'");
+            let Some(spec) = workloads::by_name(&parsed.workload) else {
+                eprintln!(
+                    "error: unknown workload '{}' (try `carve-sim list`)",
+                    parsed.workload
+                );
                 return ExitCode::from(EXIT_USAGE);
             };
-            let sim = SimConfig::new(Design::NumaGpu);
+            let mut sim = sim_config_from(&parsed);
+            sim.cycle_profile = true;
+            // Interval sampling drives the stacked-stall rows in stalls.csv.
+            sim.telemetry_interval = Some(parsed.interval.unwrap_or(DEFAULT_TRACE_INTERVAL));
             let p = profile_workload(&spec, &sim.cfg, sim.cfg.num_gpus);
             let (pp, pro, prw) = p.page_breakdown().fractions();
             let (lp, lro, lrw) = p.line_breakdown().fractions();
-            println!("sharing profile of {name} on {} GPUs:", sim.cfg.num_gpus);
+            println!(
+                "sharing profile of {} on {} GPUs:",
+                parsed.workload, sim.cfg.num_gpus
+            );
             println!(
                 "  pages: {:5.1}% private {:5.1}% RO-shared {:5.1}% RW-shared",
                 100.0 * pp,
@@ -613,7 +647,55 @@ fn main() -> ExitCode {
                 "  replication multiplier: {:.2}x",
                 p.replication_footprint_multiplier()
             );
-            ExitCode::SUCCESS
+            let out_dir = parsed
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("results/profile/{}", parsed.workload));
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("error: cannot create '{out_dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+            // audit:allow(wall-clock) run-duration banner for humans, not simulated time
+            let started = Instant::now();
+            match try_run(&spec, &sim) {
+                Ok(r) => {
+                    let wall = started.elapsed();
+                    let report = r
+                        .profile
+                        .as_ref()
+                        .expect("profile subcommand enables the profiler");
+                    println!();
+                    print!("{}", report.table_string());
+                    let folded_path = format!("{out_dir}/profile.folded");
+                    let root = format!("{}:{}", r.workload, r.design.label());
+                    if let Err(e) = std::fs::write(&folded_path, report.folded_string(&root)) {
+                        eprintln!("error: cannot write '{folded_path}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let stalls_path = format!("{out_dir}/stalls.csv");
+                    let mut csv = String::from(carve_system::StallIntervalRecord::CSV_HEADER);
+                    csv.push('\n');
+                    for row in &report.intervals {
+                        csv.push_str(&row.csv_line());
+                        csv.push('\n');
+                    }
+                    if let Err(e) = std::fs::write(&stalls_path, csv) {
+                        eprintln!("error: cannot write '{stalls_path}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("folded stacks:      {folded_path} (flamegraph.pl-compatible)");
+                    println!(
+                        "stall intervals:    {stalls_path} ({} rows)",
+                        report.intervals.len()
+                    );
+                    eprintln!("{}", summary_line(&r, wall));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(run_error_code(&e))
+                }
+            }
         }
         Some("fuzz") => {
             let parsed = match parse_fuzz_args(&args[1..]) {

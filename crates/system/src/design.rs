@@ -166,6 +166,14 @@ pub struct SimConfig {
     /// Like telemetry, the sanitizer is read-only: aggregates are
     /// bit-identical either way.
     pub sanitize: Option<bool>,
+    /// Cycle-accounting profiler (default off). When enabled, every
+    /// simulated SM cycle is charged to exactly one stall category and the
+    /// run's [`crate::SimResult`] carries a
+    /// [`sim_core::profile::ProfileReport`] with per-GPU stall totals plus
+    /// DRAM-channel and link occupancy breakdowns. Like telemetry and the
+    /// sanitizer, profiling is read-only: aggregates and journal lines are
+    /// bit-identical either way.
+    pub cycle_profile: bool,
     /// Deterministic fault-injection schedule (see [`sim_core::fault`]).
     /// Events are applied at their exact cycles under both engines, so a
     /// faulted run is still byte-identical across `EventSkip`/`Step`.
@@ -202,6 +210,7 @@ impl SimConfig {
             watchdog_cycles: None,
             telemetry_interval: None,
             sanitize: None,
+            cycle_profile: false,
             fault_plan: None,
             stall_inject_at: None,
         }

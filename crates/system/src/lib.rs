@@ -50,6 +50,9 @@ pub use sim::{
 // Re-exports so experiment binaries need only this crate.
 pub use carve_runtime::sharing::{profile_workload, SharingProfile};
 pub use carve_trace::workloads;
+pub use sim_core::profile::{
+    DramChannelProfile, LinkOccupancy, ProfileReport, StallCat, StallIntervalRecord, NUM_STALL_CATS,
+};
 pub use sim_core::telemetry::{
     IntervalRecord, JsonTraceSink, NullTraceSink, Timeline, TraceEvent, TracePhase, TraceSink,
 };

@@ -3,6 +3,7 @@
 use crate::design::Design;
 use carve::RdcStats;
 use carve_dram::DramStats;
+use sim_core::profile::ProfileReport;
 use sim_core::telemetry::Timeline;
 use sim_core::{Histogram, RecoverySnapshot};
 
@@ -65,6 +66,12 @@ pub struct SimResult {
     /// 36-field line format is a stable resume contract, and timelines can
     /// be arbitrarily large. Results decoded from a journal carry `None`.
     pub timeline: Option<Timeline>,
+    /// Cycle-accounting stall breakdown, present when profiling was
+    /// enabled (`SimConfig::cycle_profile` / `--profile`). Like the
+    /// timeline it is excluded from the 36-field journal encoding —
+    /// campaigns that want per-point breakdowns journal a compact
+    /// sidecar instead — so results decoded from a journal carry `None`.
+    pub profile: Option<ProfileReport>,
     /// Recovery accounting, present when a fault plan was armed
     /// (`SimConfig::fault_plan` / `--faults`). Like the timeline it is
     /// excluded from the 36-field journal encoding — the faulted-ness of
@@ -126,8 +133,26 @@ impl SimResult {
 
     /// Performance relative to `reference` expressed as reference-cycles /
     /// own-cycles (1.0 = parity, <1 = slower than the reference).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a cross-workload comparison (see
+    /// [`SimResult::speedup_over`]); release builds fall back to 0.0. Use
+    /// [`SimResult::try_performance_vs`] to handle the mismatch
+    /// explicitly.
     pub fn performance_vs(&self, reference: &SimResult) -> f64 {
-        self.speedup_over(reference)
+        debug_assert_eq!(
+            self.workload, reference.workload,
+            "performance comparisons must share a workload"
+        );
+        self.try_performance_vs(reference).unwrap_or(0.0)
+    }
+
+    /// Performance relative to `reference`, or `None` when the runs
+    /// simulate different workloads (the non-panicking form of
+    /// [`SimResult::performance_vs`]).
+    pub fn try_performance_vs(&self, reference: &SimResult) -> Option<f64> {
+        self.try_speedup_over(reference)
     }
 
     /// Serializes every field into one tab-separated journal line (no
@@ -265,6 +290,7 @@ impl SimResult {
             read_latency,
             completed,
             timeline: None,
+            profile: None,
             recovery: None,
         })
     }
@@ -301,6 +327,7 @@ mod tests {
             read_latency: Histogram::new(),
             completed: true,
             timeline: None,
+            profile: None,
             recovery: None,
         }
     }
@@ -344,17 +371,26 @@ mod tests {
         let mut r = result("w", 10);
         let without = r.encode_journal_line();
         r.timeline = Some(Timeline::new(100));
+        r.profile = Some(ProfileReport {
+            cycles: 10,
+            sms_per_gpu: 2,
+            gpus: vec![[1u64; sim_core::NUM_STALL_CATS]],
+            intervals: Vec::new(),
+            dram: Vec::new(),
+            links: Vec::new(),
+        });
         r.recovery = Some(RecoverySnapshot {
             faults_applied: 3,
             reroutes: 2,
             ..RecoverySnapshot::default()
         });
         let with = r.encode_journal_line();
-        // Neither the timeline nor the recovery accounting may leak into
-        // the stable 36-field journal format.
+        // Neither the timeline, the stall profile, nor the recovery
+        // accounting may leak into the stable 36-field journal format.
         assert_eq!(with, without);
         let back = SimResult::decode_journal_line(&with).expect("well-formed");
         assert!(back.timeline.is_none());
+        assert!(back.profile.is_none());
         assert!(back.recovery.is_none());
     }
 

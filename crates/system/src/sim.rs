@@ -23,7 +23,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use carve::{Carve, CoherencePolicy, HitPredictor, RdcConfig, RdcStats};
+use carve::{Carve, CoherencePolicy, HitPredictor, ProbeKind, RdcConfig, RdcStats};
 use carve_dram::{Completion, DramConfig, DramModel, DramStats, FlatMemory};
 use carve_gpu::{
     CoreReqKind, CoreRequest, CoreStats, Fabric, GpuCore, TranslationOutcome, Translator,
@@ -35,6 +35,7 @@ use carve_runtime::sharing::{profile_workload, SharingProfile};
 use carve_trace::WorkloadSpec;
 use sim_core::event::{earliest, NextEvent};
 use sim_core::fast::{FastSet, Slab, TagTable};
+use sim_core::profile::{ProfileReport, StallCat, StallLedger};
 use sim_core::telemetry::{self, IntervalRecord, NullTraceSink, Timeline, TraceEvent, TraceSink};
 use sim_core::{Cycle, FaultEvent, FaultKind, RecoverySnapshot, ScaledConfig, SimError, Watchdog};
 
@@ -61,6 +62,25 @@ enum RemotePhase {
     Return,
 }
 
+/// Why a remote read crossed the fabric — carried on the pending entry
+/// purely so the cycle-accounting profiler can attribute the resulting
+/// warp stall (remote-link vs rdc-miss vs epoch-flush vs
+/// coherence-invalidate). Never consulted by protocol logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RemoteCause {
+    /// Plain remote-home read (no RDC in the design, or predictor bypass
+    /// without an attributable miss kind).
+    Plain,
+    /// Launched after an RDC capacity/conflict miss (or a mispredicted
+    /// probe bypass).
+    RdcMiss,
+    /// Launched after the RDC copy went stale at a software-coherence
+    /// epoch flush.
+    Epoch,
+    /// Re-fetch of a line dropped by a hardware-coherence invalidation.
+    Inval,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Pending {
     /// Local DRAM read feeding a core miss.
@@ -79,6 +99,7 @@ enum Pending {
         line: u64,
         home: usize,
         phase: RemotePhase,
+        cause: RemoteCause,
     },
     /// System-memory read flow over the CPU links.
     CpuRead {
@@ -200,6 +221,12 @@ struct System {
     /// Armed fault schedule (`None` for fault-free runs: one `Option`
     /// check per tick keeps the fault-free hot path untouched).
     faults: Option<Box<FaultState>>,
+    /// Per-GPU lines dropped by coherence invalidations, tracked only when
+    /// the cycle profiler is on (`None` otherwise — one `Option` check on
+    /// the invalidate and remote-read paths). Consumed by
+    /// [`System::send_remote_read`] to attribute re-fetches; never read by
+    /// protocol logic, so profiled runs retire identical work.
+    prof_invalidated: Option<Vec<FastSet>>,
 }
 
 impl System {
@@ -329,7 +356,15 @@ impl System {
             san: None,
             faults,
             cfg,
+            prof_invalidated: None,
         }
+    }
+
+    /// Arms the profiler's invalidated-line tracking (cause attribution
+    /// for coherence-invalidate stalls). Read-only with respect to every
+    /// journaled statistic.
+    fn enable_profiler_tracking(&mut self) {
+        self.prof_invalidated = Some((0..self.num_gpus).map(|_| FastSet::new()).collect());
     }
 
     /// Arms the shadow protocol sanitizer and the DRAM timing audit.
@@ -531,6 +566,9 @@ impl System {
     }
 
     fn apply_invalidate(&mut self, target: usize, line: u64, now: Cycle) {
+        if let Some(sets) = self.prof_invalidated.as_mut() {
+            sets[target].insert(line);
+        }
         if let Some(carve) = self.carve.as_mut() {
             carve.rdc_mut(target).invalidate(line);
         }
@@ -590,20 +628,25 @@ impl System {
                         // serial probe and go remote immediately.
                         if !self.predictors.is_empty() && !self.predictors[g].predict(req.line_addr)
                         {
-                            let actual = self
+                            let kind = self
                                 .carve
                                 .as_mut()
                                 // audit:allow(tick-path-panics) inside the carve.is_some() branch
                                 .expect("carve checked")
                                 .rdc_mut(g)
-                                .probe(req.line_addr);
+                                .probe_kind(req.line_addr);
+                            let actual = kind.is_hit();
                             if let Some(san) = self.san.as_deref_mut() {
                                 san.on_rdc_probe(g, req.line_addr, actual, now.0);
                             }
                             self.predictors[g].update(req.line_addr, actual);
                             // Even on a mispredicted hit we already launched
                             // remotely; count as remote.
-                            self.send_remote_read(g, h, req.tag, req.line_addr, now);
+                            let cause = match kind {
+                                ProbeKind::StaleEpoch => RemoteCause::Epoch,
+                                _ => RemoteCause::RdcMiss,
+                            };
+                            self.send_remote_read(g, h, req.tag, req.line_addr, now, cause);
                             return true;
                         }
                         let probe_addr = self.rdc_probe_addr(g, req.line_addr);
@@ -622,7 +665,14 @@ impl System {
                             .expect("capacity checked");
                         true
                     } else {
-                        self.send_remote_read(g, h, req.tag, req.line_addr, now);
+                        self.send_remote_read(
+                            g,
+                            h,
+                            req.tag,
+                            req.line_addr,
+                            now,
+                            RemoteCause::Plain,
+                        );
                         true
                     }
                 }
@@ -711,13 +761,35 @@ impl System {
         }
     }
 
-    fn send_remote_read(&mut self, g: usize, home: usize, tag: u64, line: u64, now: Cycle) {
+    fn send_remote_read(
+        &mut self,
+        g: usize,
+        home: usize,
+        tag: u64,
+        line: u64,
+        now: Cycle,
+        cause: RemoteCause,
+    ) {
+        // Profiler attribution only: a re-fetch of a line the coherence
+        // protocol invalidated out of this GPU is charged to the
+        // invalidation, whatever path launched it.
+        let cause = match self.prof_invalidated.as_mut() {
+            Some(sets) => {
+                if sets[g].remove(line) {
+                    RemoteCause::Inval
+                } else {
+                    cause
+                }
+            }
+            None => cause,
+        };
         let token = self.pending.insert(Pending::RemoteRead {
             requester: g,
             tag,
             line,
             home,
             phase: RemotePhase::Go,
+            cause,
         });
         self.net.send(
             NodeId::Gpu(g),
@@ -748,13 +820,14 @@ impl System {
                         line,
                         home,
                     }) => {
-                        let hit = self
+                        let kind = self
                             .carve
                             .as_mut()
                             // audit:allow(tick-path-panics) RdcProbe tokens are only minted under CARVE designs
                             .expect("RDC probe without CARVE")
                             .rdc_mut(gpu)
-                            .probe(line);
+                            .probe_kind(line);
+                        let hit = kind.is_hit();
                         if let Some(san) = self.san.as_deref_mut() {
                             san.on_rdc_probe(gpu, line, hit, now.0);
                         }
@@ -784,7 +857,11 @@ impl System {
                             self.traffic.cpu += 1;
                             self.cpu_fill_lines[gpu].insert_if_absent(tag, line);
                         } else {
-                            self.send_remote_read(gpu, home, tag, line, now);
+                            let cause = match kind {
+                                ProbeKind::StaleEpoch => RemoteCause::Epoch,
+                                _ => RemoteCause::RdcMiss,
+                            };
+                            self.send_remote_read(gpu, home, tag, line, now, cause);
                         }
                     }
                     Some(_) => {
@@ -874,6 +951,7 @@ impl System {
                     line,
                     home,
                     phase: RemotePhase::Go,
+                    cause,
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Gpu(home));
                     if let Some(carve) = self.carve.as_mut() {
@@ -894,6 +972,7 @@ impl System {
                             line,
                             home,
                             phase: RemotePhase::AtHome,
+                            cause,
                         };
                     if self.cores[home].external_read(d.token, line).is_err() {
                         self.ext_retry[home].push_back((d.token, line));
@@ -905,6 +984,7 @@ impl System {
                     line,
                     home,
                     phase: RemotePhase::Return,
+                    ..
                 } => {
                     debug_assert_eq!(d.dst, NodeId::Gpu(requester));
                     self.pending.remove(d.token);
@@ -1009,6 +1089,7 @@ impl System {
                 line,
                 home,
                 phase: RemotePhase::AtHome,
+                cause,
             }) = self.pending.get(token).copied()
             {
                 // audit:allow(tick-path-panics) token fetched from self.pending two lines up
@@ -1018,6 +1099,7 @@ impl System {
                     line,
                     home,
                     phase: RemotePhase::Return,
+                    cause,
                 };
                 self.net.send(
                     NodeId::Gpu(home),
@@ -1471,6 +1553,227 @@ impl Sampler {
     }
 }
 
+/// Per-GPU summary of what in-flight protocol traffic is waiting on,
+/// rebuilt by one pending-slab scan per profiled tick.
+#[derive(Debug, Clone, Copy, Default)]
+struct GpuWaitFlags {
+    epoch: bool,
+    inval: bool,
+    rdc: bool,
+    remote: bool,
+    local: bool,
+}
+
+/// The cycle-accounting profiler (DESIGN.md §14). Read-only over the
+/// [`System`], gated exactly like the [`Sampler`]: one `Option` check per
+/// tick when off, and a profiled run's journal is bit-identical to an
+/// unprofiled run's.
+///
+/// Every simulated SM cycle is charged to exactly one [`StallCat`]:
+/// [`Profiler::on_tick`] charges the cycle being ticked from post-tick
+/// state, and [`Profiler::charge_to`] charges the cycles the event-skip
+/// engine jumped over (or a fault froze) with the class captured after the
+/// previous tick — sound because a skipped span is provably quiescent, so
+/// the stall state cannot change inside it. The loop ticks through the
+/// final cycle inclusive while `SimResult::cycles` counts it exclusive, so
+/// [`Profiler::finish`] retracts the last tick's charge; per-GPU totals
+/// then sum to `cycles × SMs` exactly (the tested invariant).
+struct Profiler {
+    num_gpus: usize,
+    sms_per_gpu: usize,
+    ledger: StallLedger,
+    /// Next unaccounted cycle: everything below it has been charged.
+    last: u64,
+    /// Per-(gpu, sm) class for quiescent skipped/frozen cycles, flattened
+    /// `gpu * sms_per_gpu + sm`; the post-tick stall state.
+    span_class: Vec<StallCat>,
+    /// Per-(gpu, sm) class charged at the most recent tick (retracted by
+    /// [`Profiler::finish`]).
+    tick_class: Vec<StallCat>,
+    /// Per-(gpu, sm) cumulative instruction count at the previous tick;
+    /// a delta marks the cycle as issuing.
+    prev_instr: Vec<u64>,
+    /// Stacked-stall interval emission, matching the telemetry interval
+    /// (`None`: totals only).
+    interval: Option<u64>,
+    next_at: u64,
+    last_boundary: u64,
+    /// Scratch for the per-tick pending-slab census.
+    flags: Vec<GpuWaitFlags>,
+}
+
+impl Profiler {
+    fn new(num_gpus: usize, sms_per_gpu: usize, interval: Option<u64>) -> Profiler {
+        let slots = num_gpus * sms_per_gpu;
+        Profiler {
+            num_gpus,
+            sms_per_gpu,
+            ledger: StallLedger::new(num_gpus),
+            last: 0,
+            span_class: vec![StallCat::Idle; slots],
+            tick_class: vec![StallCat::Idle; slots],
+            prev_instr: vec![0; slots],
+            interval,
+            next_at: interval.unwrap_or(u64::MAX),
+            last_boundary: 0,
+            flags: vec![GpuWaitFlags::default(); num_gpus],
+        }
+    }
+
+    /// Charges every cycle in `[last, to)` with the span classes and
+    /// closes any interval boundary crossed (or landed on exactly).
+    fn charge_to(&mut self, to: u64) {
+        loop {
+            if let Some(iv) = self.interval {
+                if self.next_at <= self.last {
+                    self.ledger.flush_interval(self.last_boundary, self.next_at);
+                    self.last_boundary = self.next_at;
+                    self.next_at += iv;
+                    continue;
+                }
+            }
+            if self.last >= to {
+                break;
+            }
+            let end = to.min(self.next_at);
+            let n = end - self.last;
+            for g in 0..self.num_gpus {
+                for s in 0..self.sms_per_gpu {
+                    self.ledger
+                        .add(g, self.span_class[g * self.sms_per_gpu + s], n);
+                }
+            }
+            self.last = end;
+        }
+    }
+
+    /// Exclusive classification of a memory-stalled SM on GPU `g`: the
+    /// farthest-downstream cause in flight wins, structural stalls first.
+    fn classify_mem(core: &GpuCore, f: GpuWaitFlags) -> StallCat {
+        if core.mshr_is_full() {
+            StallCat::MshrFull
+        } else if core.outbox_is_full() {
+            StallCat::LinkQueue
+        } else if f.epoch {
+            StallCat::EpochFlush
+        } else if f.inval {
+            StallCat::CoherenceInvalidate
+        } else if f.rdc {
+            StallCat::RdcMiss
+        } else if f.remote {
+            StallCat::RemoteLink
+        } else if f.local {
+            StallCat::LocalDram
+        } else if core.mshr_outstanding() > 0 {
+            StallCat::L2Miss
+        } else {
+            // Warps waiting on memory with nothing past the L1/bank
+            // pipeline in flight: the miss is still inside the L1.
+            StallCat::L1Miss
+        }
+    }
+
+    /// Charges the cycle that was just ticked at `now` from post-tick
+    /// state, and refreshes the span classes for any skip that follows.
+    fn on_tick(&mut self, now: u64, sys: &System) {
+        self.charge_to(now);
+        for f in &mut self.flags {
+            *f = GpuWaitFlags::default();
+        }
+        let flags = &mut self.flags;
+        sys.pending.for_each(|_, p| match *p {
+            Pending::LocalRead { gpu, .. } => flags[gpu].local = true,
+            Pending::RdcProbe { gpu, .. } => flags[gpu].rdc = true,
+            Pending::RemoteRead {
+                requester, cause, ..
+            } => match cause {
+                RemoteCause::Plain => flags[requester].remote = true,
+                RemoteCause::RdcMiss => flags[requester].rdc = true,
+                RemoteCause::Epoch => flags[requester].epoch = true,
+                RemoteCause::Inval => flags[requester].inval = true,
+            },
+            Pending::CpuRead { gpu, .. } => flags[gpu].remote = true,
+            Pending::WriteArrive { .. } | Pending::Invalidate { .. } => {}
+        });
+        for g in 0..self.num_gpus {
+            let core = &sys.cores[g];
+            let mem_class = Self::classify_mem(core, self.flags[g]);
+            for (s, sm) in core.sms().iter().enumerate() {
+                let i = g * self.sms_per_gpu + s;
+                let instr = sm.stats().instructions;
+                let stall = if sm.is_idle() {
+                    StallCat::Idle
+                } else if sm.warps_waiting_mem() > 0 {
+                    mem_class
+                } else {
+                    // Warps resident but none waiting on memory: the
+                    // pipeline is occupied by in-flight compute, which we
+                    // count as issuing rather than inventing a category
+                    // the taxonomy doesn't have.
+                    StallCat::Issuing
+                };
+                let cls = if instr > self.prev_instr[i] {
+                    StallCat::Issuing
+                } else {
+                    stall
+                };
+                self.prev_instr[i] = instr;
+                self.ledger.add(g, cls, 1);
+                self.tick_class[i] = cls;
+                self.span_class[i] = stall;
+            }
+        }
+        self.last = now + 1;
+    }
+
+    /// Retracts the final tick (charged inclusive while `cycles` counts
+    /// exclusive), closes the residual interval, and assembles the report.
+    fn finish(mut self, sys: &System, end_cycle: u64) -> ProfileReport {
+        // A successful run always ends right after an `on_tick` at
+        // `end_cycle`, so `last == end_cycle + 1` and every interval
+        // boundary at or below `end_cycle` has already been flushed. The
+        // final tick's charge is still in the open interval — retract it
+        // *before* closing the residual so the subtraction cannot hit an
+        // already-flushed accumulator.
+        debug_assert_eq!(self.last, end_cycle + 1, "profiler missed cycles");
+        if self.last > end_cycle {
+            for g in 0..self.num_gpus {
+                for s in 0..self.sms_per_gpu {
+                    self.ledger
+                        .retract(g, self.tick_class[g * self.sms_per_gpu + s], 1);
+                }
+            }
+        }
+        if self.interval.is_some() {
+            self.ledger.flush_interval(self.last_boundary, end_cycle);
+        }
+        let (gpus, intervals) = self.ledger.into_parts();
+        let mut dram = Vec::new();
+        for (g, d) in sys.drams.iter().enumerate() {
+            for mut p in d.channel_profiles() {
+                p.gpu = g;
+                dram.push(p);
+            }
+        }
+        let report = ProfileReport {
+            cycles: end_cycle,
+            sms_per_gpu: self.sms_per_gpu,
+            gpus,
+            intervals,
+            dram,
+            links: sys.net.link_occupancies(),
+        };
+        debug_assert!(
+            report
+                .gpus
+                .iter()
+                .all(|g| g.iter().sum::<u64>() == end_cycle * self.sms_per_gpu as u64),
+            "stall categories must sum to cycles × SMs per GPU"
+        );
+        report
+    }
+}
+
 /// Simulates `spec` under `sim`, computing any needed sharing profile
 /// internally. Prefer [`run_with_profile`] when sweeping many designs over
 /// one workload, so the profile is computed once.
@@ -1593,6 +1896,15 @@ pub fn try_run_observed(
         None => telemetry::interval_from_env(),
     };
     let mut sampler = telemetry_interval.map(|i| Sampler::new(i, num_gpus));
+    // Cycle profiler: same gating discipline as the sampler — one Option
+    // check per tick when off, read-only over the system when on. Interval
+    // rows piggyback on the telemetry interval when both are enabled.
+    let mut profiler = sim
+        .cycle_profile
+        .then(|| Profiler::new(num_gpus, sys.cfg.sms_per_gpu, telemetry_interval));
+    if profiler.is_some() {
+        sys.enable_profiler_tracking();
+    }
     // Sanitizer: `Some(true)` enables, `Some(false)` disables, `None`
     // defers to CARVE_SANITIZE (any value but empty or "0" enables).
     let sanitize = match sim.sanitize {
@@ -1656,6 +1968,11 @@ pub fn try_run_observed(
             if let Some(s) = sampler.as_mut() {
                 s.advance_to(now, &sys);
             }
+            // Same pre-tick discipline: skipped cycles were quiescent, so
+            // they carry the class captured after the previous tick.
+            if let Some(p) = profiler.as_mut() {
+                p.charge_to(now);
+            }
             // Fault schedule: every event stamped at or before `now`
             // fires here, before the tick — at the exact same cycle
             // under both engines (`next_activity` folds the schedule
@@ -1669,6 +1986,9 @@ pub fn try_run_observed(
                 sys.tick(Cycle(now));
                 if let Some(err) = sys.sanitizer_poll(Cycle(now)) {
                     return Err(err);
+                }
+                if let Some(p) = profiler.as_mut() {
+                    p.on_tick(now, &sys);
                 }
                 if sms_done_at == 0 && sys.cores.iter().all(|c| c.sms_done()) {
                     sms_done_at = now;
@@ -1815,6 +2135,7 @@ pub fn try_run_observed(
         return Err(err);
     }
     let timeline = sampler.map(|s| s.finish(&sys, now));
+    let cycle_profile = profiler.map(|p| p.finish(&sys, now));
 
     let mut rdc = RdcStats::default();
     let mut broadcasts = 0;
@@ -1887,6 +2208,7 @@ pub fn try_run_observed(
         read_latency: std::mem::take(&mut sys.read_latency),
         completed: true,
         timeline,
+        profile: cycle_profile,
         recovery: sys.recovery_snapshot(Cycle(now)),
     };
     Ok(result)
@@ -1928,7 +2250,7 @@ mod tests {
         let base = try_run_with_profile_mode(&spec, &plain, None, EngineMode::EventSkip)
             .expect("baseline run");
         assert!(base.timeline.is_none());
-        let mut sampled_cfg = plain.clone();
+        let mut sampled_cfg = plain;
         sampled_cfg.telemetry_interval = Some(500);
         let sampled = try_run_with_profile_mode(&spec, &sampled_cfg, None, EngineMode::EventSkip)
             .expect("sampled run");
@@ -2041,7 +2363,8 @@ mod tests {
         // the paper's defaults: directory mode, raw broadcast, write-back
         // RDC, the hit predictor and footnote-2 system-memory caching.
         let spec = quick_spec("XSBench");
-        let variants: [(&str, fn(&mut SimConfig)); 5] = [
+        type Variant = (&'static str, fn(&mut SimConfig));
+        let variants: [Variant; 5] = [
             ("directory", |s| s.directory_coherence = true),
             ("broadcast-always", |s| s.gpu_vi_broadcast_always = true),
             ("write-back", |s| {
@@ -2074,6 +2397,136 @@ mod tests {
         let csv_skip = skip.timeline.expect("sampled").to_csv_string();
         let csv_step = step.timeline.expect("sampled").to_csv_string();
         assert_eq!(csv_skip, csv_step, "event skipping changed the timeline");
+    }
+
+    #[test]
+    fn profiler_accounts_every_sm_cycle_on_all_workloads() {
+        // Tentpole acceptance: on every workload the exclusive stall
+        // taxonomy sums exactly to cycles × SMs per GPU, and a profiled
+        // run's journal line is byte-identical to an unprofiled run's
+        // (the profiler is read-only).
+        for mut spec in workloads::all() {
+            spec.shape.kernels = spec.shape.kernels.min(2);
+            spec.shape.ctas = 16;
+            spec.shape.instrs_per_warp = 40;
+            let mut off = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+            off.telemetry_interval = Some(0);
+            let mut on = off.clone();
+            on.cycle_profile = true;
+            let base = try_run_with_profile_mode(&spec, &off, None, EngineMode::EventSkip)
+                .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", spec.name));
+            let profiled = try_run_with_profile_mode(&spec, &on, None, EngineMode::EventSkip)
+                .unwrap_or_else(|e| panic!("{}: profiled run failed: {e}", spec.name));
+            assert_eq!(
+                base.encode_journal_line(),
+                profiled.encode_journal_line(),
+                "{}: profiling perturbed the aggregates",
+                spec.name
+            );
+            assert!(base.profile.is_none());
+            let report = profiled.profile.expect("profiled run carries a report");
+            let want = report.cycles * report.sms_per_gpu as u64;
+            for (g, cats) in report.gpus.iter().enumerate() {
+                assert_eq!(
+                    cats.iter().sum::<u64>(),
+                    want,
+                    "{}: GPU {g} categories must sum to cycles × SMs",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_is_identical_across_engine_modes_and_designs() {
+        // The event-skip engine charges skipped (provably quiescent)
+        // spans with the class captured after the previous tick; stepping
+        // through those cycles must produce the same report, bit for bit,
+        // and the journal must stay byte-identical with profiling on.
+        let spec = quick_spec("XSBench");
+        for design in Design::all() {
+            let mut sim = SimConfig::with_cfg(design, quick_cfg());
+            sim.telemetry_interval = Some(700);
+            sim.cycle_profile = true;
+            let skip = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip).unwrap();
+            let step = try_run_with_profile_mode(&spec, &sim, None, EngineMode::Step).unwrap();
+            assert_eq!(skip.encode_journal_line(), step.encode_journal_line());
+            let a = skip.profile.expect("profiled");
+            let b = step.profile.expect("profiled");
+            assert_eq!(
+                a.encode_compact(),
+                b.encode_compact(),
+                "{}: engine changed the stall totals",
+                design.label()
+            );
+            let rows_a: Vec<String> = a.intervals.iter().map(|r| r.csv_line()).collect();
+            let rows_b: Vec<String> = b.intervals.iter().map(|r| r.csv_line()).collect();
+            assert_eq!(
+                rows_a,
+                rows_b,
+                "{}: engine changed the interval rows",
+                design.label()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_interval_rows_partition_the_run() {
+        let spec = quick_spec("Lulesh");
+        let mut sim = SimConfig::with_cfg(Design::CarveSwc, quick_cfg());
+        sim.telemetry_interval = Some(300);
+        sim.cycle_profile = true;
+        let r = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip).unwrap();
+        let report = r.profile.expect("profiled");
+        let sms = report.sms_per_gpu as u64;
+        assert!(!report.intervals.is_empty());
+        // Rows tile [0, cycles) per GPU with no gaps or overlaps, and each
+        // row's categories sum to its width × SMs.
+        let num_gpus = report.gpus.len();
+        let mut expect_start = vec![0u64; num_gpus];
+        for row in &report.intervals {
+            assert_eq!(
+                row.start, expect_start[row.gpu],
+                "gap or overlap at gpu {}",
+                row.gpu
+            );
+            assert!(row.end > row.start);
+            assert_eq!(row.stalls.iter().sum::<u64>(), (row.end - row.start) * sms);
+            expect_start[row.gpu] = row.end;
+        }
+        for (g, e) in expect_start.iter().enumerate() {
+            assert_eq!(*e, report.cycles, "gpu {g} rows must cover the whole run");
+        }
+        // And the rows sum back to the per-GPU totals.
+        for g in 0..num_gpus {
+            let mut sum = [0u64; sim_core::NUM_STALL_CATS];
+            for row in report.intervals.iter().filter(|r| r.gpu == g) {
+                for (i, v) in row.stalls.iter().enumerate() {
+                    sum[i] += *v;
+                }
+            }
+            assert_eq!(sum, report.gpus[g], "gpu {g} interval rows vs totals");
+        }
+    }
+
+    #[test]
+    fn profile_survives_faults_and_multi_kernel_gaps() {
+        // Freeze windows and kernel-launch jumps are charged with the
+        // quiescent span class; the invariant must hold through both.
+        let spec = quick_spec("MiniAMR");
+        let mut sim = SimConfig::with_cfg(Design::CarveHwc, quick_cfg());
+        sim.telemetry_interval = Some(0);
+        sim.cycle_profile = true;
+        sim.fault_plan = Some(
+            sim_core::FaultPlan::parse("degrade@300:e0*25,freeze@700+200,restore@1500:e0")
+                .expect("valid"),
+        );
+        let r = try_run_with_profile_mode(&spec, &sim, None, EngineMode::EventSkip).unwrap();
+        let report = r.profile.expect("profiled");
+        let want = report.cycles * report.sms_per_gpu as u64;
+        for (g, cats) in report.gpus.iter().enumerate() {
+            assert_eq!(cats.iter().sum::<u64>(), want, "gpu {g}");
+        }
     }
 
     #[test]

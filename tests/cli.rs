@@ -181,6 +181,104 @@ fn fuzz_smoke_batch_stays_in_contract() {
 }
 
 #[test]
+fn profile_subcommand_writes_wellformed_artifacts() {
+    let dir = std::env::temp_dir().join(format!("carve-profile-cli-{}", std::process::id()));
+    let out = carve_sim(&[
+        "profile",
+        "stream-triad",
+        "--gpus",
+        QUICK_GPUS,
+        "--out",
+        dir.to_str().expect("utf-8 tempdir"),
+    ])
+    .output()
+    .expect("spawn carve-sim");
+    assert!(
+        out.status.success(),
+        "profile run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("sharing profile") && text.contains("category"),
+        "profile output lacks the sharing section or the cycle table:\n{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("stalls:"),
+        "stderr summary lacks the top-stall breakdown:\n{err}"
+    );
+    // Folded stacks: every line is `stack count` with a numeric count.
+    let folded = std::fs::read_to_string(dir.join("profile.folded")).expect("profile.folded");
+    assert!(!folded.trim().is_empty());
+    for line in folded.lines() {
+        let mut parts = line.rsplitn(2, ' ');
+        let count = parts.next().expect("count field");
+        let stack = parts.next().unwrap_or("");
+        assert!(
+            !stack.is_empty() && count.parse::<u64>().is_ok(),
+            "malformed folded line: {line:?}"
+        );
+    }
+    let csv = std::fs::read_to_string(dir.join("stalls.csv")).expect("stalls.csv");
+    assert!(
+        csv.starts_with("start,end,gpu,issuing,"),
+        "stalls.csv header missing:\n{}",
+        csv.lines().next().unwrap_or("")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_subcommand_usage_errors_exit_2() {
+    for args in [
+        &["profile"][..],
+        &["profile", "no-such-workload"][..],
+        &["profile", "stream-triad", "--bogus"][..],
+        &["profile", "stream-triad", "--interval", "0"][..],
+    ] {
+        let out = carve_sim(args).output().expect("spawn carve-sim");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} should exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn run_with_profile_prints_top_stalls_without_changing_the_report() {
+    let run = |extra: &[&str]| {
+        let mut args = vec!["run", "stream-triad", "--gpus", QUICK_GPUS];
+        args.extend_from_slice(extra);
+        let out = carve_sim(&args).output().expect("spawn carve-sim");
+        assert!(
+            out.status.success(),
+            "run {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (plain_out, plain_err) = run(&[]);
+    let (prof_out, prof_err) = run(&["--profile"]);
+    // The profiler is observe-only: the printed report is byte-identical.
+    assert_eq!(plain_out, prof_out);
+    assert!(
+        !plain_err.contains("stalls:"),
+        "unprofiled summary must not carry a stall breakdown:\n{plain_err}"
+    );
+    assert!(
+        prof_err.contains("stalls:"),
+        "profiled summary lacks the stall breakdown:\n{prof_err}"
+    );
+}
+
+#[test]
 fn audit_subcommand_scans_this_workspace_clean() {
     let root = env!("CARGO_MANIFEST_DIR"); // crates/system
     let root = std::path::Path::new(root)
