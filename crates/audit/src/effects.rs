@@ -1,0 +1,1382 @@
+//! Tick-path effect analysis: the machine-checked answer to "which
+//! `System` state does each tick function touch, and is every write
+//! GPU-local outside the declared exchange points?"
+//!
+//! Starting from `System::tick` / `System::tick_into`, the analysis
+//! walks every reachable function across
+//! `crates/{system,gpu,dram,noc,cache,carve}` and records, per
+//! function, the state fields it reads and writes, classified by the
+//! `// state:` annotations on `System`'s fields:
+//!
+//! * **gpu-local** — `Vec`-indexed per-GPU state. A write must be
+//!   indexed by the function's *tick context* (the GPU named by its
+//!   `// tick-context:` parameter, or a `for g in 0..` loop variable);
+//!   anything else is a [`cross-gpu-write`] finding unless it sits in
+//!   an `// exchange: <reason>` region or under an
+//!   `audit:allow(cross-gpu-write)`.
+//! * **shared** — declared serialization points (directory, page table,
+//!   NoC, token slab, traffic counters). Writes are legal and recorded.
+//! * **scratch** — tick-scoped buffers, logically dead between ticks.
+//!
+//! An `// exchange:` comment opens a region that lasts until its
+//! enclosing block closes: the lexical span where cross-GPU effects are
+//! *declared* rather than forbidden — exactly the spans a parallel-tick
+//! engine must run at a barrier. The emitted State-Access Matrix
+//! (`results/effects.tsv`) is committed and diffed in CI so partition
+//! drift is reviewed like a golden journal.
+//!
+//! Two more rules ride on the same walk:
+//!
+//! * [`order-sensitive-iteration`] — `for_each`/`values` iteration over
+//!   a `FastMap`/`FastSet`/`Slab`/`TagTable` field whose closure writes
+//!   state needs a `// determinism: <reason>` annotation.
+//! * cross-context calls — passing something other than the active tick
+//!   context to a callee's context parameter is a [`cross-gpu-write`]
+//!   finding too (the callee will write that GPU's state on our
+//!   behalf).
+//!
+//! [`cross-gpu-write`]: crate::Rule::CrossGpuWrite
+//! [`order-sensitive-iteration`]: crate::Rule::OrderSensitiveIteration
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{self, FileItems, FuncDef, Recv, StateClass, TickCtx};
+use crate::lex::{self, Tok, Token};
+use crate::{Diagnostic, Rule};
+
+/// Crates whose `src/` trees are in scope for the effect analysis
+/// (binaries under `src/bin/` are driver code, not tick path).
+pub const EFFECTS_CRATES: [&str; 6] = ["system", "gpu", "dram", "noc", "cache", "carve"];
+
+/// Whether `rel` (workspace-relative, `/`-separated) is analyzed.
+pub fn in_effects_scope(rel: &str) -> bool {
+    !rel.contains("/bin/")
+        && EFFECTS_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// One row of the State-Access Matrix.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MatrixRow {
+    /// Defining file of the function (workspace-relative).
+    pub file: String,
+    /// `Owner::name` of the accessing function.
+    pub func: String,
+    /// `System` field name, or `Owner.field` for component-internal
+    /// state.
+    pub field: String,
+    /// `"read"` or `"write"`.
+    pub access: &'static str,
+    /// `gpu-local`, `shared`, `scratch`, or `unannotated`.
+    pub class: &'static str,
+    /// Qualifier: `ctx=<ident>` for a context-indexed access,
+    /// `exchange` inside a declared region, `allow` under a
+    /// suppression, `borrow` for borrow-only chains, empty otherwise.
+    pub note: String,
+}
+
+/// Everything the effect analysis produces.
+#[derive(Debug, Default)]
+pub struct EffectsOutcome {
+    /// Deduplicated, deterministically sorted matrix rows.
+    pub rows: Vec<MatrixRow>,
+    pub diags: Vec<Diagnostic>,
+    /// `(file, line)` of every `audit:allow` that suppressed a finding.
+    pub used_allows: BTreeSet<(String, usize)>,
+}
+
+/// Renders the matrix as the committed TSV snapshot.
+pub fn matrix_tsv(rows: &[MatrixRow]) -> String {
+    let mut out = String::from("file\tfunction\tfield\taccess\tclass\tnote\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            r.file, r.func, r.field, r.access, r.class, r.note
+        ));
+    }
+    out
+}
+
+/// Methods that only borrow through a field without structural
+/// mutation; a chain made purely of these is recorded as a read and the
+/// `let`-bound name inherits the field for later write attribution.
+const BORROW_METHODS: [&str; 4] = ["as_ref", "as_mut", "as_deref", "as_deref_mut"];
+
+/// Mutating methods on `std`/`sim_core` types the function table cannot
+/// resolve (they live outside the analyzed crates).
+const BUILTIN_MUT_METHODS: [&str; 27] = [
+    "insert",
+    "insert_if_absent",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "clear",
+    "drain",
+    "record",
+    "take",
+    "replace",
+    "untracked_token",
+    "extend",
+    "append",
+    "truncate",
+    "retain",
+    "get_mut",
+    "iter_mut",
+    "resize",
+    "fill",
+    "sort",
+    "sort_unstable",
+    "set",
+    "add",
+];
+
+/// Container types whose `for_each`/`values` iteration order is an
+/// implementation detail the determinism argument must cover.
+const ITER_TYPES: [&str; 4] = ["FastMap", "FastSet", "Slab", "TagTable"];
+
+fn is_borrow_method(name: &str) -> bool {
+    BORROW_METHODS.contains(&name)
+}
+
+struct FieldInfo {
+    class: Option<StateClass>,
+    per_gpu: bool,
+    base: Option<String>,
+}
+
+struct Unit {
+    rel: String,
+    toks: Vec<Token>,
+    items: FileItems,
+    /// line -> rule names with a non-empty reason.
+    allows: BTreeMap<usize, Vec<String>>,
+}
+
+struct Env {
+    units: Vec<Unit>,
+    /// fn name -> (unit, fn index) for every definition.
+    by_name: BTreeMap<String, Vec<(usize, usize)>>,
+    sys_fields: BTreeMap<String, FieldInfo>,
+    /// component type -> state class (fixpoint over holder fields).
+    owner_class: BTreeMap<String, StateClass>,
+    /// component type -> field name -> base type ident.
+    struct_fields: BTreeMap<String, BTreeMap<String, Option<String>>>,
+    /// method names with at least one `&mut self` definition.
+    mut_fns: BTreeSet<String>,
+}
+
+impl Env {
+    fn is_mut_method(&self, name: &str) -> bool {
+        if is_borrow_method(name) {
+            return false;
+        }
+        self.mut_fns.contains(name) || BUILTIN_MUT_METHODS.contains(&name)
+    }
+
+    fn func(&self, r: (usize, usize)) -> &FuncDef {
+        &self.units[r.0].items.funcs[r.1]
+    }
+}
+
+fn build_env(files: &[(String, String)]) -> Env {
+    let mut units = Vec::new();
+    for (rel, content) in files {
+        if !in_effects_scope(rel) {
+            continue;
+        }
+        let toks = lex::lex(content);
+        let mut allows: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for t in &toks {
+            if let Some(c) = t.comment() {
+                if let Some((rule, reason)) = crate::parse_allow(c) {
+                    if !reason.is_empty() {
+                        allows.entry(t.line).or_default().push(rule.to_string());
+                    }
+                }
+            }
+        }
+        let items = items::extract(&toks);
+        units.push(Unit {
+            rel: rel.clone(),
+            toks,
+            items,
+            allows,
+        });
+    }
+    units.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut mut_fns = BTreeSet::new();
+    for (ui, u) in units.iter().enumerate() {
+        for (fi, f) in u.items.funcs.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push((ui, fi));
+            if f.recv == Recv::RefMut {
+                mut_fns.insert(f.name.clone());
+            }
+        }
+    }
+
+    let mut sys_fields = BTreeMap::new();
+    let mut struct_fields: BTreeMap<String, BTreeMap<String, Option<String>>> = BTreeMap::new();
+    let mut owner_class: BTreeMap<String, StateClass> = BTreeMap::new();
+    for u in &units {
+        for s in &u.items.structs {
+            let map = struct_fields.entry(s.name.clone()).or_default();
+            for f in &s.fields {
+                map.insert(f.name.clone(), f.base_type().map(str::to_string));
+            }
+            if s.name == "System" && u.rel == "crates/system/src/sim.rs" {
+                for f in &s.fields {
+                    sys_fields.insert(
+                        f.name.clone(),
+                        FieldInfo {
+                            class: f.class,
+                            per_gpu: f.per_gpu(),
+                            base: f.base_type().map(str::to_string),
+                        },
+                    );
+                    // Seed the holder map: the component type held by a
+                    // classified System field inherits the class.
+                    if let (Some(c), Some(base)) = (f.class, f.base_type()) {
+                        merge_class(&mut owner_class, base, c);
+                    }
+                }
+            }
+        }
+    }
+    // Fixpoint: a component's own fields' types inherit its class, so
+    // e.g. GpuCore (gpu-local) makes its SM/MSHR internals gpu-local.
+    for _ in 0..8 {
+        let snapshot: Vec<(String, StateClass)> =
+            owner_class.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut changed = false;
+        for (ty, cls) in snapshot {
+            if let Some(fields) = struct_fields.get(&ty) {
+                for base in fields.values().flatten() {
+                    if !owner_class.contains_key(base) {
+                        owner_class.insert(base.clone(), cls);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Env {
+        units,
+        by_name,
+        sys_fields,
+        owner_class,
+        struct_fields,
+        mut_fns,
+    }
+}
+
+/// Shared-wins when a type is reachable from holders of both classes.
+fn merge_class(map: &mut BTreeMap<String, StateClass>, ty: &str, cls: StateClass) {
+    match map.get(ty) {
+        None => {
+            map.insert(ty.to_string(), cls);
+        }
+        Some(prev) if *prev != cls => {
+            map.insert(ty.to_string(), StateClass::Shared);
+        }
+        _ => {}
+    }
+}
+
+/// Call-graph BFS from `System::tick` / `System::tick_into`.
+fn reachable(env: &Env) -> BTreeSet<(usize, usize)> {
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for name in ["tick", "tick_into"] {
+        if let Some(cands) = env.by_name.get(name) {
+            for &r in cands {
+                if env.func(r).owner.as_deref() == Some("System") {
+                    work.push(r);
+                }
+            }
+        }
+    }
+    let mut seen: BTreeSet<(usize, usize)> = work.iter().copied().collect();
+    while let Some(r) = work.pop() {
+        let f = env.func(r);
+        let Some((b0, b1)) = f.body else { continue };
+        let toks = &env.units[r.0].toks;
+        let owner = f.owner.clone();
+        let mut i = b0;
+        while i < b1 {
+            if let Some(name) = toks[i].ident() {
+                let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                let is_method = i > 0 && toks[i - 1].is_punct('.');
+                let path_owner =
+                    if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') && i >= 3 {
+                        toks[i - 3].ident().map(str::to_string)
+                    } else {
+                        None
+                    };
+                // A bare identifier is only a call when parenthesized; a
+                // path segment (`Type::fn`) also counts as an edge when
+                // passed as a function reference.
+                if called || path_owner.is_some() {
+                    if let Some(cands) = env.by_name.get(name) {
+                        for &c in cands {
+                            let cf = env.func(c);
+                            let ok = match (&path_owner, is_method) {
+                                (Some(o), _) => {
+                                    let want = if o == "Self" {
+                                        owner.as_deref()
+                                    } else {
+                                        Some(o.as_str())
+                                    };
+                                    cf.owner.as_deref() == want
+                                }
+                                (None, true) => cf.owner.is_some(),
+                                (None, false) => cf.owner.is_none() || !called,
+                            };
+                            if ok && seen.insert(c) {
+                                work.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    seen
+}
+
+/// Lookahead description of the access chain following a base
+/// (`self.field` or a bound local).
+struct Chain {
+    idx_ident: Option<String>,
+    methods: Vec<String>,
+    subfields: Vec<String>,
+    assigned: bool,
+    /// `for_each`/`values` call: (method, args token range).
+    iter_call: Option<(String, (usize, usize))>,
+}
+
+fn scan_chain(toks: &[Token], mut i: usize) -> (Chain, usize) {
+    let mut ch = Chain {
+        idx_ident: None,
+        methods: Vec::new(),
+        subfields: Vec::new(),
+        assigned: false,
+        iter_call: None,
+    };
+    loop {
+        if i < toks.len() && toks[i].is_punct('[') {
+            let end = skip_group(toks, i, '[', ']');
+            if ch.idx_ident.is_none() {
+                ch.idx_ident = toks[i + 1..end.saturating_sub(1)]
+                    .iter()
+                    .find_map(|t| t.ident().map(str::to_string));
+            }
+            i = end;
+            continue;
+        }
+        if i + 1 < toks.len() && toks[i].is_punct('.') {
+            match &toks[i + 1].tok {
+                Tok::Ident(name) => {
+                    if toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                        let end = skip_group(toks, i + 2, '(', ')');
+                        if matches!(name.as_str(), "for_each" | "values") && ch.iter_call.is_none()
+                        {
+                            ch.iter_call = Some((name.clone(), (i + 3, end - 1)));
+                        }
+                        ch.methods.push(name.clone());
+                        i = end;
+                    } else {
+                        ch.subfields.push(name.clone());
+                        i += 2;
+                    }
+                    continue;
+                }
+                Tok::Num(_) => {
+                    i += 2; // tuple field access
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        break;
+    }
+    // Trailing assignment operator?
+    ch.assigned = match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Punct('=')) => !toks.get(i + 1).is_some_and(|t| t.is_punct('=')),
+        Some(Tok::Punct('+' | '-' | '*' | '/' | '%' | '^' | '|' | '&')) => {
+            toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+        }
+        Some(Tok::Punct('<')) | Some(Tok::Punct('>')) => {
+            let c = match toks[i].tok {
+                Tok::Punct(c) => c,
+                _ => unreachable!(),
+            };
+            toks.get(i + 1).is_some_and(|t| t.is_punct(c))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        }
+        _ => false,
+    };
+    (ch, i)
+}
+
+fn skip_group(toks: &[Token], mut i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Whether the argument tokens of an iteration closure contain a write
+/// (an assignment operator or a call to a known mutating method).
+fn args_write(env: &Env, toks: &[Token]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('=') => {
+                let next_eq_or_arrow = toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct('=') || t.is_punct('>'));
+                let prev_cmp = i > 0
+                    && matches!(
+                        toks[i - 1].tok,
+                        Tok::Punct('=') | Tok::Punct('!') | Tok::Punct('<') | Tok::Punct('>')
+                    );
+                // `+=`-style compounds keep the '=' with an operator
+                // before it; those are writes, comparisons are not.
+                let prev_compound = i > 0
+                    && matches!(
+                        toks[i - 1].tok,
+                        Tok::Punct('+')
+                            | Tok::Punct('-')
+                            | Tok::Punct('*')
+                            | Tok::Punct('/')
+                            | Tok::Punct('%')
+                            | Tok::Punct('^')
+                            | Tok::Punct('|')
+                            | Tok::Punct('&')
+                    );
+                // A `let`-binding's `=` introduces a name; it mutates
+                // nothing. Scan back to the statement start for `let`.
+                let is_let_binding = toks[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|t| !t.is_punct(';') && !t.is_punct('{') && !t.is_punct('|'))
+                    .any(|t| t.ident() == Some("let"));
+                if !next_eq_or_arrow && (!prev_cmp || prev_compound) && !is_let_binding {
+                    return true;
+                }
+            }
+            Tok::Ident(name)
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && env.is_mut_method(name) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+struct Walker<'e> {
+    env: &'e Env,
+    unit: usize,
+    func_q: String,
+    rel: String,
+    is_system: bool,
+    owner: Option<String>,
+    depth: i64,
+    ctxs: Vec<(String, i64)>,
+    exchange: Vec<i64>,
+    determinism: Vec<i64>,
+    bindings: BTreeMap<String, String>,
+    match_bind: Option<(String, i64)>,
+    rows: BTreeSet<MatrixRow>,
+    diags: Vec<Diagnostic>,
+    used: BTreeSet<(String, usize)>,
+}
+
+impl Walker<'_> {
+    fn ctx_active(&self, id: &str) -> bool {
+        self.ctxs.iter().any(|(c, _)| c == id)
+    }
+
+    fn allowed(&mut self, rule: Rule, line: usize) -> bool {
+        let allows = &self.env.units[self.unit].allows;
+        for l in [line, line.saturating_sub(1)] {
+            if allows
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule.name()))
+            {
+                self.used.insert((self.rel.clone(), l));
+                return true;
+            }
+        }
+        false
+    }
+
+    fn row(&mut self, field: String, access: &'static str, class: &'static str, note: String) {
+        self.rows.insert(MatrixRow {
+            file: self.rel.clone(),
+            func: self.func_q.clone(),
+            field,
+            access,
+            class,
+            note,
+        });
+    }
+
+    fn finding(&mut self, rule: Rule, line: usize, message: String) {
+        self.diags.push(Diagnostic {
+            file: self.rel.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// Handles one access whose base resolves to `System` field `field`
+    /// (directly or through a borrow binding). `i` points just past the
+    /// base ident; `prefix_mut` is a literal `&mut` before the base.
+    fn system_access(&mut self, field: &str, line: usize, chain: &Chain, prefix_mut: bool) {
+        let info = &self.env.sys_fields[field];
+        let class = info.class;
+        let borrow_only = !prefix_mut
+            && !chain.assigned
+            && !chain.methods.is_empty()
+            && chain.methods.iter().all(|m| is_borrow_method(m));
+        let is_write = !borrow_only
+            && (prefix_mut
+                || chain.assigned
+                || chain.methods.iter().any(|m| self.env.is_mut_method(m)));
+        let class_name = match class {
+            Some(c) => c.name(),
+            None => "unannotated",
+        };
+        self.iter_check(field, info.base.as_deref(), line, chain);
+
+        if !is_write {
+            let note = if borrow_only {
+                "borrow".to_string()
+            } else {
+                match &chain.idx_ident {
+                    Some(id) if self.ctx_active(id) => format!("ctx={id}"),
+                    _ => String::new(),
+                }
+            };
+            self.row(field.to_string(), "read", class_name, note);
+            return;
+        }
+
+        match class {
+            Some(StateClass::Shared) | Some(StateClass::Scratch) => {
+                self.row(field.to_string(), "write", class_name, String::new());
+            }
+            Some(StateClass::GpuLocal) => {
+                let ctx_idx = info.per_gpu
+                    && chain
+                        .idx_ident
+                        .as_deref()
+                        .is_some_and(|id| self.ctx_active(id));
+                if ctx_idx || !info.per_gpu {
+                    let note = chain
+                        .idx_ident
+                        .as_deref()
+                        .map(|id| format!("ctx={id}"))
+                        .unwrap_or_default();
+                    self.row(field.to_string(), "write", class_name, note);
+                } else if !self.exchange.is_empty() {
+                    self.row(field.to_string(), "write", class_name, "exchange".into());
+                } else if self.allowed(Rule::CrossGpuWrite, line) {
+                    self.row(field.to_string(), "write", class_name, "allow".into());
+                } else {
+                    let how = match &chain.idx_ident {
+                        Some(id) => format!("indexed by non-context `{id}`"),
+                        None => "without a GPU index (broadcast)".to_string(),
+                    };
+                    let ctxs: Vec<&str> = self.ctxs.iter().map(|(c, _)| c.as_str()).collect();
+                    let ctx_desc = if ctxs.is_empty() {
+                        "no tick context is active".to_string()
+                    } else {
+                        format!("active context: {}", ctxs.join(", "))
+                    };
+                    self.finding(
+                        Rule::CrossGpuWrite,
+                        line,
+                        format!(
+                            "write to gpu-local `{field}` {how} in `{}` ({ctx_desc}); \
+                             index by the tick context, or declare the span with \
+                             `// exchange: <reason>`",
+                            self.func_q
+                        ),
+                    );
+                    self.row(field.to_string(), "write", class_name, "VIOLATION".into());
+                }
+            }
+            None => {
+                if !self.exchange.is_empty() {
+                    self.row(field.to_string(), "write", class_name, "exchange".into());
+                } else if self.allowed(Rule::CrossGpuWrite, line) {
+                    self.row(field.to_string(), "write", class_name, "allow".into());
+                } else {
+                    self.finding(
+                        Rule::CrossGpuWrite,
+                        line,
+                        format!(
+                            "write to `System` field `{field}` which has no \
+                             `// state:` annotation; declare it gpu-local, \
+                             shared, or scratch"
+                        ),
+                    );
+                    self.row(field.to_string(), "write", class_name, "VIOLATION".into());
+                }
+            }
+        }
+    }
+
+    /// Component (non-`System`) self-field access: uniformly classed by
+    /// the holder map; no context checks apply (the `System` call site
+    /// carries the index proof).
+    fn component_access(&mut self, field: &str, line: usize, chain: &Chain, prefix_mut: bool) {
+        let owner = self.owner.clone().unwrap_or_default();
+        let base = self
+            .env
+            .struct_fields
+            .get(&owner)
+            .and_then(|m| m.get(field))
+            .cloned()
+            .flatten();
+        let class = self
+            .env
+            .owner_class
+            .get(&owner)
+            .copied()
+            .unwrap_or(StateClass::Shared);
+        self.iter_check(&format!("{owner}.{field}"), base.as_deref(), line, chain);
+        let borrow_only = !prefix_mut
+            && !chain.assigned
+            && !chain.methods.is_empty()
+            && chain.methods.iter().all(|m| is_borrow_method(m));
+        let is_write = !borrow_only
+            && (prefix_mut
+                || chain.assigned
+                || chain.methods.iter().any(|m| self.env.is_mut_method(m)));
+        self.row(
+            format!("{owner}.{field}"),
+            if is_write { "write" } else { "read" },
+            class.name(),
+            if borrow_only {
+                "borrow".into()
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    /// `order-sensitive-iteration`: `for_each`/`values` on an
+    /// order-carrying container whose closure writes state.
+    fn iter_check(&mut self, label: &str, base: Option<&str>, line: usize, chain: &Chain) {
+        let Some((method, (a0, a1))) = &chain.iter_call else {
+            return;
+        };
+        if !base.is_some_and(|b| ITER_TYPES.contains(&b)) {
+            return;
+        }
+        let toks = &self.env.units[self.unit].toks;
+        if !args_write(self.env, &toks[*a0..*a1]) {
+            return;
+        }
+        if !self.determinism.is_empty() {
+            self.row(
+                label.to_string(),
+                "read",
+                "shared",
+                "determinism".to_string(),
+            );
+            return;
+        }
+        if self.allowed(Rule::OrderSensitiveIteration, line) {
+            return;
+        }
+        self.finding(
+            Rule::OrderSensitiveIteration,
+            line,
+            format!(
+                "`.{method}()` iteration over `{label}` (a {}) with writes in its \
+                 body; argue the order-independence with `// determinism: <reason>`",
+                base.unwrap_or("container")
+            ),
+        );
+    }
+
+    /// Cross-context call check at `self.name(args…)` for `System`
+    /// methods whose callee declares a tick-context parameter.
+    fn call_check(&mut self, name: &str, line: usize, args_open: usize) {
+        if self.ctxs.is_empty() {
+            return; // pure orchestrator: it establishes contexts itself
+        }
+        let Some(cands) = self.env.by_name.get(name) else {
+            return;
+        };
+        let callee = cands
+            .iter()
+            .map(|&r| self.env.func(r))
+            .find(|f| f.owner.as_deref() == Some("System"));
+        let Some(callee) = callee else { return };
+        let TickCtx::Param(p) = &callee.ctx else {
+            return;
+        };
+        let Some(k) = callee.params.iter().position(|q| &q.name == p) else {
+            return;
+        };
+        let toks = &self.env.units[self.unit].toks;
+        let end = skip_group(toks, args_open, '(', ')');
+        let args = &toks[args_open + 1..end.saturating_sub(1)];
+        // Top-level comma split to find argument k.
+        let mut depth = 0i64;
+        let mut arg_idx = 0usize;
+        let mut first_ident: Option<&str> = None;
+        for t in args {
+            match &t.tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => {
+                    if arg_idx == k {
+                        break;
+                    }
+                    arg_idx += 1;
+                    continue;
+                }
+                Tok::Ident(id) if arg_idx == k && first_ident.is_none() => {
+                    first_ident = Some(id);
+                }
+                _ => {}
+            }
+        }
+        let p = p.clone();
+        match first_ident.map(str::to_string) {
+            Some(id) if self.ctx_active(&id) => {}
+            other => {
+                if !self.exchange.is_empty() || self.allowed(Rule::CrossGpuWrite, line) {
+                    return;
+                }
+                let what = other
+                    .map(|id| format!("`{id}`"))
+                    .unwrap_or_else(|| "an expression".to_string());
+                let func_q = self.func_q.clone();
+                self.finding(
+                    Rule::CrossGpuWrite,
+                    line,
+                    format!(
+                        "`{func_q}` passes {what} to `{name}`'s tick-context \
+                         parameter `{p}` while a different context is active; \
+                         wrap the span in `// exchange: <reason>` if this is a \
+                         declared cross-GPU hand-off"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn walk(&mut self, body: (usize, usize)) {
+        let unit = self.unit;
+        let (b0, b1) = body;
+        let mut i = b0;
+        while i < b1 {
+            let toks = &self.env.units[unit].toks;
+            let t = &toks[i];
+            match &t.tok {
+                Tok::Comment(c) => {
+                    if annotation_reason(c, "exchange:") {
+                        self.exchange.push(self.depth);
+                    }
+                    if annotation_reason(c, "determinism:") {
+                        self.determinism.push(self.depth);
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tok::Punct('{') => {
+                    self.depth += 1;
+                    i += 1;
+                    continue;
+                }
+                Tok::Punct('}') => {
+                    self.depth -= 1;
+                    let d = self.depth;
+                    self.ctxs.retain(|(_, cd)| *cd <= d);
+                    self.exchange.retain(|cd| *cd <= d);
+                    self.determinism.retain(|cd| *cd <= d);
+                    if self.match_bind.as_ref().is_some_and(|(_, md)| *md > d) {
+                        self.match_bind = None;
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(w) if w == "for" => {
+                    // `for g in 0..…` introduces `g` as a tick context for
+                    // the loop body.
+                    if let (Some(Tok::Ident(id)), Some(Tok::Ident(kw))) = (
+                        toks.get(i + 1).map(|t| &t.tok),
+                        toks.get(i + 2).map(|t| &t.tok),
+                    ) {
+                        let zero = matches!(
+                            toks.get(i + 3).map(|t| &t.tok),
+                            Some(Tok::Num(n)) if n == "0"
+                        );
+                        if kw == "in"
+                            && zero
+                            && toks.get(i + 4).is_some_and(|t| t.is_punct('.'))
+                            && toks.get(i + 5).is_some_and(|t| t.is_punct('.'))
+                        {
+                            self.ctxs.push((id.clone(), self.depth + 1));
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(w) if w == "let" => {
+                    self.try_bind(i);
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(w) if w == "match" => {
+                    self.try_match_bind(i);
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(w) if w == "Some" && self.match_bind.is_some() => {
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                        if let Some(Tok::Ident(id)) = toks.get(i + 2).map(|t| &t.tok) {
+                            if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                                let field = self.match_bind.as_ref().unwrap().0.clone();
+                                self.bindings.insert(id.clone(), field);
+                            }
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(w) if w == "self" => {
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+                        if let Some(Tok::Ident(name)) = toks.get(i + 2).map(|t| &t.tok) {
+                            let name = name.clone();
+                            let line = toks[i + 2].line;
+                            let prefix_mut = i >= 2
+                                && toks[i - 1].ident() == Some("mut")
+                                && toks[i - 2].is_punct('&');
+                            if self.is_system {
+                                if self.env.sys_fields.contains_key(&name) {
+                                    let (chain, _) = scan_chain(toks, i + 3);
+                                    self.system_access(&name, line, &chain, prefix_mut);
+                                } else if toks.get(i + 3).is_some_and(|t| t.is_punct('(')) {
+                                    self.call_check(&name, line, i + 3);
+                                }
+                            } else if !toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+                                || self
+                                    .owner
+                                    .as_deref()
+                                    .and_then(|o| self.env.struct_fields.get(o))
+                                    .is_some_and(|m| m.contains_key(&name))
+                            {
+                                let (chain, _) = scan_chain(toks, i + 3);
+                                self.component_access(&name, line, &chain, prefix_mut);
+                            }
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                Tok::Ident(id)
+                    if self.bindings.contains_key(id)
+                        && !(i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))) =>
+                {
+                    let field = self.bindings[id].clone();
+                    let line = t.line;
+                    let prefix_mut =
+                        i >= 2 && toks[i - 1].ident() == Some("mut") && toks[i - 2].is_punct('&');
+                    let (chain, _) = scan_chain(toks, i + 1);
+                    if self.is_system && self.env.sys_fields.contains_key(&field) {
+                        self.system_access(&field, line, &chain, prefix_mut);
+                    } else if !self.is_system {
+                        self.component_access(&field, line, &chain, prefix_mut);
+                    }
+                    i += 1;
+                    continue;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// `let [Some(]x[)] = self.field.as_mut()…` — bind `x` to the field
+    /// when the right-hand chain is borrow-only.
+    fn try_bind(&mut self, let_idx: usize) {
+        let toks = &self.env.units[self.unit].toks;
+        let mut i = let_idx + 1;
+        let mut pat_ident: Option<String> = None;
+        let limit = (let_idx + 12).min(toks.len());
+        while i < limit {
+            match &toks[i].tok {
+                Tok::Punct('=') => break,
+                Tok::Ident(id)
+                    if !matches!(id.as_str(), "Some" | "Ok" | "mut" | "ref" | "None") =>
+                {
+                    pat_ident = Some(id.clone());
+                }
+                Tok::Punct('(') | Tok::Punct(')') | Tok::Punct('&') | Tok::Ident(_) => {}
+                _ => return, // complex pattern: don't bind
+            }
+            i += 1;
+        }
+        if i >= limit || !toks[i].is_punct('=') {
+            return;
+        }
+        let Some(name) = pat_ident else { return };
+        // RHS must be `self . <field>` followed by a borrow-only chain.
+        if !(toks.get(i + 1).is_some_and(|t| t.ident() == Some("self"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('.')))
+        {
+            return;
+        }
+        let Some(field) = toks.get(i + 3).and_then(Token::ident).map(str::to_string) else {
+            return;
+        };
+        let known = if self.is_system {
+            self.env.sys_fields.contains_key(&field)
+        } else {
+            self.owner
+                .as_deref()
+                .and_then(|o| self.env.struct_fields.get(o))
+                .is_some_and(|m| m.contains_key(&field))
+        };
+        if !known {
+            return;
+        }
+        let (chain, _) = scan_chain(toks, i + 4);
+        if !chain.methods.is_empty() && chain.methods.iter().all(|m| is_borrow_method(m)) {
+            self.bindings.insert(name, field);
+        }
+    }
+
+    /// `match self.field.as_mut() {` — arm patterns `Some(x)` bind `x`
+    /// to the field for the duration of the match block.
+    fn try_match_bind(&mut self, match_idx: usize) {
+        let toks = &self.env.units[self.unit].toks;
+        if !(toks
+            .get(match_idx + 1)
+            .is_some_and(|t| t.ident() == Some("self"))
+            && toks.get(match_idx + 2).is_some_and(|t| t.is_punct('.')))
+        {
+            return;
+        }
+        let Some(field) = toks
+            .get(match_idx + 3)
+            .and_then(Token::ident)
+            .map(str::to_string)
+        else {
+            return;
+        };
+        let known = if self.is_system {
+            self.env.sys_fields.contains_key(&field)
+        } else {
+            false
+        };
+        if !known {
+            return;
+        }
+        let (chain, end) = scan_chain(toks, match_idx + 4);
+        if chain.methods.is_empty() || !chain.methods.iter().all(|m| is_borrow_method(m)) {
+            return;
+        }
+        if toks.get(end).is_some_and(|t| t.is_punct('{')) {
+            self.match_bind = Some((field, self.depth + 1));
+        }
+    }
+}
+
+/// Whether a comment carries `<key> <non-empty reason>`.
+fn annotation_reason(comment: &str, key: &str) -> bool {
+    comment
+        .split(key)
+        .nth(1)
+        .is_some_and(|rest| !rest.trim().is_empty())
+}
+
+/// Runs the full effect analysis over workspace file contents
+/// (`(workspace-relative path, contents)` pairs; out-of-scope files are
+/// ignored).
+pub fn analyze_effects(files: &[(String, String)]) -> EffectsOutcome {
+    let env = build_env(files);
+    let reach = reachable(&env);
+    let mut out = EffectsOutcome::default();
+    let mut rows: BTreeSet<MatrixRow> = BTreeSet::new();
+
+    // Deterministic order: by (file, fn line).
+    let mut order: Vec<(usize, usize)> = reach.iter().copied().collect();
+    order.sort_by_key(|&(u, f)| (env.units[u].rel.clone(), env.units[u].items.funcs[f].line));
+
+    for (u, fi) in order {
+        let f = &env.units[u].items.funcs[fi];
+        let Some(body) = f.body else { continue };
+        let is_system = f.owner.as_deref() == Some("System");
+        let mut w = Walker {
+            env: &env,
+            unit: u,
+            func_q: f.qname(),
+            rel: env.units[u].rel.clone(),
+            is_system,
+            owner: f.owner.clone(),
+            depth: 0,
+            ctxs: match &f.ctx {
+                TickCtx::Param(p) if is_system => vec![(p.clone(), 0)],
+                _ => Vec::new(),
+            },
+            exchange: Vec::new(),
+            determinism: Vec::new(),
+            bindings: BTreeMap::new(),
+            match_bind: None,
+            rows: BTreeSet::new(),
+            diags: Vec::new(),
+            used: BTreeSet::new(),
+        };
+        w.walk(body);
+        rows.extend(w.rows);
+        out.diags.extend(w.diags);
+        out.used_allows.extend(w.used);
+    }
+
+    out.rows = rows.into_iter().collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: &str = "crates/system/src/sim.rs";
+
+    fn run(src: &str) -> EffectsOutcome {
+        analyze_effects(&[(SIM.to_string(), src.to_string())])
+    }
+
+    fn rules(out: &EffectsOutcome) -> Vec<&'static str> {
+        out.diags.iter().map(|d| d.rule.name()).collect()
+    }
+
+    /// A minimal well-partitioned System: everything the tick touches is
+    /// either context-indexed gpu-local, declared shared, or scratch.
+    const CLEAN: &str = "\
+struct System {
+    num_gpus: usize, // state: shared
+    cores: Vec<GpuCore>, // state: gpu-local
+    net: LinkNetwork, // state: shared
+    scratch: Vec<u64>, // state: scratch
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        self.scratch.clear();
+        for g in 0..self.num_gpus {
+            self.cores[g].advance(now);
+            self.route(g, now);
+        }
+        self.net.drain(&mut self.scratch);
+    }
+    // tick-context: g
+    fn route(&mut self, g: usize, now: Cycle) {
+        self.cores[g].deliver(now);
+        self.net.send(g, now);
+    }
+}
+struct GpuCore { warps: u64 }
+impl GpuCore {
+    pub fn advance(&mut self, now: Cycle) { self.warps += 1; }
+    pub fn deliver(&mut self, now: Cycle) { self.warps += 1; }
+}
+struct LinkNetwork { inflight: u64 }
+impl LinkNetwork {
+    pub fn send(&mut self, g: usize, now: Cycle) { self.inflight += 1; }
+    pub fn drain(&mut self, out: &mut Vec<u64>) { self.inflight = 0; }
+}
+";
+
+    #[test]
+    fn well_partitioned_system_scans_clean() {
+        let out = run(CLEAN);
+        assert_eq!(rules(&out), Vec::<&str>::new(), "{:?}", out.diags);
+        // The matrix still records the accesses.
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "cores" && r.access == "write" && r.note == "ctx=g"));
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.func == "GpuCore.advance" || r.func == "GpuCore::advance"));
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "GpuCore.warps" && r.class == "gpu-local"));
+    }
+
+    /// The deliberately mis-partitioned fixture demanded by the issue: a
+    /// per-GPU tick function writing another GPU's state.
+    #[test]
+    fn cross_gpu_write_fires_on_mispartitioned_fixture() {
+        let src = "\
+struct System {
+    num_gpus: usize, // state: shared
+    cores: Vec<GpuCore>, // state: gpu-local
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        for g in 0..self.num_gpus {
+            let home = (g + 1) % self.num_gpus;
+            self.cores[home].poke(now); // writes a *different* GPU's core
+        }
+    }
+}
+struct GpuCore { warps: u64 }
+impl GpuCore { pub fn poke(&mut self, now: Cycle) { self.warps += 1; } }
+";
+        let out = run(src);
+        assert_eq!(rules(&out), ["cross-gpu-write"], "{:?}", out.diags);
+        assert!(
+            out.diags[0].message.contains("home"),
+            "{}",
+            out.diags[0].message
+        );
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "cores" && r.note == "VIOLATION"));
+    }
+
+    #[test]
+    fn broadcast_write_needs_exchange_region() {
+        let src = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        for core in &mut self.cores { core.flush(); }
+    }
+}
+struct GpuCore { dirty: u64 }
+impl GpuCore { pub fn flush(&mut self) { self.dirty = 0; } }
+";
+        let out = run(src);
+        assert_eq!(rules(&out), ["cross-gpu-write"]);
+        assert!(out.diags[0].message.contains("broadcast"));
+
+        let annotated = src.replace(
+            "for core in &mut self.cores",
+            "// exchange: TLB shootdown fans out to every GPU at a barrier\n        for core in &mut self.cores",
+        );
+        let out = run(&annotated);
+        assert_eq!(rules(&out), Vec::<&str>::new(), "{:?}", out.diags);
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "cores" && r.note == "exchange"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_marked_used() {
+        let src = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        // audit:allow(cross-gpu-write) requester id proven equal to g by the token mint
+        self.cores[0].flush();
+    }
+}
+struct GpuCore { dirty: u64 }
+impl GpuCore { pub fn flush(&mut self) { self.dirty = 0; } }
+";
+        let out = run(src);
+        assert_eq!(rules(&out), Vec::<&str>::new(), "{:?}", out.diags);
+        assert_eq!(out.used_allows.len(), 1);
+    }
+
+    #[test]
+    fn unannotated_field_write_is_a_finding() {
+        let src = "\
+struct System {
+    mystery: u64,
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) { self.mystery += 1; }
+}
+";
+        let out = run(src);
+        assert_eq!(rules(&out), ["cross-gpu-write"]);
+        assert!(out.diags[0].message.contains("no `// state:`"));
+    }
+
+    #[test]
+    fn cross_context_call_is_checked() {
+        let src = "\
+struct System {
+    num_gpus: usize, // state: shared
+    cores: Vec<GpuCore>, // state: gpu-local
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        for g in 0..self.num_gpus {
+            let home = g + 1;
+            self.apply(home, now);
+        }
+    }
+    // tick-context: target
+    fn apply(&mut self, target: usize, now: Cycle) {
+        self.cores[target].flush();
+    }
+}
+struct GpuCore { dirty: u64 }
+impl GpuCore { pub fn flush(&mut self) { self.dirty = 0; } }
+";
+        let out = run(src);
+        assert_eq!(rules(&out), ["cross-gpu-write"], "{:?}", out.diags);
+        assert!(
+            out.diags[0].message.contains("tick-context"),
+            "{}",
+            out.diags[0].message
+        );
+
+        // The same call inside an exchange region is a declared hand-off.
+        let annotated = src.replace(
+            "self.apply(home, now);",
+            "// exchange: invalidate fan-out crosses GPUs by design\n            self.apply(home, now);",
+        );
+        assert_eq!(rules(&run(&annotated)), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn order_sensitive_iteration_needs_determinism_argument() {
+        let src = "\
+struct System {
+    pending: Slab<Pending>, // state: shared
+    total: u64, // state: shared
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        let total = &mut self.total;
+        self.pending.for_each(|_, p| { *total += 1; });
+    }
+}
+";
+        let out = run(src);
+        assert_eq!(
+            rules(&out),
+            ["order-sensitive-iteration"],
+            "{:?}",
+            out.diags
+        );
+
+        let annotated = src.replace(
+            "self.pending.for_each",
+            "// determinism: summation commutes; order cannot reach the journal\n        self.pending.for_each",
+        );
+        assert_eq!(rules(&run(&annotated)), Vec::<&str>::new());
+
+        // Read-only iteration needs no annotation.
+        let readonly = src.replace("*total += 1;", "let _ = p;");
+        assert_eq!(rules(&run(&readonly)), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn borrow_bindings_attribute_writes_to_the_field() {
+        let src = "\
+struct System {
+    prof: Option<Vec<FastSet>>, // state: gpu-local
+}
+impl System {
+    // tick-context: target
+    fn apply(&mut self, target: usize) {
+        if let Some(sets) = self.prof.as_mut() {
+            sets[target].insert(1);
+        }
+    }
+    pub fn tick(&mut self, now: Cycle) {
+        for g in 0..2 { self.apply(g); }
+    }
+}
+";
+        let out = run(src);
+        assert_eq!(rules(&out), Vec::<&str>::new(), "{:?}", out.diags);
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "prof" && r.access == "write" && r.note == "ctx=target"));
+        // The mis-indexed variant fires.
+        let bad = src.replace("sets[target].insert(1);", "sets[0].insert(1);");
+        assert_eq!(rules(&run(&bad)), ["cross-gpu-write"]);
+    }
+
+    #[test]
+    fn scratch_and_shared_writes_are_recorded_not_flagged() {
+        let out = run(CLEAN);
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "scratch" && r.access == "write" && r.class == "scratch"));
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.field == "net" && r.access == "write" && r.class == "shared"));
+    }
+
+    #[test]
+    fn unreachable_functions_are_not_analyzed() {
+        let src = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {}
+    pub fn build_only(&mut self) { self.cores[7].flush(); }
+}
+struct GpuCore { dirty: u64 }
+impl GpuCore { pub fn flush(&mut self) { self.dirty = 0; } }
+";
+        assert_eq!(rules(&run(src)), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn matrix_tsv_is_deterministic_and_sorted() {
+        let a = matrix_tsv(&run(CLEAN).rows);
+        let b = matrix_tsv(&run(CLEAN).rows);
+        assert_eq!(a, b);
+        assert!(a.starts_with("file\tfunction\tfield\taccess\tclass\tnote\n"));
+        let lines: Vec<&str> = a.lines().skip(1).collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+    }
+}

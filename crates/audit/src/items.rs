@@ -1,0 +1,886 @@
+//! Item extraction over the [`crate::lex`] token stream.
+//!
+//! Finds `struct` definitions (with per-field state-class annotations)
+//! and `fn` items (with their owning `impl`/`trait` type, receiver
+//! mutability, parameter list, declared tick context, and body token
+//! range) by brace matching — no full parser, no `syn`. `#[cfg(test)]`
+//! items are skipped entirely so test helpers never enter the effect
+//! analysis.
+//!
+//! Two annotation conventions are read here:
+//!
+//! * `// state: gpu-local | shared | scratch` on a struct field — the
+//!   field's place in the per-GPU state partition (same line as the
+//!   field or the comment line(s) directly above it).
+//! * `// tick-context: <param> | orchestrator` in the comment block
+//!   above a `fn` — which parameter names the GPU whose tick context
+//!   the function executes in. Functions without the annotation default
+//!   to a parameter literally named `g` or `gpu` when present, and to
+//!   *orchestrator* (the sequential driver that parallel ticking will
+//!   split) otherwise.
+
+use crate::lex::{Tok, Token};
+
+/// A field's declared place in the per-GPU state partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StateClass {
+    /// Owned by one GPU, indexed by the current GPU in tick context.
+    GpuLocal,
+    /// Declared shared state: directory, page table, NoC, token slab —
+    /// the serialization points parallel ticking must handle at
+    /// barriers. Writes are legal and recorded in the matrix.
+    Shared,
+    /// Tick-scoped scratch buffers; logically dead between ticks.
+    Scratch,
+}
+
+impl StateClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            StateClass::GpuLocal => "gpu-local",
+            StateClass::Shared => "shared",
+            StateClass::Scratch => "scratch",
+        }
+    }
+
+    fn parse(word: &str) -> Option<StateClass> {
+        match word {
+            "gpu-local" => Some(StateClass::GpuLocal),
+            "shared" => Some(StateClass::Shared),
+            "scratch" => Some(StateClass::Scratch),
+            _ => None,
+        }
+    }
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    /// Identifier tokens of the type, in order (`Vec<GpuCore>` →
+    /// `["Vec", "GpuCore"]`).
+    pub ty: Vec<String>,
+    /// Declared state class, if annotated.
+    pub class: Option<StateClass>,
+    pub line: usize,
+}
+
+impl Field {
+    /// Whether the type is a per-GPU indexable container (outermost
+    /// wrapper chain contains a `Vec`).
+    pub fn per_gpu(&self) -> bool {
+        self.ty.iter().any(|t| t == "Vec")
+    }
+
+    /// The first type identifier that is not a transparent container —
+    /// the component type held by this field, if any.
+    pub fn base_type(&self) -> Option<&str> {
+        const CONTAINERS: [&str; 10] = [
+            "Vec",
+            "Option",
+            "Box",
+            "Arc",
+            "Rc",
+            "VecDeque",
+            "BinaryHeap",
+            "Reverse",
+            "RefCell",
+            "Cow",
+        ];
+        self.ty
+            .iter()
+            .map(String::as_str)
+            .find(|t| !CONTAINERS.contains(t) && !is_primitive(t))
+    }
+}
+
+fn is_primitive(t: &str) -> bool {
+    matches!(
+        t,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "char"
+            | "str"
+            | "String"
+            | "dyn"
+            | "impl"
+            | "mut"
+            | "const"
+    )
+}
+
+/// A struct definition with named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<Field>,
+    pub line: usize,
+}
+
+/// Receiver flavor of a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recv {
+    None,
+    Ref,
+    RefMut,
+    Owned,
+}
+
+/// The declared (or defaulted) GPU tick context of a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickCtx {
+    /// Executes in the context of the GPU named by this parameter.
+    Param(String),
+    /// The sequential driver: loops over all GPUs itself; per-GPU
+    /// sub-calls establish their own contexts.
+    Orchestrator,
+}
+
+/// One function parameter (receiver excluded).
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Identifier tokens of the type.
+    pub ty: Vec<String>,
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// The `impl`/`trait` type this fn belongs to, if any.
+    pub owner: Option<String>,
+    pub name: String,
+    pub line: usize,
+    pub recv: Recv,
+    pub params: Vec<Param>,
+    /// Token index range of the body *inside* the braces:
+    /// `toks[body.0..body.1]` (empty or absent for trait declarations).
+    pub body: Option<(usize, usize)>,
+    /// Declared or defaulted tick context.
+    pub ctx: TickCtx,
+    /// Whether `// tick-context:` was written explicitly.
+    pub ctx_declared: bool,
+}
+
+impl FuncDef {
+    /// `Owner::name` or bare `name` for free functions.
+    pub fn qname(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub structs: Vec<StructDef>,
+    pub funcs: Vec<FuncDef>,
+}
+
+/// Extracts items from a lexed file.
+pub fn extract(toks: &[Token]) -> FileItems {
+    let mut out = FileItems::default();
+    scan_items(toks, 0, toks.len(), None, &mut out);
+    out
+}
+
+/// Skips a balanced group; `i` points at the opening token. Returns the
+/// index one past the matching closer.
+fn skip_group(toks: &[Token], mut i: usize, open: char, close: char) -> usize {
+    debug_assert!(toks[i].is_punct(open));
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Skips a generics group `<...>`; `i` points at `<`. `->` inside (fn
+/// pointer return types) is skipped without closing a level.
+fn skip_generics(toks: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < toks.len() {
+        if toks[i].is_punct('-') && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+            i += 2;
+            continue;
+        }
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Skips one item generically (used for `#[cfg(test)]` exclusion):
+/// consumes tokens until a top-level `;` or past a brace-matched block.
+fn skip_item(toks: &[Token], mut i: usize) -> usize {
+    // After a top-level `=` (a const/static/type initializer) the rest
+    // is an expression, where `<` is comparison or shift — `1 << 45`
+    // must not be mistaken for an unclosed generics group.
+    let mut in_expr = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(';') {
+            return i + 1;
+        }
+        if t.is_punct('{') {
+            return skip_group(toks, i, '{', '}');
+        }
+        if t.is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = skip_group(toks, i + 1, '[', ']');
+            continue;
+        }
+        if t.is_punct('(') {
+            i = skip_group(toks, i, '(', ')');
+            continue;
+        }
+        if t.is_punct('<') && !in_expr {
+            i = skip_generics(toks, i);
+            continue;
+        }
+        if t.is_punct('=') && !toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+            in_expr = true;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether the attribute group starting at `#` (index `i`) is
+/// `#[cfg(test)]` (or any cfg containing the `test` ident).
+fn is_cfg_test(toks: &[Token], i: usize) -> bool {
+    if !toks[i].is_punct('#') || !toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    let end = skip_group(toks, i + 1, '[', ']');
+    let inner = &toks[i + 2..end.saturating_sub(1)];
+    inner.first().is_some_and(|t| t.ident() == Some("cfg"))
+        && inner.iter().any(|t| t.ident() == Some("test"))
+}
+
+fn scan_items(toks: &[Token], mut i: usize, end: usize, owner: Option<&str>, out: &mut FileItems) {
+    // Comment block accumulated since the last non-comment token at this
+    // level; survives across attributes so `// tick-context:` can sit
+    // above `#[inline]`.
+    let mut pending_comments: Vec<(String, usize)> = Vec::new();
+    let mut skip_next = false; // armed by #[cfg(test)]
+
+    while i < end {
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Comment(c) => {
+                pending_comments.push((c.clone(), t.line));
+                i += 1;
+                continue;
+            }
+            Tok::Punct('#') if toks.get(i + 1).is_some_and(|t| t.is_punct('[')) => {
+                if is_cfg_test(toks, i) {
+                    skip_next = true;
+                }
+                i = skip_group(toks, i + 1, '[', ']');
+                continue;
+            }
+            _ => {}
+        }
+        let word = t.ident().unwrap_or("");
+        match word {
+            "pub" => {
+                i += 1;
+                if i < end && toks[i].is_punct('(') {
+                    i = skip_group(toks, i, '(', ')');
+                }
+                continue; // visibility does not clear pending comments
+            }
+            "unsafe" | "async" | "extern" => {
+                i += 1;
+                continue;
+            }
+            "const" => {
+                // `const fn` is a fn modifier; `const NAME: …;` is an item.
+                if toks.get(i + 1).is_some_and(|t| t.ident() == Some("fn")) {
+                    i += 1;
+                    continue;
+                }
+                i = skip_item(toks, i);
+                pending_comments.clear();
+                skip_next = false;
+            }
+            "fn" => {
+                if skip_next {
+                    i = skip_item(toks, i);
+                    skip_next = false;
+                } else {
+                    i = parse_fn(toks, i, owner, &pending_comments, out);
+                }
+                pending_comments.clear();
+            }
+            "struct" => {
+                if skip_next {
+                    i = skip_item(toks, i);
+                    skip_next = false;
+                } else {
+                    i = parse_struct(toks, i, out);
+                }
+                pending_comments.clear();
+            }
+            "impl" | "trait" => {
+                if skip_next {
+                    i = skip_item(toks, i);
+                    skip_next = false;
+                    pending_comments.clear();
+                    continue;
+                }
+                let (name, body_open) = impl_target(toks, i, end, word == "trait");
+                if let Some(open) = body_open {
+                    let close = skip_group(toks, open, '{', '}');
+                    scan_items(toks, open + 1, close - 1, name.as_deref(), out);
+                    i = close;
+                } else {
+                    i = skip_item(toks, i);
+                }
+                pending_comments.clear();
+            }
+            "mod" => {
+                if skip_next {
+                    i = skip_item(toks, i);
+                    skip_next = false;
+                    pending_comments.clear();
+                    continue;
+                }
+                // Inline module: recurse at the same owner level.
+                let mut j = i + 1;
+                while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < end && toks[j].is_punct('{') {
+                    let close = skip_group(toks, j, '{', '}');
+                    scan_items(toks, j + 1, close - 1, None, out);
+                    i = close;
+                } else {
+                    i = j + 1;
+                }
+                pending_comments.clear();
+            }
+            _ => {
+                i = skip_item(toks, i);
+                pending_comments.clear();
+                skip_next = false;
+            }
+        }
+    }
+}
+
+/// Resolves the owning type name of an `impl`/`trait` block and the
+/// index of its opening `{`. For `impl Trait for Type`, the owner is
+/// `Type`; generic arguments and lifetimes are stripped.
+fn impl_target(
+    toks: &[Token],
+    mut i: usize,
+    end: usize,
+    is_trait: bool,
+) -> (Option<String>, Option<usize>) {
+    i += 1; // past `impl`/`trait`
+    if i < end && toks[i].is_punct('<') {
+        i = skip_generics(toks, i);
+    }
+    let mut last_path_ident: Option<String> = None;
+    let mut after_for = false;
+    let mut trait_name: Option<String> = None;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            let owner = if is_trait {
+                trait_name
+            } else {
+                last_path_ident
+            };
+            return (owner, Some(i));
+        }
+        if t.is_punct(';') {
+            return (None, None);
+        }
+        if t.is_punct('<') {
+            i = skip_generics(toks, i);
+            continue;
+        }
+        match t.ident() {
+            Some("for") => {
+                after_for = true;
+                last_path_ident = None;
+            }
+            Some("where") => {
+                // Owner is settled; scan forward to the block.
+                while i < end && !toks[i].is_punct('{') && !toks[i].is_punct(';') {
+                    if toks[i].is_punct('<') {
+                        i = skip_generics(toks, i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            Some(id) if !matches!(id, "dyn" | "mut" | "const") => {
+                if trait_name.is_none() && !after_for {
+                    trait_name = Some(id.to_string());
+                }
+                last_path_ident = Some(id.to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (None, None)
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; returns the index
+/// one past the item.
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    owner: Option<&str>,
+    comments: &[(String, usize)],
+    out: &mut FileItems,
+) -> usize {
+    let mut j = i + 1;
+    let Some(name) = toks.get(j).and_then(Token::ident).map(str::to_string) else {
+        return skip_item(toks, i);
+    };
+    let line = toks[j].line;
+    j += 1;
+    if j < toks.len() && toks[j].is_punct('<') {
+        j = skip_generics(toks, j);
+    }
+    if j >= toks.len() || !toks[j].is_punct('(') {
+        return skip_item(toks, i);
+    }
+    let params_end = skip_group(toks, j, '(', ')');
+    let (recv, params) = parse_params(&toks[j + 1..params_end - 1]);
+
+    // Scan the signature tail (return type, where clause) for the body.
+    let mut k = params_end;
+    let mut body = None;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('-') && toks.get(k + 1).is_some_and(|t| t.is_punct('>')) {
+            k += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            k = skip_generics(toks, k);
+            continue;
+        }
+        if t.is_punct(';') {
+            k += 1;
+            break;
+        }
+        if t.is_punct('{') {
+            let close = skip_group(toks, k, '{', '}');
+            body = Some((k + 1, close - 1));
+            k = close;
+            break;
+        }
+        k += 1;
+    }
+
+    // Tick context: explicit annotation wins; otherwise a param named
+    // exactly `g` or `gpu`; otherwise orchestrator.
+    let mut ctx = None;
+    let mut ctx_declared = false;
+    for (c, _) in comments {
+        if let Some(rest) = c.split("tick-context:").nth(1) {
+            let word = rest
+                .trim_start()
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .next()
+                .unwrap_or("");
+            if word == "orchestrator" {
+                ctx = Some(TickCtx::Orchestrator);
+            } else if !word.is_empty() {
+                ctx = Some(TickCtx::Param(word.to_string()));
+            }
+            ctx_declared = ctx.is_some();
+        }
+    }
+    let ctx = ctx.unwrap_or_else(|| {
+        params
+            .iter()
+            .find(|p| p.name == "g" || p.name == "gpu")
+            .map(|p| TickCtx::Param(p.name.clone()))
+            .unwrap_or(TickCtx::Orchestrator)
+    });
+
+    out.funcs.push(FuncDef {
+        owner: owner.map(str::to_string),
+        name,
+        line,
+        recv,
+        params,
+        body,
+        ctx,
+        ctx_declared,
+    });
+    k
+}
+
+/// Splits a parameter token run on top-level commas into the receiver
+/// and named parameters.
+fn parse_params(toks: &[Token]) -> (Recv, Vec<Param>) {
+    let mut groups: Vec<&[Token]> = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (idx, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') | Tok::Punct('>') => depth -= 1,
+            Tok::Punct(',') if depth == 0 => {
+                groups.push(&toks[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        groups.push(&toks[start..]);
+    }
+
+    let mut recv = Recv::None;
+    let mut params = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let idents: Vec<&str> = g.iter().filter_map(Token::ident).collect();
+        if gi == 0 && idents.contains(&"self") {
+            let has_ref = g.iter().any(|t| t.is_punct('&'));
+            let has_mut = idents.contains(&"mut");
+            recv = match (has_ref, has_mut) {
+                (true, true) => Recv::RefMut,
+                (true, false) => Recv::Ref,
+                _ => Recv::Owned,
+            };
+            continue;
+        }
+        // `name: Type` — skip `mut` patterns; tuple/struct patterns in
+        // params don't occur in this codebase's style.
+        let colon = g.iter().position(|t| t.is_punct(':'));
+        let Some(colon) = colon else { continue };
+        let name = g[..colon]
+            .iter()
+            .filter_map(Token::ident)
+            .find(|&id| id != "mut");
+        let Some(name) = name else { continue };
+        let ty = g[colon + 1..]
+            .iter()
+            .filter_map(Token::ident)
+            .map(str::to_string)
+            .collect();
+        params.push(Param {
+            name: name.to_string(),
+            ty,
+        });
+    }
+    (recv, params)
+}
+
+/// Parses a struct item starting at the `struct` keyword.
+fn parse_struct(toks: &[Token], i: usize, out: &mut FileItems) -> usize {
+    let mut j = i + 1;
+    let Some(name) = toks.get(j).and_then(Token::ident).map(str::to_string) else {
+        return skip_item(toks, i);
+    };
+    let line = toks[j].line;
+    j += 1;
+    if j < toks.len() && toks[j].is_punct('<') {
+        j = skip_generics(toks, j);
+    }
+    // Skip a where clause if present.
+    while j < toks.len()
+        && !toks[j].is_punct('{')
+        && !toks[j].is_punct(';')
+        && !toks[j].is_punct('(')
+    {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct('{') {
+        // Unit or tuple struct: no named fields.
+        let end = skip_item(toks, j.min(toks.len().saturating_sub(1)).max(i));
+        out.structs.push(StructDef {
+            name,
+            fields: Vec::new(),
+            line,
+        });
+        return end.max(j);
+    }
+    let close = skip_group(toks, j, '{', '}');
+    let inner = &toks[j + 1..close - 1];
+
+    let mut fields = Vec::new();
+    let mut pending_class: Option<StateClass> = None;
+    let mut k = 0usize;
+    let mut depth = 0i64;
+    while k < inner.len() {
+        let t = &inner[k];
+        if let Some(c) = t.comment() {
+            if depth == 0 {
+                if let Some(cls) = class_of_comment(c) {
+                    // Same-line trailing comment annotates the field that
+                    // just ended on this line; otherwise it is a
+                    // preceding annotation for the next field.
+                    if let Some(last) = fields
+                        .iter_mut()
+                        .rev()
+                        .find(|f: &&mut Field| f.line == t.line)
+                    {
+                        let last: &mut Field = last;
+                        last.class = Some(cls);
+                    } else if fields
+                        .last()
+                        .is_some_and(|f: &Field| field_end_line(inner, k) == Some(f.name.clone()))
+                    {
+                        // unreachable helper branch; kept simple below
+                        pending_class = Some(cls);
+                    } else {
+                        pending_class = Some(cls);
+                    }
+                }
+            }
+            k += 1;
+            continue;
+        }
+        if t.is_punct('#') && inner.get(k + 1).is_some_and(|t| t.is_punct('[')) {
+            k = skip_group(inner, k + 1, '[', ']');
+            continue;
+        }
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => {
+                depth += 1;
+                k += 1;
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') | Tok::Punct('>') => {
+                depth -= 1;
+                k += 1;
+            }
+            Tok::Ident(id) if depth == 0 => {
+                if id == "pub" {
+                    k += 1;
+                    if k < inner.len() && inner[k].is_punct('(') {
+                        k = skip_group(inner, k, '(', ')');
+                    }
+                    continue;
+                }
+                // Field: `name : type…` until top-level comma.
+                let fname = id.clone();
+                let fline = t.line;
+                k += 1;
+                if k >= inner.len() || !inner[k].is_punct(':') {
+                    continue;
+                }
+                k += 1;
+                let mut ty = Vec::new();
+                let mut d = 0i64;
+                let mut last_line = fline;
+                while k < inner.len() {
+                    let tt = &inner[k];
+                    match &tt.tok {
+                        Tok::Punct(',') if d == 0 => break,
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => {
+                            d += 1
+                        }
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') | Tok::Punct('>') => {
+                            d -= 1
+                        }
+                        Tok::Ident(w) => ty.push(w.clone()),
+                        _ => {}
+                    }
+                    if tt.comment().is_none() {
+                        last_line = tt.line;
+                    }
+                    k += 1;
+                }
+                fields.push(Field {
+                    name: fname,
+                    ty,
+                    class: pending_class.take(),
+                    line: last_line,
+                });
+            }
+            _ => {
+                k += 1;
+            }
+        }
+    }
+    out.structs.push(StructDef { name, fields, line });
+    close
+}
+
+/// Parses the state class out of a `// state: <class>` comment.
+fn class_of_comment(c: &str) -> Option<StateClass> {
+    let rest = c.split("state:").nth(1)?;
+    let word = rest
+        .trim_start()
+        .split(|ch: char| ch.is_whitespace())
+        .next()?;
+    StateClass::parse(word)
+}
+
+/// Helper retained for clarity in the trailing-comment branch above;
+/// always returns `None` in practice.
+fn field_end_line(_inner: &[Token], _k: usize) -> Option<String> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn items(src: &str) -> FileItems {
+        extract(&lex(src))
+    }
+
+    #[test]
+    fn extracts_struct_fields_with_classes() {
+        let src = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+    // state: shared
+    net: LinkNetwork,
+    scratch: Vec<(u64, Cycle)>, // state: scratch
+    plain: u64,
+}\n";
+        let it = items(src);
+        assert_eq!(it.structs.len(), 1);
+        let s = &it.structs[0];
+        assert_eq!(s.name, "System");
+        let by_name = |n: &str| s.fields.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("cores").class, Some(StateClass::GpuLocal));
+        assert!(by_name("cores").per_gpu());
+        assert_eq!(by_name("cores").base_type(), Some("GpuCore"));
+        assert_eq!(by_name("net").class, Some(StateClass::Shared));
+        assert!(!by_name("net").per_gpu());
+        assert_eq!(by_name("scratch").class, Some(StateClass::Scratch));
+        assert_eq!(by_name("plain").class, None);
+    }
+
+    #[test]
+    fn extracts_fns_with_owner_recv_and_params() {
+        let src = "\
+impl System {
+    fn tick(&mut self, now: Cycle) { self.x += 1; }
+    fn peek(&self) -> u64 { 0 }
+}
+fn free(a: usize, mut b: u64) -> u64 { b + a as u64 }
+impl Fabric for NetFabric<'_> {
+    fn can_send(&self, src: NodeId) -> bool { true }
+}\n";
+        let it = items(src);
+        let f = |q: &str| it.funcs.iter().find(|f| f.qname() == q).unwrap();
+        assert_eq!(f("System::tick").recv, Recv::RefMut);
+        assert_eq!(f("System::peek").recv, Recv::Ref);
+        assert_eq!(f("free").recv, Recv::None);
+        assert_eq!(f("free").params.len(), 2);
+        assert_eq!(f("free").params[1].name, "b");
+        assert_eq!(f("NetFabric::can_send").owner.as_deref(), Some("NetFabric"));
+        assert!(f("System::tick").body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "\
+impl A { fn live(&self) {} }
+#[cfg(test)]
+mod tests {
+    fn helper() { let m: std::collections::HashMap<u32, u32> = Default::default(); }
+}
+#[cfg(test)]
+fn lone_test_fn() {}
+fn after() {}\n";
+        let it = items(src);
+        let names: Vec<_> = it.funcs.iter().map(|f| f.qname()).collect();
+        assert!(names.contains(&"A::live".to_string()));
+        assert!(names.contains(&"after".to_string()));
+        assert!(!names.iter().any(|n| n.contains("helper")));
+        assert!(!names.iter().any(|n| n.contains("lone_test_fn")));
+    }
+
+    #[test]
+    fn tick_context_annotation_and_defaults() {
+        let src = "\
+impl System {
+    // tick-context: home
+    fn write_at_home(&mut self, home: usize, line: u64) {}
+    fn try_route(&mut self, g: usize) {}
+    // tick-context: orchestrator
+    fn sweep(&mut self, gpu: usize) {}
+    fn driver(&mut self, now: Cycle) {}
+}\n";
+        let it = items(src);
+        let f = |n: &str| it.funcs.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(f("write_at_home").ctx, TickCtx::Param("home".into()));
+        assert!(f("write_at_home").ctx_declared);
+        assert_eq!(f("try_route").ctx, TickCtx::Param("g".into()));
+        assert!(!f("try_route").ctx_declared);
+        assert_eq!(f("sweep").ctx, TickCtx::Orchestrator);
+        assert_eq!(f("driver").ctx, TickCtx::Orchestrator);
+    }
+
+    #[test]
+    fn generic_fns_and_return_types_parse() {
+        let src = "\
+impl Slab {
+    pub fn for_each<F: FnMut(u64, &T)>(&self, mut f: F) { }
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ { std::iter::empty() }
+    fn pair(&self) -> (u64, u64) { (0, 0) }
+}
+trait NextEvent {
+    fn next_event(&self, now: Cycle) -> Option<Cycle>;
+}\n";
+        let it = items(src);
+        assert!(it.funcs.iter().any(|f| f.qname() == "Slab::for_each"));
+        assert!(it.funcs.iter().any(|f| f.qname() == "Slab::values"));
+        assert!(it.funcs.iter().any(|f| f.qname() == "Slab::pair"));
+        let ne = it
+            .funcs
+            .iter()
+            .find(|f| f.qname() == "NextEvent::next_event")
+            .unwrap();
+        assert!(ne.body.is_none());
+    }
+
+    #[test]
+    fn impl_with_generics_resolves_owner() {
+        let src = "impl<'a> Translator for SystemXl<'a> { fn translate(&mut self) {} }";
+        let it = items(src);
+        assert_eq!(
+            it.funcs[0].owner.as_deref(),
+            Some("SystemXl"),
+            "{:?}",
+            it.funcs
+        );
+    }
+}

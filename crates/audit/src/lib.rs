@@ -49,10 +49,16 @@
 //! [`equivalence-doc`]: Rule::EquivalenceDoc
 //! [`Cycle`]: https://docs.rs/ (sim-core::Cycle)
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub mod cli;
+pub mod effects;
+pub mod items;
+pub mod lex;
 
 /// The rules the scanner knows, with their allow-comment names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +74,15 @@ pub enum Rule {
     LossyCast,
     /// Event-cache module missing its `// EQUIVALENCE:` block.
     EquivalenceDoc,
+    /// A tick function writing another GPU's state (or undeclared
+    /// state) outside an `// exchange:` region. See [`effects`].
+    CrossGpuWrite,
+    /// `for_each`/`values` iteration over an order-carrying container
+    /// with writes in its body and no `// determinism:` argument.
+    OrderSensitiveIteration,
+    /// An `audit:allow(...)` comment that no longer suppresses any
+    /// finding.
+    StaleAllow,
 }
 
 impl Rule {
@@ -79,17 +94,23 @@ impl Rule {
             Rule::TickPathPanics => "tick-path-panics",
             Rule::LossyCast => "lossy-cast",
             Rule::EquivalenceDoc => "equivalence-doc",
+            Rule::CrossGpuWrite => "cross-gpu-write",
+            Rule::OrderSensitiveIteration => "order-sensitive-iteration",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 
     /// All rules, for `--list` style output.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::TickPathCollections,
             Rule::WallClock,
             Rule::TickPathPanics,
             Rule::LossyCast,
             Rule::EquivalenceDoc,
+            Rule::CrossGpuWrite,
+            Rule::OrderSensitiveIteration,
+            Rule::StaleAllow,
         ]
     }
 }
@@ -169,7 +190,7 @@ fn split_comment(line: &str) -> (&str, &str) {
 /// Parses `audit:allow(rule) reason` out of a comment fragment. Returns
 /// `Some((rule_name, reason))` when the syntax is present (reason may be
 /// empty — the caller decides whether that suppresses).
-fn parse_allow(comment: &str) -> Option<(&str, &str)> {
+pub(crate) fn parse_allow(comment: &str) -> Option<(&str, &str)> {
     let idx = comment.find("audit:allow(")?;
     let rest = &comment[idx + "audit:allow(".len()..];
     let close = rest.find(')')?;
@@ -181,16 +202,23 @@ fn parse_allow(comment: &str) -> Option<(&str, &str)> {
 /// Whether a finding of `rule` on this line is suppressed by an
 /// allow-comment on the same line or the immediately preceding one.
 /// A matching allow with an empty reason does *not* suppress: reasons
-/// are the whole point of the mechanism.
-fn allowed(rule: Rule, same_line_comment: &str, prev_line: &str) -> bool {
-    for comment in [same_line_comment, prev_line] {
+/// are the whole point of the mechanism. Returns the line the allow sits
+/// on, so `stale-allow` can mark it used.
+fn allowed(
+    rule: Rule,
+    same_line_comment: &str,
+    line_no: usize,
+    prev_line: &str,
+    prev_no: usize,
+) -> Option<usize> {
+    for (comment, no) in [(same_line_comment, line_no), (prev_line, prev_no)] {
         if let Some((name, reason)) = parse_allow(comment) {
             if name == rule.name() && !reason.is_empty() {
-                return true;
+                return Some(no);
             }
         }
     }
-    false
+    None
 }
 
 /// Identifier-ish characters for the cast-operand walk-back.
@@ -257,17 +285,92 @@ const EVENT_CACHE_MARKERS: [&str; 4] = [
     "fn next_activity",
 ];
 
+/// One `audit:allow` site found outside test modules, for `stale-allow`
+/// tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    pub line: usize,
+    pub rule: String,
+}
+
+/// Line-scanner output with the bookkeeping `stale-allow` needs.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub diags: Vec<Diagnostic>,
+    pub allow_sites: Vec<AllowSite>,
+    /// Lines whose allow-comment suppressed a finding.
+    pub used_allows: BTreeSet<usize>,
+}
+
+/// A logical source line: grouped `use` imports wrapped by rustfmt
+/// (`use std::collections::{\n  HashMap,\n};`) are joined into one line
+/// attributed to the `use` keyword, so line rules can't be dodged by
+/// wrapping and one allow-comment governs the whole group.
+struct Logical {
+    no: usize,
+    raw: String,
+    code: String,
+    comment: String,
+}
+
+fn logical_lines(content: &str) -> Vec<Logical> {
+    let mut out = Vec::new();
+    let mut lines = content.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let (code, comment) = split_comment(raw);
+        let trimmed = code.trim_start();
+        let is_use = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+        if is_use && !code.contains(';') {
+            let mut jcode = code.to_string();
+            let mut jcomment = comment.to_string();
+            for (_, raw2) in lines.by_ref() {
+                let (code2, comment2) = split_comment(raw2);
+                jcode.push(' ');
+                jcode.push_str(code2.trim());
+                if !comment2.is_empty() {
+                    jcomment.push(' ');
+                    jcomment.push_str(comment2);
+                }
+                if code2.contains(';') {
+                    break;
+                }
+            }
+            out.push(Logical {
+                no: idx + 1,
+                raw: raw.to_string(),
+                code: jcode,
+                comment: jcomment,
+            });
+        } else {
+            out.push(Logical {
+                no: idx + 1,
+                raw: raw.to_string(),
+                code: code.to_string(),
+                comment: comment.to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Scans one file's content. `rel` is the workspace-relative path with
 /// `/` separators; it selects which rules apply.
 pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
+    scan_file_tracked(rel, content).diags
+}
+
+/// [`scan_file`] plus allow-site bookkeeping for `stale-allow`.
+pub fn scan_file_tracked(rel: &str, content: &str) -> FileScan {
     let tick_path = is_tick_path(rel);
     let journal_feeding = is_journal_feeding(rel);
     if !tick_path && !journal_feeding {
-        return Vec::new();
+        return FileScan::default();
     }
 
-    let mut diags = Vec::new();
-    let mut prev_line = "";
+    let mut out = FileScan::default();
+    let diags = &mut out.diags;
+    let mut prev_line = String::new();
+    let mut prev_no = 0usize;
     // Test-module skipping: a `#[cfg(test)]` attribute arms the skipper;
     // the next `mod ... {` enters it; brace depth tracks the exit.
     let mut test_pending = false;
@@ -275,10 +378,11 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
     let mut has_equivalence = false;
     let mut first_marker: Option<(usize, &str)> = None;
 
-    for (idx, raw) in content.lines().enumerate() {
-        let line_no = idx + 1;
-        let (code, comment) = split_comment(raw);
-        let trimmed = raw.trim_start();
+    for line in logical_lines(content) {
+        let line_no = line.no;
+        let code = line.code.as_str();
+        let comment = line.comment.as_str();
+        let trimmed = line.raw.trim_start();
 
         if comment.contains("EQUIVALENCE:") || trimmed.starts_with("//! EQUIVALENCE:") {
             has_equivalence = true;
@@ -293,12 +397,14 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                     _ => {}
                 }
             }
-            prev_line = raw;
+            prev_line = line.raw;
+            prev_no = line_no;
             continue;
         }
         if trimmed.starts_with("#[cfg(test)]") {
             test_pending = true;
-            prev_line = raw;
+            prev_line = line.raw;
+            prev_no = line_no;
             continue;
         }
         if test_pending && !trimmed.is_empty() && !trimmed.starts_with("//") {
@@ -311,18 +417,33 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                         _ => {}
                     }
                 }
-                prev_line = raw;
+                prev_line = line.raw;
+                prev_no = line_no;
                 continue;
             }
             // `#[cfg(test)]` on a non-module item (a lone fn or use):
             // skip just that line, conservatively.
-            prev_line = raw;
+            prev_line = line.raw;
+            prev_no = line_no;
             continue;
         }
 
-        // Whole-line comments only ever feed the equivalence rule.
+        // Record well-formed allow-comments outside test modules so
+        // `stale-allow` can later flag the ones nothing uses.
+        if let Some((rule, reason)) = parse_allow(comment) {
+            if !reason.is_empty() {
+                out.allow_sites.push(AllowSite {
+                    line: line_no,
+                    rule: rule.to_string(),
+                });
+            }
+        }
+
+        // Whole-line comments only ever feed the equivalence rule and
+        // the allow-site table.
         if trimmed.starts_with("//") {
-            prev_line = raw;
+            prev_line = line.raw;
+            prev_no = line_no;
             continue;
         }
 
@@ -336,17 +457,28 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                 }
             }
             for ty in ["HashMap", "HashSet", "BTreeMap", "BTreeSet"] {
-                if code.contains(ty) && !allowed(Rule::TickPathCollections, comment, prev_line) {
-                    diags.push(Diagnostic {
-                        file: rel.to_string(),
-                        line: line_no,
-                        rule: Rule::TickPathCollections,
-                        message: format!(
-                            "`{ty}` in a tick-path module; use `sim_core::fast` \
-                             (FastMap/FastSet/Slab/TagTable) so lookups stay \
-                             allocation-free and iteration-order deterministic"
-                        ),
-                    });
+                if code.contains(ty) {
+                    match allowed(
+                        Rule::TickPathCollections,
+                        comment,
+                        line_no,
+                        &prev_line,
+                        prev_no,
+                    ) {
+                        Some(l) => {
+                            out.used_allows.insert(l);
+                        }
+                        None => diags.push(Diagnostic {
+                            file: rel.to_string(),
+                            line: line_no,
+                            rule: Rule::TickPathCollections,
+                            message: format!(
+                                "`{ty}` in a tick-path module; use `sim_core::fast` \
+                                 (FastMap/FastSet/Slab/TagTable) so lookups stay \
+                                 allocation-free and iteration-order deterministic"
+                            ),
+                        }),
+                    }
                     break;
                 }
             }
@@ -363,24 +495,32 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                 "todo!(",
                 "unimplemented!(",
             ] {
-                if code.contains(pat) && !allowed(Rule::TickPathPanics, comment, prev_line) {
-                    diags.push(Diagnostic {
-                        file: rel.to_string(),
-                        line: line_no,
-                        rule: Rule::TickPathPanics,
-                        message: format!(
-                            "`{}` in non-test tick-path code; route the failure \
-                             through `SimError` so campaigns journal it instead \
-                             of losing the worker",
-                            pat.trim_start_matches('.')
-                        ),
-                    });
+                if code.contains(pat) {
+                    match allowed(Rule::TickPathPanics, comment, line_no, &prev_line, prev_no) {
+                        Some(l) => {
+                            out.used_allows.insert(l);
+                        }
+                        None => diags.push(Diagnostic {
+                            file: rel.to_string(),
+                            line: line_no,
+                            rule: Rule::TickPathPanics,
+                            message: format!(
+                                "`{}` in non-test tick-path code; route the failure \
+                                 through `SimError` so campaigns journal it instead \
+                                 of losing the worker",
+                                pat.trim_start_matches('.')
+                            ),
+                        }),
+                    }
                     break;
                 }
             }
             if let Some(op) = lossy_cast_operand(code) {
-                if !allowed(Rule::LossyCast, comment, prev_line) {
-                    diags.push(Diagnostic {
+                match allowed(Rule::LossyCast, comment, line_no, &prev_line, prev_no) {
+                    Some(l) => {
+                        out.used_allows.insert(l);
+                    }
+                    None => diags.push(Diagnostic {
                         file: rel.to_string(),
                         line: line_no,
                         rule: Rule::LossyCast,
@@ -388,7 +528,7 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                             "truncating `as` cast on `{op}` (cycle/address-typed); \
                              use `try_into` or widen the destination"
                         ),
-                    });
+                    }),
                 }
             }
         }
@@ -400,20 +540,26 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
                 || (code.contains("std::time::{") && code.contains("Instant"))
                 || code.contains("thread_rng")
                 || code.contains("rand::random");
-            if wall && !allowed(Rule::WallClock, comment, prev_line) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: line_no,
-                    rule: Rule::WallClock,
-                    message: "wall-clock time or OS randomness in a journal-feeding \
-                              crate; simulated time comes from `Cycle`, randomness \
-                              from the seeded `sim_core::rng`"
-                        .to_string(),
-                });
+            if wall {
+                match allowed(Rule::WallClock, comment, line_no, &prev_line, prev_no) {
+                    Some(l) => {
+                        out.used_allows.insert(l);
+                    }
+                    None => diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: Rule::WallClock,
+                        message: "wall-clock time or OS randomness in a journal-feeding \
+                                  crate; simulated time comes from `Cycle`, randomness \
+                                  from the seeded `sim_core::rng`"
+                            .to_string(),
+                    }),
+                }
             }
         }
 
-        prev_line = raw;
+        prev_line = line.raw;
+        prev_no = line_no;
     }
 
     if tick_path && !has_equivalence {
@@ -431,7 +577,7 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Diagnostic> {
     }
 
     diags.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
-    diags
+    out
 }
 
 /// Recursively collects `.rs` files under `dir` into `out`.
@@ -448,9 +594,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans every `crates/*/src/**/*.rs` under `root` (the workspace root).
-/// Returns the findings plus the number of files scanned.
-pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+/// Loads every `crates/*/src/**/*.rs` under `root` (the workspace root)
+/// as `(workspace-relative path, contents)`, sorted by path.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<(String, String)>> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(io::Error::new(
@@ -475,8 +621,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
         }
     }
     files.sort();
-    let mut diags = Vec::new();
-    let scanned = files.len();
+    let mut out = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -485,10 +630,74 @@ pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let content = fs::read_to_string(&path)?;
-        diags.extend(scan_file(&rel, &content));
+        out.push((rel, fs::read_to_string(&path)?));
     }
-    Ok((diags, scanned))
+    Ok(out)
+}
+
+/// Combined result of the line rules, the tick-path effect analysis,
+/// and `stale-allow` reconciliation.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule, message).
+    pub diags: Vec<Diagnostic>,
+    /// The State-Access Matrix (see [`effects`]).
+    pub matrix: Vec<effects::MatrixRow>,
+    pub files_scanned: usize,
+}
+
+/// Runs every rule over in-memory file contents
+/// (`(workspace-relative path, contents)` pairs).
+pub fn analyze(files: &[(String, String)]) -> Analysis {
+    let mut diags = Vec::new();
+    let mut sites: Vec<(String, usize, String)> = Vec::new();
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+    for (rel, content) in files {
+        let scan = scan_file_tracked(rel, content);
+        diags.extend(scan.diags);
+        for s in scan.allow_sites {
+            sites.push((rel.clone(), s.line, s.rule));
+        }
+        used.extend(scan.used_allows.into_iter().map(|l| (rel.clone(), l)));
+    }
+    let eff = effects::analyze_effects(files);
+    diags.extend(eff.diags);
+    used.extend(eff.used_allows);
+    for (file, line, rule) in sites {
+        if !used.contains(&(file.clone(), line)) {
+            diags.push(Diagnostic {
+                file,
+                line,
+                rule: Rule::StaleAllow,
+                message: format!(
+                    "`audit:allow({rule})` suppresses nothing here; remove the \
+                     comment, or fix the rule name if it was meant to match"
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.name(),
+            b.message.as_str(),
+        ))
+    });
+    Analysis {
+        diags,
+        matrix: eff.rows,
+        files_scanned: files.len(),
+    }
+}
+
+/// Scans every `crates/*/src/**/*.rs` under `root` (the workspace root)
+/// with all rules. Returns the findings plus the number of files
+/// scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let files = load_workspace(root)?;
+    let analysis = analyze(&files);
+    Ok((analysis.diags, analysis.files_scanned))
 }
 
 #[cfg(test)]
@@ -664,5 +873,99 @@ mod tests {
     fn scan_workspace_rejects_non_workspace_roots() {
         let err = scan_workspace(Path::new("/nonexistent-root")).unwrap_err();
         assert!(err.to_string().contains("crates/"));
+    }
+
+    #[test]
+    fn multiline_grouped_use_cannot_dodge_collections_rule() {
+        // rustfmt-wrapped grouped import: the `HashMap` lands on its own
+        // physical line, but the logical `use` line still fires.
+        let src = "use std::collections::{\n    HashMap,\n    VecDeque,\n};\nfn f() {}\n";
+        let d = scan_file(TICK, src);
+        assert_eq!(rules_of(&d), ["tick-path-collections"]);
+        assert_eq!(d[0].line, 1, "finding anchors on the `use` line");
+    }
+
+    #[test]
+    fn multiline_grouped_use_cannot_dodge_wall_clock_rule() {
+        let src = "use std::time::{\n    Duration,\n    Instant,\n};\n";
+        let d = scan_file("crates/sim-core/src/stats.rs", src);
+        assert_eq!(rules_of(&d), ["wall-clock"]);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn allow_on_use_line_governs_whole_group() {
+        let src = "// audit:allow(tick-path-collections) build-time table, sized once\n\
+                   use std::collections::{\n    HashMap,\n    HashSet,\n};\n";
+        assert!(scan_file(TICK, src).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_flagged_and_live_allow_is_not() {
+        let live = "// audit:allow(tick-path-collections) cold path, sized once\n\
+                    use std::collections::HashMap;\n";
+        let stale = "// audit:allow(tick-path-collections) nothing below uses one\n\
+                     fn f() {}\n";
+        let files = [
+            (TICK.to_string(), live.to_string()),
+            ("crates/carve/src/epoch.rs".to_string(), stale.to_string()),
+        ];
+        let analysis = analyze(&files);
+        let stale_diags: Vec<_> = analysis
+            .diags
+            .iter()
+            .filter(|d| d.rule == Rule::StaleAllow)
+            .collect();
+        assert_eq!(stale_diags.len(), 1, "{:?}", analysis.diags);
+        assert_eq!(stale_diags[0].file, "crates/carve/src/epoch.rs");
+        assert_eq!(stale_diags[0].line, 1);
+    }
+
+    #[test]
+    fn misspelled_allow_rule_name_is_stale() {
+        let src = "// audit:allow(tick-path-collection) typo: missing the final s\n\
+                   use std::collections::HashMap;\n";
+        let files = [(TICK.to_string(), src.to_string())];
+        let analysis = analyze(&files);
+        let rules: Vec<_> = analysis.diags.iter().map(|d| d.rule.name()).collect();
+        // The finding still fires AND the typo'd allow is reported stale.
+        assert!(rules.contains(&"tick-path-collections"), "{rules:?}");
+        assert!(rules.contains(&"stale-allow"), "{rules:?}");
+    }
+
+    #[test]
+    fn allow_inside_test_module_is_not_stale_tracked() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       // audit:allow(tick-path-panics) test helper may unwrap\n\
+                       fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   }\n";
+        let files = [(TICK.to_string(), src.to_string())];
+        let analysis = analyze(&files);
+        assert!(analysis.diags.is_empty(), "{:?}", analysis.diags);
+    }
+
+    #[test]
+    fn analysis_sorts_by_file_line_rule() {
+        let files = [
+            (
+                "crates/system/src/zz.rs".to_string(),
+                "fn f() { let t = std::time::Instant::now(); }\n".to_string(),
+            ),
+            (
+                "crates/carve/src/rdc.rs".to_string(),
+                "use std::collections::HashMap;\nfn g(x: Option<u8>) { x.unwrap(); }\n".to_string(),
+            ),
+        ];
+        let analysis = analyze(&files);
+        let keys: Vec<_> = analysis
+            .diags
+            .iter()
+            .map(|d| (d.file.clone(), d.line, d.rule.name()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -1,85 +1,17 @@
-//! `carve-audit` — run the workspace lint wall from the command line.
+//! `carve-audit` — the workspace lint wall and effect analysis.
 //!
 //! ```text
-//! carve-audit lint [WORKSPACE_ROOT]
+//! carve-audit lint    [--json] [WORKSPACE_ROOT]
+//! carve-audit effects [--out PATH] [WORKSPACE_ROOT]
 //! ```
 //!
-//! Scans `crates/*/src/**/*.rs` under the workspace root (default: the
-//! current directory, walking upward until a `crates/` directory is
-//! found) and prints one `file:line: rule: message` diagnostic per
-//! finding. Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//! All argument handling lives in [`carve_audit::cli`], which is the
+//! same entry point `carve-sim audit` uses — the two front ends cannot
+//! drift apart. Exit status: 0 clean, 1 findings, 2 usage/IO error.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-fn usage() -> ExitCode {
-    eprintln!("usage: carve-audit lint [WORKSPACE_ROOT]");
-    eprintln!();
-    eprintln!("rules:");
-    for rule in carve_audit::Rule::all() {
-        eprintln!("  {}", rule.name());
-    }
-    eprintln!();
-    eprintln!("suppress a finding with: // audit:allow(<rule>) <reason>");
-    ExitCode::from(2)
-}
-
-/// Walks upward from `start` to the first directory containing `crates/`.
-fn find_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = start.to_path_buf();
-    loop {
-        if dir.join("crates").is_dir() {
-            return Some(dir);
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {}
-        _ => return usage(),
-    }
-    if args.len() > 2 {
-        return usage();
-    }
-    let root = match args.get(1) {
-        Some(p) => PathBuf::from(p),
-        None => {
-            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-            match find_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!(
-                        "carve-audit: no crates/ directory at or above the current directory"
-                    );
-                    return ExitCode::from(2);
-                }
-            }
-        }
-    };
-    match carve_audit::scan_workspace(&root) {
-        Ok((diags, scanned)) => {
-            if diags.is_empty() {
-                println!("carve-audit: {scanned} files scanned, clean");
-                ExitCode::SUCCESS
-            } else {
-                for d in &diags {
-                    println!("{d}");
-                }
-                eprintln!(
-                    "carve-audit: {} finding(s) in {scanned} scanned files",
-                    diags.len()
-                );
-                ExitCode::FAILURE
-            }
-        }
-        Err(e) => {
-            eprintln!("carve-audit: {e}");
-            ExitCode::from(2)
-        }
-    }
+    ExitCode::from(carve_audit::cli::run(&args))
 }

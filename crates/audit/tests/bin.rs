@@ -1,0 +1,224 @@
+//! End-to-end tests of the `carve-audit` binary's exit-code contract
+//! (0 clean, 1 findings, 2 usage/IO) and its machine-readable output.
+//!
+//! Each test builds a throwaway miniature workspace under a temp dir so
+//! verdicts do not depend on the state of the real tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn carve_audit(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_carve-audit"));
+    cmd.args(args);
+    cmd
+}
+
+/// Creates `<tmp>/<name>/crates/system/src/sim.rs` holding `sim_src`
+/// and returns the workspace root.
+fn mini_workspace(name: &str, sim_src: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join("carve-audit-bin-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let src = root.join("crates/system/src");
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale workspace");
+    }
+    fs::create_dir_all(&src).expect("mkdir workspace");
+    fs::write(src.join("sim.rs"), sim_src).expect("write sim.rs");
+    root
+}
+
+const CLEAN_SIM: &str = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+    total: u64, // state: shared
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        for g in 0..2 {
+            self.cores[g].step(now);
+            self.total += 1;
+        }
+    }
+}
+struct GpuCore { work: u64 }
+impl GpuCore { pub fn step(&mut self, _now: Cycle) { self.work += 1; } }
+";
+
+/// Same machine, but GPU `g` reaches into its neighbour's core — the
+/// partition breach `cross-gpu-write` exists to catch.
+const MISPARTITIONED_SIM: &str = "\
+struct System {
+    cores: Vec<GpuCore>, // state: gpu-local
+    num_gpus: usize, // state: shared
+}
+impl System {
+    pub fn tick(&mut self, now: Cycle) {
+        for g in 0..self.num_gpus {
+            let home = (g + 1) % self.num_gpus;
+            self.cores[home].step(now);
+        }
+    }
+}
+struct GpuCore { work: u64 }
+impl GpuCore { pub fn step(&mut self, _now: Cycle) { self.work += 1; } }
+";
+
+#[test]
+fn lint_clean_workspace_exits_0() {
+    let root = mini_workspace("clean", CLEAN_SIM);
+    let out = carve_audit(&["lint", root.to_str().unwrap()])
+        .output()
+        .expect("spawn carve-audit");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+}
+
+#[test]
+fn lint_mispartitioned_workspace_exits_1() {
+    let root = mini_workspace("violation", MISPARTITIONED_SIM);
+    let out = carve_audit(&["lint", root.to_str().unwrap()])
+        .output()
+        .expect("spawn carve-audit");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cross-gpu-write"), "stdout: {text}");
+    assert!(text.contains("`home`"), "stdout: {text}");
+}
+
+#[test]
+fn lint_json_is_machine_readable_and_sorted() {
+    let root = mini_workspace("json", MISPARTITIONED_SIM);
+    let out = carve_audit(&["lint", "--json", root.to_str().unwrap()])
+        .output()
+        .expect("spawn carve-audit");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"files_scanned\": 1"), "{text}");
+    assert!(text.contains("\"rule\": \"cross-gpu-write\""), "{text}");
+    assert!(
+        text.contains("\"file\": \"crates/system/src/sim.rs\""),
+        "{text}"
+    );
+    // Findings are sorted by (path, line, rule): lines must be
+    // non-decreasing in document order.
+    let lines: Vec<u32> = text
+        .match_indices("\"line\": ")
+        .map(|(i, _)| {
+            text[i + "\"line\": ".len()..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(!lines.is_empty());
+    assert!(lines.windows(2).all(|w| w[0] <= w[1]), "{lines:?}");
+}
+
+#[test]
+fn effects_writes_the_state_access_matrix() {
+    let root = mini_workspace("effects", CLEAN_SIM);
+    let out = carve_audit(&["effects", root.to_str().unwrap()])
+        .output()
+        .expect("spawn carve-audit");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tsv = fs::read_to_string(root.join("results/effects.tsv")).expect("effects.tsv written");
+    assert!(tsv.starts_with("file\tfunction\tfield\taccess\tclass\tnote"));
+    assert!(
+        tsv.contains("System::tick\tcores\twrite\tgpu-local\tctx=g"),
+        "{tsv}"
+    );
+    assert!(tsv.contains("System::tick\ttotal\twrite\tshared"), "{tsv}");
+}
+
+#[test]
+fn effects_honours_out_flag() {
+    let root = mini_workspace("effects-out", CLEAN_SIM);
+    let dest = root.join("custom/matrix.tsv");
+    let out = carve_audit(&[
+        "effects",
+        "--out",
+        dest.to_str().unwrap(),
+        root.to_str().unwrap(),
+    ])
+    .output()
+    .expect("spawn carve-audit");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(dest.is_file());
+    assert!(
+        !root.join("results").exists(),
+        "--out must redirect the write"
+    );
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let no_workspace = std::env::temp_dir().join("carve-audit-definitely-not-a-workspace");
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["frobnicate"],
+        vec![],
+        vec!["lint", "--bogus-flag"],
+        vec!["lint", no_workspace.to_str().unwrap()],
+        vec!["effects", "--out"],
+    ];
+    for args in &cases {
+        let out = carve_audit(args).output().expect("spawn carve-audit");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?}: stderr {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn help_exits_0() {
+    let out = carve_audit(&["--help"])
+        .output()
+        .expect("spawn carve-audit");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("effects"));
+}
+
+/// The committed snapshot must match what the tool generates from the
+/// current tree — the CI diff gate relies on this staying true.
+#[test]
+fn committed_effects_snapshot_is_current() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR")); // crates/audit
+    let root = here.ancestors().nth(2).expect("workspace root");
+    if !root.join("results/effects.tsv").is_file() {
+        return; // snapshot not present in this checkout
+    }
+    let committed = fs::read_to_string(root.join("results/effects.tsv")).unwrap();
+    let dest = std::env::temp_dir().join(format!("effects-check-{}.tsv", std::process::id()));
+    let out = carve_audit(&[
+        "effects",
+        "--out",
+        dest.to_str().unwrap(),
+        root.to_str().unwrap(),
+    ])
+    .output()
+    .expect("spawn carve-audit");
+    assert_eq!(out.status.code(), Some(0));
+    let fresh = fs::read_to_string(&dest).unwrap();
+    let _ = fs::remove_file(&dest);
+    assert_eq!(
+        committed, fresh,
+        "results/effects.tsv is stale; regenerate with `carve-audit effects`"
+    );
+}

@@ -6,7 +6,8 @@
 //! carve-sim trace <workload> [options]    # run with telemetry + event trace
 //! carve-sim compare <workload>            # all designs side by side
 //! carve-sim profile <workload> [options]  # sharing profile + cycle accounting
-//! carve-sim audit [WORKSPACE_ROOT]        # run the carve-audit lint wall
+//! carve-sim audit [lint|effects] [args]   # carve-audit front end (lint wall,
+//!                                         # state-access matrix); bare args = lint
 //! carve-sim fuzz [options]                # randomized fault-injection fuzzer
 //!
 //! options for `run` and `trace`:
@@ -708,50 +709,9 @@ fn main() -> ExitCode {
             run_fuzz(&parsed)
         }
         Some("audit") => {
-            if args.len() > 2 {
-                return usage();
-            }
-            let root = match args.get(1) {
-                Some(p) => std::path::PathBuf::from(p),
-                None => {
-                    // Walk upward to the workspace root, like carve-audit
-                    // itself, so `carve-sim audit` works from any subdir.
-                    let mut dir =
-                        std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
-                    loop {
-                        if dir.join("crates").is_dir() {
-                            break dir;
-                        }
-                        if !dir.pop() {
-                            eprintln!(
-                                "error: no crates/ directory at or above the current directory"
-                            );
-                            return ExitCode::from(EXIT_USAGE);
-                        }
-                    }
-                }
-            };
-            match carve_audit::scan_workspace(&root) {
-                Ok((diags, scanned)) => {
-                    if diags.is_empty() {
-                        println!("carve-audit: {scanned} files scanned, clean");
-                        ExitCode::SUCCESS
-                    } else {
-                        for d in &diags {
-                            println!("{d}");
-                        }
-                        eprintln!(
-                            "carve-audit: {} finding(s) in {scanned} scanned files",
-                            diags.len()
-                        );
-                        ExitCode::FAILURE
-                    }
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::from(EXIT_USAGE)
-                }
-            }
+            // Same entry point as the standalone `carve-audit` binary;
+            // bare `carve-sim audit [ROOT]` still means `lint`.
+            ExitCode::from(carve_audit::cli::run_embedded(&args[1..]))
         }
         _ => usage(),
     }
